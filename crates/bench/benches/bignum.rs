@@ -1,0 +1,73 @@
+//! Bignum microbenchmarks: the arithmetic kernels behind each factoring
+//! task, plus the Karatsuba-threshold ablation (DESIGN.md §5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kpn_bignum::{make_weak_key, search_range, test_difference, BigUint};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rng() -> StdRng {
+    StdRng::seed_from_u64(0xBE7C4)
+}
+
+fn value_of_bits(bits: u64, rng: &mut StdRng) -> BigUint {
+    let v = BigUint::random_bits(bits, rng);
+    // ensure full width
+    v.add(&BigUint::one().shl(bits - 1))
+}
+
+fn mul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bignum_mul");
+    let mut r = rng();
+    // 512 and 1024 bits sit below the Karatsuba threshold (24 limbs);
+    // 4096 bits is above it.
+    for bits in [512u64, 1024, 4096] {
+        let a = value_of_bits(bits, &mut r);
+        let b = value_of_bits(bits, &mut r);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bench, _| {
+            bench.iter(|| a.mul(&b));
+        });
+    }
+    group.finish();
+}
+
+fn divrem(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bignum_divrem");
+    let mut r = rng();
+    let n = value_of_bits(2048, &mut r);
+    let d = value_of_bits(1024, &mut r);
+    group.bench_function("2048_by_1024", |bench| {
+        bench.iter(|| n.divrem(&d));
+    });
+    group.finish();
+}
+
+fn isqrt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bignum_isqrt");
+    let mut r = rng();
+    for bits in [512u64, 1024, 2048] {
+        let n = value_of_bits(bits, &mut r);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bench, _| {
+            bench.iter(|| n.isqrt());
+        });
+    }
+    group.finish();
+}
+
+fn factor_kernel(c: &mut Criterion) {
+    // One difference test and one full 32-difference task at the scaled
+    // experiment size (256-bit P → 512-bit N).
+    let mut group = c.benchmark_group("factor_kernel");
+    group.sample_size(20);
+    let key = make_weak_key(256, 1 << 16, &mut rng());
+    group.bench_function("test_difference_miss", |b| {
+        b.iter(|| test_difference(&key.n, 12345 * 2));
+    });
+    group.bench_function("task_32_differences", |b| {
+        b.iter(|| search_range(&key.n, 0, 64));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, mul, divrem, isqrt, factor_kernel);
+criterion_main!(benches);

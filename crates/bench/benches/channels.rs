@@ -1,0 +1,119 @@
+//! Channel microbenchmarks: throughput, ping-pong latency, and the
+//! capacity ablation called out in DESIGN.md §5 (bounded channels trade
+//! context switches against memory).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kpn_core::{channel_with_capacity, DataReader, DataWriter};
+use std::thread;
+
+fn throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel_throughput");
+    group.sample_size(20);
+    const TOTAL: usize = 1 << 20; // 1 MiB per iteration
+    for capacity in [1 << 10, 1 << 13, 1 << 16] {
+        group.throughput(Throughput::Bytes(TOTAL as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("capacity_{capacity}")),
+            &capacity,
+            |b, &capacity| {
+                b.iter(|| {
+                    let (mut w, mut r) = channel_with_capacity(capacity);
+                    let writer = thread::spawn(move || {
+                        let chunk = [0xABu8; 4096];
+                        let mut sent = 0;
+                        while sent < TOTAL {
+                            w.write_all(&chunk).unwrap();
+                            sent += chunk.len();
+                        }
+                    });
+                    let mut buf = [0u8; 4096];
+                    let mut got = 0;
+                    while got < TOTAL {
+                        got += r.read(&mut buf).unwrap();
+                    }
+                    writer.join().unwrap();
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn latency(c: &mut Criterion) {
+    // Round-trip of one i64 between two threads over two channels.
+    let mut group = c.benchmark_group("channel_latency");
+    group.sample_size(20);
+    group.bench_function("pingpong_i64", |b| {
+        b.iter_custom(|iters| {
+            let (pw, pr) = channel_with_capacity(64);
+            let (qw, qr) = channel_with_capacity(64);
+            let mut ping_w = DataWriter::new(pw);
+            let mut pong_r = DataReader::new(qr);
+            let echo = thread::spawn(move || {
+                let mut r = DataReader::new(pr);
+                let mut w = DataWriter::new(qw);
+                while let Ok(v) = r.read_i64() {
+                    if w.write_i64(v).is_err() {
+                        break;
+                    }
+                }
+            });
+            let start = std::time::Instant::now();
+            for i in 0..iters {
+                ping_w.write_i64(i as i64).unwrap();
+                assert_eq!(pong_r.read_i64().unwrap(), i as i64);
+            }
+            let elapsed = start.elapsed();
+            drop(ping_w);
+            drop(pong_r);
+            echo.join().unwrap();
+            elapsed
+        });
+    });
+    group.finish();
+}
+
+fn typed_vs_raw(c: &mut Criterion) {
+    // Ablation: typed i64 stream vs raw 8-byte writes (cost of the
+    // DataWriter layer over the byte channel).
+    let mut group = c.benchmark_group("typed_vs_bytes");
+    group.sample_size(20);
+    const COUNT: usize = 50_000;
+    group.throughput(Throughput::Elements(COUNT as u64));
+    group.bench_function("typed_i64", |b| {
+        b.iter(|| {
+            let (w, r) = channel_with_capacity(8192);
+            let writer = thread::spawn(move || {
+                let mut dw = DataWriter::new(w);
+                for i in 0..COUNT {
+                    dw.write_i64(i as i64).unwrap();
+                }
+            });
+            let mut dr = DataReader::new(r);
+            for _ in 0..COUNT {
+                dr.read_i64().unwrap();
+            }
+            writer.join().unwrap();
+        });
+    });
+    group.bench_function("raw_8byte", |b| {
+        b.iter(|| {
+            let (mut w, mut r) = channel_with_capacity(8192);
+            let writer = thread::spawn(move || {
+                let buf = [7u8; 8];
+                for _ in 0..COUNT {
+                    w.write_all(&buf).unwrap();
+                }
+            });
+            let mut buf = [0u8; 8];
+            for _ in 0..COUNT {
+                r.read_exact(&mut buf).unwrap();
+            }
+            writer.join().unwrap();
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, throughput, latency, typed_vs_raw);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Codec microbenchmarks: the serialization overhead the paper attributes
+//! to "Object Serialization and network communication" (§5.2 reports
+//! 6-7% total overhead at one worker).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kpn_parallel::{SyntheticTask, TaskEnvelope};
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize)]
+struct Mixed {
+    id: u64,
+    label: String,
+    values: Vec<f64>,
+    flags: Vec<bool>,
+    nested: Option<Box<Mixed>>,
+}
+
+fn mixed() -> Mixed {
+    Mixed {
+        id: 42,
+        label: "a moderately sized label string".into(),
+        values: (0..64).map(|i| i as f64 * 0.5).collect(),
+        flags: (0..32).map(|i| i % 3 == 0).collect(),
+        nested: Some(Box::new(Mixed {
+            id: 43,
+            label: "inner".into(),
+            values: vec![1.0, 2.0],
+            flags: vec![],
+            nested: None,
+        })),
+    }
+}
+
+fn encode_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    group.sample_size(50);
+    let value = mixed();
+    let bytes = kpn_codec::to_bytes(&value).unwrap();
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode_mixed", |b| {
+        b.iter(|| kpn_codec::to_bytes(&value).unwrap());
+    });
+    group.bench_function("decode_mixed", |b| {
+        b.iter(|| kpn_codec::from_bytes::<Mixed>(&bytes).unwrap());
+    });
+
+    let envelope = TaskEnvelope::pack(
+        "kpn.SyntheticTask",
+        &SyntheticTask {
+            seq: 7,
+            cost_units: 1.5,
+        },
+    )
+    .unwrap();
+    let env_bytes = kpn_codec::to_bytes(&envelope).unwrap();
+    group.bench_function("encode_task_envelope", |b| {
+        b.iter(|| kpn_codec::to_bytes(&envelope).unwrap());
+    });
+    group.bench_function("decode_task_envelope", |b| {
+        b.iter(|| kpn_codec::from_bytes::<TaskEnvelope>(&env_bytes).unwrap());
+    });
+    group.finish();
+}
+
+fn object_stream_over_channel(c: &mut Criterion) {
+    use kpn_codec::{ObjectReader, ObjectWriter};
+    use kpn_core::channel_with_capacity;
+    let mut group = c.benchmark_group("object_stream");
+    group.sample_size(20);
+    const COUNT: usize = 10_000;
+    group.throughput(Throughput::Elements(COUNT as u64));
+    group.bench_function("envelopes_through_channel", |b| {
+        b.iter(|| {
+            let (w, r) = channel_with_capacity(64 * 1024);
+            let writer = std::thread::spawn(move || {
+                let mut ow = ObjectWriter::new(w);
+                for seq in 0..COUNT as u64 {
+                    ow.write(
+                        &TaskEnvelope::pack(
+                            "kpn.SyntheticTask",
+                            &SyntheticTask {
+                                seq,
+                                cost_units: 0.0,
+                            },
+                        )
+                        .unwrap(),
+                    )
+                    .unwrap();
+                }
+            });
+            let mut or = ObjectReader::new(r);
+            for _ in 0..COUNT {
+                let _: TaskEnvelope = or.read().unwrap();
+            }
+            writer.join().unwrap();
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, encode_decode, object_stream_over_channel);
+criterion_main!(benches);

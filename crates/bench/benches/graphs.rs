@@ -1,0 +1,109 @@
+//! Whole-network benchmarks: the paper's example graphs end to end, plus
+//! the reconfiguration ablation (self-removing Cons vs per-byte copying —
+//! the efficiency argument of §3.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kpn_core::graphs::{fibonacci, first_primes, hamming, GraphOptions};
+use kpn_core::Network;
+
+fn example_networks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("example_networks");
+    group.sample_size(10);
+    group.bench_function("fibonacci_60", |b| {
+        b.iter(|| {
+            let net = Network::new();
+            let out = fibonacci(&net, 60, &GraphOptions::default());
+            net.run().unwrap();
+            assert_eq!(out.lock().unwrap().len(), 60);
+        });
+    });
+    group.bench_function("sieve_first_100_primes", |b| {
+        b.iter(|| {
+            let net = Network::new();
+            let out = first_primes(&net, 100, &GraphOptions::default());
+            net.run().unwrap();
+            assert_eq!(out.lock().unwrap().len(), 100);
+        });
+    });
+    group.bench_function("hamming_200", |b| {
+        b.iter(|| {
+            let net = Network::new();
+            let out = hamming(&net, 200, &GraphOptions::default());
+            net.run().unwrap();
+            assert_eq!(out.lock().unwrap().len(), 200);
+        });
+    });
+    group.finish();
+}
+
+fn cons_removal_ablation(c: &mut Criterion) {
+    // §3.3: "to avoid unnecessary copying of data and improve efficiency,
+    // the Cons processes remove themselves from the program graph." This
+    // measures exactly that saving on the Fibonacci network.
+    let mut group = c.benchmark_group("cons_removal");
+    group.sample_size(10);
+    const COUNT: u64 = 70;
+    for self_removing in [false, true] {
+        let label = if self_removing { "retire" } else { "copy" };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &self_removing,
+            |b, &self_removing| {
+                let opts = GraphOptions {
+                    self_removing_cons: self_removing,
+                    ..Default::default()
+                };
+                b.iter(|| {
+                    let net = Network::new();
+                    let out = fibonacci(&net, COUNT, &opts);
+                    net.run().unwrap();
+                    assert_eq!(out.lock().unwrap().len(), COUNT as usize);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn monitor_overhead(c: &mut Criterion) {
+    // Ablation: deadlock monitor enabled (Grow) vs disabled (Ignore) on a
+    // pipeline that never deadlocks.
+    use kpn_core::stdlib::{Collect, Scale, Sequence};
+    use kpn_core::{DeadlockPolicy, NetworkConfig};
+    use std::sync::{Arc, Mutex};
+    let mut group = c.benchmark_group("monitor_overhead");
+    group.sample_size(10);
+    const COUNT: u64 = 20_000;
+    group.throughput(Throughput::Elements(COUNT));
+    for policy in [DeadlockPolicy::default(), DeadlockPolicy::Ignore] {
+        let label = match policy {
+            DeadlockPolicy::Ignore => "ignore",
+            _ => "grow",
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, &policy| {
+            b.iter(|| {
+                let net = Network::with_config(NetworkConfig {
+                    deadlock_policy: policy,
+                    ..Default::default()
+                });
+                let (aw, ar) = net.channel();
+                let (bw, br) = net.channel();
+                let out = Arc::new(Mutex::new(Vec::new()));
+                net.add(Sequence::new(0, COUNT, aw));
+                net.add(Scale::new(3, ar, bw));
+                net.add(Collect::new(br, out.clone()));
+                net.run().unwrap();
+                assert_eq!(out.lock().unwrap().len(), COUNT as usize);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    example_networks,
+    cons_removal_ablation,
+    monitor_overhead
+);
+criterion_main!(benches);

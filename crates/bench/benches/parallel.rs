@@ -1,0 +1,132 @@
+//! Parallel-framework benchmarks: schema overhead (static vs dynamic with
+//! zero-cost tasks — pure routing cost), the batch-size ablation, and
+//! local vs remote channel transport.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kpn_core::Network;
+use kpn_parallel::{
+    meta_dynamic, meta_static, register_stock_tasks, synthetic_task_stream, Consumer, Producer,
+    TaskEnvelope, TaskTypeRegistry,
+};
+use std::sync::Arc;
+
+fn registry() -> Arc<TaskTypeRegistry> {
+    let mut reg = TaskTypeRegistry::new();
+    register_stock_tasks(&mut reg);
+    reg.into_shared()
+}
+
+fn run_schema(dynamic: bool, workers: usize, tasks: u64) {
+    let net = Network::new();
+    let (tw, tr) = net.channel();
+    let (rw, rr) = net.channel();
+    net.add(Producer::new(synthetic_task_stream(tasks, 0.0), tw));
+    let speeds = vec![1.0; workers];
+    if dynamic {
+        meta_dynamic(&net, registry(), &speeds, tr, rw);
+    } else {
+        meta_static(&net, registry(), &speeds, tr, rw);
+    }
+    let counted = std::sync::atomic::AtomicU64::new(0);
+    let counted = Arc::new(counted);
+    let c2 = counted.clone();
+    net.add(Consumer::new(rr, move |_e: TaskEnvelope| {
+        c2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(true)
+    }));
+    net.run().unwrap();
+    assert_eq!(counted.load(std::sync::atomic::Ordering::Relaxed), tasks);
+}
+
+fn schema_overhead(c: &mut Criterion) {
+    // Zero-cost tasks: measures pure scheduling/routing overhead of each
+    // schema (the paper's §5.2 attributes its ideal-vs-dynamic gap to this
+    // kind of overhead plus startup).
+    let mut group = c.benchmark_group("schema_overhead");
+    group.sample_size(10);
+    const TASKS: u64 = 256;
+    group.throughput(Throughput::Elements(TASKS));
+    for workers in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("static", workers), &workers, |b, &w| {
+            b.iter(|| run_schema(false, w, TASKS))
+        });
+        group.bench_with_input(BenchmarkId::new("dynamic", workers), &workers, |b, &w| {
+            b.iter(|| run_schema(true, w, TASKS))
+        });
+    }
+    group.finish();
+}
+
+fn batch_size_ablation(c: &mut Criterion) {
+    // The paper chose 32 differences per task to balance computation and
+    // communication; this varies the number of tasks for a fixed total
+    // workload (more tasks = finer batches = more routing overhead).
+    let mut group = c.benchmark_group("batch_size");
+    group.sample_size(10);
+    for tasks in [64u64, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &tasks, |b, &tasks| {
+            b.iter(|| run_schema(true, 4, tasks))
+        });
+    }
+    group.finish();
+}
+
+fn local_vs_remote(c: &mut Criterion) {
+    // The same byte stream through an in-memory channel vs a TCP loopback
+    // channel (the §4.2 transport swap).
+    use kpn_net::Node;
+    let mut group = c.benchmark_group("local_vs_remote");
+    group.sample_size(10);
+    const TOTAL: usize = 1 << 18; // 256 KiB
+    group.throughput(Throughput::Bytes(TOTAL as u64));
+    group.bench_function("local_channel", |b| {
+        b.iter(|| {
+            let (mut w, mut r) = kpn_core::channel_with_capacity(8192);
+            let writer = std::thread::spawn(move || {
+                let chunk = [1u8; 4096];
+                let mut sent = 0;
+                while sent < TOTAL {
+                    w.write_all(&chunk).unwrap();
+                    sent += chunk.len();
+                }
+            });
+            let mut buf = [0u8; 4096];
+            let mut got = 0;
+            while got < TOTAL {
+                got += r.read(&mut buf).unwrap();
+            }
+            writer.join().unwrap();
+        });
+    });
+    let node = Node::serve("127.0.0.1:0").unwrap();
+    group.bench_function("remote_channel_loopback", |b| {
+        b.iter(|| {
+            let token: u64 = rand::random();
+            let mut r = node.remote_reader(token);
+            let mut w = node.remote_writer(&node.addr().to_string(), token).unwrap();
+            let writer = std::thread::spawn(move || {
+                let chunk = [1u8; 4096];
+                let mut sent = 0;
+                while sent < TOTAL {
+                    w.write_all(&chunk).unwrap();
+                    sent += chunk.len();
+                }
+            });
+            let mut buf = [0u8; 4096];
+            let mut got = 0;
+            while got < TOTAL {
+                got += r.read(&mut buf).unwrap();
+            }
+            writer.join().unwrap();
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    schema_overhead,
+    batch_size_ablation,
+    local_vs_remote
+);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Ablation: static SDF buffer bounds vs Parks' runtime buffer growth.
+//!
+//! The same multirate graph, executed three ways:
+//! * `static_bounds` — channels sized by the schedule's exact bounds
+//!   (provably zero monitor interventions);
+//! * `oversized` — channels at the 8 KiB default (no pressure at all);
+//! * `starved_grown` — channels deliberately too small, healed at run time
+//!   by the deadlock monitor's growth procedure (§3.5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kpn_core::stdlib::{Collect, Scale, Sequence};
+use kpn_core::{DeadlockPolicy, Network, NetworkConfig};
+use kpn_sdf::{execute, Schedule, SdfActor, SdfGraph};
+use std::sync::{Arc, Mutex};
+
+fn run_sdf(periods: u64) -> u64 {
+    let mut g = SdfGraph::new();
+    let src = g.actor("src");
+    let up = g.actor("up");
+    let down = g.actor("down");
+    let sink = g.actor("sink");
+    g.edge(src, up, 2, 3);
+    g.edge(up, down, 7, 5);
+    g.edge(down, sink, 1, 1);
+    let s = Schedule::build(&g).unwrap();
+    let mut t = 0i64;
+    let report = execute(
+        &g,
+        &s,
+        vec![
+            SdfActor::new(src, move |_i, o| {
+                o[0].push(t);
+                o[0].push(t + 1);
+                t += 2;
+                Ok(())
+            }),
+            SdfActor::new(up, |i, o| {
+                for k in 0..7usize {
+                    o[0].push(i[0][k * 3 / 7]);
+                }
+                Ok(())
+            }),
+            SdfActor::new(down, |i, o| {
+                o[0].push(i[0].iter().sum::<i64>() / 5);
+                Ok(())
+            }),
+            SdfActor::new(sink, |_i, _o| Ok(())),
+        ],
+        periods,
+    )
+    .unwrap();
+    report.monitor.growths
+}
+
+/// The equivalent pipeline built directly on KPN channels with the given
+/// capacity, relying on the monitor when starved.
+fn run_kpn_pipeline(capacity: usize, count: u64) -> u64 {
+    let net = Network::with_config(NetworkConfig {
+        deadlock_policy: DeadlockPolicy::default(),
+        ..Default::default()
+    });
+    let (aw, ar) = net.channel_with_capacity(capacity);
+    let (bw, br) = net.channel_with_capacity(capacity);
+    let out = Arc::new(Mutex::new(Vec::new()));
+    net.add(Sequence::new(0, count, aw));
+    net.add(Scale::new(3, ar, bw));
+    net.add(Collect::new(br, out.clone()));
+    let report = net.run().unwrap();
+    assert_eq!(out.lock().unwrap().len(), count as usize);
+    report.monitor.growths
+}
+
+fn sdf_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sdf_bounds");
+    group.sample_size(10);
+    group.bench_function("static_bounds_20_periods", |b| {
+        b.iter(|| {
+            let growths = run_sdf(20);
+            assert_eq!(growths, 0, "static bounds must suffice");
+        });
+    });
+    group.bench_function("kpn_default_capacity", |b| {
+        b.iter(|| run_kpn_pipeline(8192, 1060));
+    });
+    group.bench_function("kpn_starved_grown", |b| {
+        b.iter(|| run_kpn_pipeline(8, 1060));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sdf_bounds);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Regenerates **Figure 19** (elapsed time vs workers): the full 1..=32
+//! sweep of the ideal model, MetaStatic and MetaDynamic, emitted as CSV
+//! series ready for plotting.
+//!
+//! ```text
+//! cargo run -p kpn-bench --release --bin fig19 [-- --tasks N --scale MS]
+//! ```
+
+use kpn_bench::{measure, HarnessConfig, Schema};
+use kpn_cluster::ideal_time_minutes;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = HarnessConfig::from_args(&args);
+    eprintln!(
+        "# Figure 19 sweep: {} tasks, {} ms per paper-minute",
+        cfg.tasks, cfg.scale.millis_per_minute
+    );
+    println!("workers,ideal_minutes,static_minutes,dynamic_minutes");
+    for n in 1..=32usize {
+        let ideal = ideal_time_minutes(&cfg.inventory, n);
+        let st = measure(&cfg, Schema::Static, n);
+        let dy = measure(&cfg, Schema::Dynamic, n);
+        println!("{n},{ideal:.4},{:.4},{:.4}", st.minutes, dy.minutes);
+    }
+    eprintln!("# expected: static curve rises above ideal at 8 workers; dynamic hugs ideal");
+}

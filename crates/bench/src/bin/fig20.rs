@@ -1,0 +1,31 @@
+//! Regenerates **Figure 20** (speedup vs workers): the full 1..=32 sweep,
+//! speeds normalized to a 1 GHz Pentium III (class C), emitted as CSV.
+//! The ideal curve shows the paper's two inflection points: worker 8
+//! (first class-C CPU) and worker 27 (first class-E CPU).
+//!
+//! ```text
+//! cargo run -p kpn-bench --release --bin fig20 [-- --tasks N --scale MS]
+//! ```
+
+use kpn_bench::{measure, HarnessConfig, Schema};
+use kpn_cluster::ideal_speed;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = HarnessConfig::from_args(&args);
+    eprintln!(
+        "# Figure 20 sweep: {} tasks, {} ms per paper-minute",
+        cfg.tasks, cfg.scale.millis_per_minute
+    );
+    println!("workers,ideal_speed,static_speed,dynamic_speed");
+    for n in 1..=32usize {
+        let ideal = ideal_speed(&cfg.inventory, n);
+        let st = measure(&cfg, Schema::Static, n);
+        let dy = measure(&cfg, Schema::Dynamic, n);
+        println!("{n},{ideal:.4},{:.4},{:.4}", st.speed, dy.speed);
+    }
+    eprintln!(
+        "# expected: ideal-speed slope drops at workers 8 and 27; static flattens\n\
+         # after 8; dynamic tracks ideal minus startup overhead"
+    );
+}

@@ -1,0 +1,42 @@
+//! Regenerates **Table 1** (sequential execution): the full factoring
+//! workload run on a single CPU of each class, times in paper minutes and
+//! speeds normalized to class C.
+//!
+//! ```text
+//! cargo run -p kpn-bench --release --bin table1 [-- --tasks N --scale MS]
+//! ```
+
+use kpn_bench::{f2, measure_sequential, HarnessConfig};
+use kpn_cluster::CpuClass;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = HarnessConfig::from_args(&args);
+    println!(
+        "Table 1: Sequential Execution ({} tasks, {} ms per paper-minute)",
+        cfg.tasks, cfg.scale.millis_per_minute
+    );
+    println!("  workload: {:.2} class-C paper-minutes total", 22.50);
+    println!();
+    println!("        |  paper (min, speed)  | measured (min, speed) | CPU class");
+    println!("  ------+----------------------+-----------------------+---------------------------");
+    for class in CpuClass::ALL {
+        let m = measure_sequential(&cfg, class);
+        println!(
+            "      {:?} |    {}  {}      |     {}  {}       | {}",
+            class,
+            f2(class.sequential_minutes(), 6),
+            f2(class.speed(), 5),
+            f2(m.minutes, 6),
+            f2(m.speed, 5),
+            class.description()
+        );
+        assert_eq!(m.results, cfg.tasks, "lost results for class {class:?}");
+    }
+    println!();
+    println!(
+        "  note: measured minutes are simulated wall time mapped back through the\n  \
+         time scale; speeds are {:.2} / measured, matching Table 1's normalization.",
+        22.50
+    );
+}

@@ -1,0 +1,246 @@
+//! Shared measurement harness behind the `table1`/`table2`/`fig19`/`fig20`
+//! binaries: builds the paper's parallel-factorization process networks
+//! with simulated heterogeneous workers and measures elapsed wall time.
+//!
+//! Substitution (see DESIGN.md): the paper's 34 physical CPUs are modelled
+//! by *virtual CPUs* — workers whose synthetic tasks sleep for
+//! `cost / speed`. Because tasks are sleep-bound, dozens of virtual CPUs
+//! coexist faithfully on one machine, and the quantity under study (the
+//! static vs dynamic *schedules*) is identical to the paper's.
+
+#![warn(missing_docs)]
+
+use kpn_cluster::{Inventory, TimeScale, BASELINE_MINUTES};
+use kpn_core::Network;
+use kpn_parallel::{
+    meta_dynamic, meta_static, register_stock_tasks, synthetic_task_stream, Consumer, Producer,
+    TaskEnvelope, TaskTypeRegistry, Worker,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which load-balancing schema to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schema {
+    /// Figure 16: Scatter/Gather, equal task counts.
+    Static,
+    /// Figure 17: Direct + indexed merge, on-demand.
+    Dynamic,
+    /// Figure 1: single worker pipeline (used by Table 1).
+    Pipeline,
+}
+
+/// One measured run.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Workers used.
+    pub workers: usize,
+    /// Schema measured.
+    pub schema: Schema,
+    /// Elapsed time converted back to paper minutes.
+    pub minutes: f64,
+    /// Speed normalized to the class-C baseline.
+    pub speed: f64,
+    /// Results delivered (must equal the task count).
+    pub results: u64,
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Tasks per run; per-task work is `BASELINE_MINUTES / tasks`, so the
+    /// total workload is always the paper's 22.5 class-C minutes.
+    pub tasks: u64,
+    /// Wall-clock scale.
+    pub scale: TimeScale,
+    /// CPU pool.
+    pub inventory: Inventory,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            tasks: 512,
+            scale: TimeScale {
+                millis_per_minute: 400.0,
+            },
+            inventory: Inventory::paper(),
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// Per-task work in paper minutes.
+    pub fn task_minutes(&self) -> f64 {
+        BASELINE_MINUTES / self.tasks as f64
+    }
+
+    /// Parses `--tasks N`, `--scale MS_PER_MIN` style CLI overrides.
+    pub fn from_args(args: &[String]) -> Self {
+        let mut cfg = HarnessConfig::default();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--tasks" => {
+                    cfg.tasks = args[i + 1].parse().expect("--tasks takes a number");
+                    i += 2;
+                }
+                "--scale" => {
+                    cfg.scale.millis_per_minute = args[i + 1]
+                        .parse()
+                        .expect("--scale takes a number (ms/min)");
+                    i += 2;
+                }
+                other => panic!("unknown argument {other}; known: --tasks N, --scale MS"),
+            }
+        }
+        cfg
+    }
+}
+
+fn task_registry() -> Arc<TaskTypeRegistry> {
+    let mut reg = TaskTypeRegistry::new();
+    register_stock_tasks(&mut reg);
+    reg.into_shared()
+}
+
+/// Runs one configuration and measures elapsed wall time.
+pub fn measure(cfg: &HarnessConfig, schema: Schema, workers: usize) -> Measurement {
+    let cost_units = cfg.scale.task_cost_units(cfg.task_minutes());
+    let registry = task_registry();
+    let net = Network::new();
+    let (task_w, task_r) = net.channel();
+    let (res_w, res_r) = net.channel();
+    net.add(Producer::new(
+        synthetic_task_stream(cfg.tasks, cost_units),
+        task_w,
+    ));
+    let speeds = cfg.inventory.speeds(workers);
+    match schema {
+        Schema::Static => meta_static(&net, registry, &speeds, task_r, res_w),
+        Schema::Dynamic => meta_dynamic(&net, registry, &speeds, task_r, res_w),
+        Schema::Pipeline => {
+            assert_eq!(workers, 1, "pipeline is single-worker");
+            net.add(Worker::new(registry, task_r, res_w).with_speed(speeds[0]));
+        }
+    }
+    let delivered = Arc::new(AtomicU64::new(0));
+    let counter = delivered.clone();
+    net.add(Consumer::new(res_r, move |_env: TaskEnvelope| {
+        counter.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }));
+    let start = Instant::now();
+    net.run().expect("harness network failed");
+    let elapsed = start.elapsed();
+    let minutes = cfg.scale.to_minutes(elapsed);
+    Measurement {
+        workers,
+        schema,
+        minutes,
+        speed: BASELINE_MINUTES / minutes,
+        results: delivered.load(Ordering::Relaxed),
+    }
+}
+
+/// Runs one sequential measurement on a single CPU of the given class
+/// (Table 1's rows): the whole workload through a lone worker.
+pub fn measure_sequential(cfg: &HarnessConfig, class: kpn_cluster::CpuClass) -> Measurement {
+    let cost_units = cfg.scale.task_cost_units(cfg.task_minutes());
+    let registry = task_registry();
+    let net = Network::new();
+    let (task_w, task_r) = net.channel();
+    let (res_w, res_r) = net.channel();
+    net.add(Producer::new(
+        synthetic_task_stream(cfg.tasks, cost_units),
+        task_w,
+    ));
+    net.add(Worker::new(registry, task_r, res_w).with_speed(class.speed()));
+    let delivered = Arc::new(AtomicU64::new(0));
+    let counter = delivered.clone();
+    net.add(Consumer::new(res_r, move |_env: TaskEnvelope| {
+        counter.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }));
+    let start = Instant::now();
+    net.run().expect("harness network failed");
+    let minutes = cfg.scale.to_minutes(start.elapsed());
+    Measurement {
+        workers: 1,
+        schema: Schema::Pipeline,
+        minutes,
+        speed: BASELINE_MINUTES / minutes,
+        results: delivered.load(Ordering::Relaxed),
+    }
+}
+
+/// Formats a float with two decimals, right-aligned to `w`.
+pub fn f2(v: f64, w: usize) -> String {
+    format!("{v:>w$.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> HarnessConfig {
+        HarnessConfig {
+            tasks: 64,
+            scale: TimeScale {
+                millis_per_minute: 20.0,
+            },
+            inventory: Inventory::paper(),
+        }
+    }
+
+    #[test]
+    fn all_results_delivered() {
+        let cfg = quick();
+        for schema in [Schema::Static, Schema::Dynamic] {
+            let m = measure(&cfg, schema, 4);
+            assert_eq!(m.results, cfg.tasks, "{schema:?}");
+        }
+    }
+
+    #[test]
+    fn dynamic_not_slower_than_static_with_heterogeneous_pool() {
+        let cfg = HarnessConfig {
+            tasks: 96,
+            scale: TimeScale {
+                millis_per_minute: 40.0,
+            },
+            inventory: Inventory::paper(),
+        };
+        // 8 workers includes the slow class-C CPU that stalls the static
+        // schema (§5.2).
+        let st = measure(&cfg, Schema::Static, 8);
+        let dy = measure(&cfg, Schema::Dynamic, 8);
+        assert!(
+            dy.minutes < st.minutes * 1.05,
+            "dynamic {:.2} vs static {:.2}",
+            dy.minutes,
+            st.minutes
+        );
+    }
+
+    #[test]
+    fn sequential_speed_tracks_class() {
+        let cfg = quick();
+        let a = measure_sequential(&cfg, kpn_cluster::CpuClass::A);
+        let e = measure_sequential(&cfg, kpn_cluster::CpuClass::E);
+        assert!(a.minutes < e.minutes);
+    }
+
+    #[test]
+    fn config_parses_args() {
+        let cfg = HarnessConfig::from_args(&[
+            "--tasks".into(),
+            "128".into(),
+            "--scale".into(),
+            "5".into(),
+        ]);
+        assert_eq!(cfg.tasks, 128);
+        assert!((cfg.scale.millis_per_minute - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,172 @@
+//! The weak-RSA-key factor search of §5.2.
+//!
+//! A "weak" RSA modulus is `N = P·(P+D)` for a small even difference `D`.
+//! The brute-force search tests candidate differences: `N = P(P+D)` has an
+//! integer solution iff the discriminant `D² + 4N` is a perfect square
+//! `S²`, in which case `P = (S − D) / 2`.
+//!
+//! The paper splits the search space into tasks of 32 even differences
+//! each; [`search_range`] is exactly one such task's work, and
+//! `kpn-parallel` distributes these across Workers.
+
+use crate::biguint::BigUint;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A weak modulus constructed for the experiment, with its known factors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WeakKey {
+    /// The modulus `N = P·(P+D)`.
+    pub n: BigUint,
+    /// The smaller factor.
+    pub p: BigUint,
+    /// The difference (`q = p + d`), always even.
+    pub d: u64,
+}
+
+/// Builds an experimental weak key: a random `bits`-bit prime `P` and
+/// `N = P·(P+D)` (the paper's test case uses 512-bit `P`, giving 1024-bit
+/// `N`, with `D` chosen so the factor is found after a known number of
+/// tasks).
+pub fn make_weak_key<R: Rng + ?Sized>(bits: u64, d: u64, rng: &mut R) -> WeakKey {
+    assert!(d.is_multiple_of(2), "difference must be even (P and P+D both odd)");
+    let p = BigUint::gen_prime(bits, rng);
+    let q = p.add_u64(d);
+    WeakKey { n: p.mul(&q), p, d }
+}
+
+/// Result of one search task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SearchOutcome {
+    /// No factor in the tested range.
+    NotFound,
+    /// `N = p·(p + d)`.
+    Found {
+        /// The recovered smaller factor.
+        p: BigUint,
+        /// The difference at which it was found.
+        d: u64,
+    },
+}
+
+/// Tests whether `n = p(p+d)` for this specific difference; returns `p`.
+pub fn test_difference(n: &BigUint, d: u64) -> Option<BigUint> {
+    // discriminant = d² + 4n
+    let disc = BigUint::from_u128((d as u128) * (d as u128)).add(&n.shl(2));
+    let s = disc.perfect_sqrt()?;
+    // p = (s - d) / 2 — s ≥ d always holds since disc ≥ 4n > d².
+    let diff = s.checked_sub(&BigUint::from_u64(d))?;
+    if !diff.is_even() {
+        return None;
+    }
+    let p = diff.shr(1);
+    if p.is_zero() {
+        return None;
+    }
+    let q = p.add_u64(d);
+    if p.mul(&q) == *n {
+        Some(p)
+    } else {
+        None
+    }
+}
+
+/// Searches the even differences in `[d_start, d_end)` — one worker task's
+/// unit of work (the paper uses ranges of 32 even values).
+pub fn search_range(n: &BigUint, d_start: u64, d_end: u64) -> SearchOutcome {
+    let mut d = d_start + (d_start % 2);
+    while d < d_end {
+        if let Some(p) = test_difference(n, d) {
+            return SearchOutcome::Found { p, d };
+        }
+        d += 2;
+    }
+    SearchOutcome::NotFound
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xFAC702)
+    }
+
+    #[test]
+    fn make_weak_key_is_consistent() {
+        let key = make_weak_key(64, 100, &mut rng());
+        assert_eq!(key.p.mul(&key.p.add_u64(key.d)), key.n);
+        assert_eq!(key.n.bits(), 128);
+    }
+
+    #[test]
+    fn test_difference_finds_planted_factor() {
+        let key = make_weak_key(96, 4242, &mut rng());
+        assert_eq!(test_difference(&key.n, key.d), Some(key.p.clone()));
+        assert_eq!(test_difference(&key.n, key.d + 2), None);
+        assert_eq!(test_difference(&key.n, 0), None);
+    }
+
+    #[test]
+    fn search_range_hits_and_misses() {
+        let key = make_weak_key(80, 1000, &mut rng());
+        match search_range(&key.n, 960, 1024) {
+            SearchOutcome::Found { p, d } => {
+                assert_eq!(p, key.p);
+                assert_eq!(d, 1000);
+            }
+            other => panic!("expected Found, got {other:?}"),
+        }
+        assert_eq!(search_range(&key.n, 0, 1000), SearchOutcome::NotFound);
+        assert_eq!(search_range(&key.n, 1002, 2000), SearchOutcome::NotFound);
+    }
+
+    #[test]
+    fn search_range_normalizes_odd_start() {
+        let key = make_weak_key(64, 10, &mut rng());
+        // Odd start rounds up to the next even difference.
+        match search_range(&key.n, 9, 12) {
+            SearchOutcome::Found { d, .. } => assert_eq!(d, 10),
+            other => panic!("expected Found, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn d_zero_square_modulus() {
+        // N = P² (difference 0) is found at d = 0.
+        let p = BigUint::gen_prime(64, &mut rng());
+        let n = p.mul(&p);
+        assert_eq!(test_difference(&n, 0), Some(p));
+    }
+
+    #[test]
+    fn paper_shape_task_batches() {
+        // The paper: each task covers 32 even differences; D chosen so the
+        // factor is found in task 2048. Verify task arithmetic at a smaller
+        // scale: task k covers [64k, 64(k+1)).
+        let task = 20u64;
+        let d = 64 * task + 30; // lands inside task 20
+        let key = make_weak_key(64, d - (d % 2), &mut rng());
+        let k = key.d / 64;
+        assert_eq!(k, task);
+        match search_range(&key.n, 64 * k, 64 * (k + 1)) {
+            SearchOutcome::Found { .. } => {}
+            other => panic!("task {task} should find the factor, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn outcome_serializes() {
+        let key = make_weak_key(64, 8, &mut rng());
+        let found = SearchOutcome::Found {
+            p: key.p.clone(),
+            d: 8,
+        };
+        // serde derive compiles; round-trip via the workspace codec is
+        // covered in kpn-parallel integration tests.
+        let cloned = found.clone();
+        assert_eq!(found, cloned);
+    }
+}

@@ -1,0 +1,107 @@
+//! # kpn-bignum — arbitrary-precision integers for the factorization app
+//!
+//! The paper's evaluation application (§5.2) brute-force factors "weak"
+//! RSA moduli `N = P·(P+D)` with 512-bit `P`. This crate supplies the
+//! numeric substrate, written from scratch:
+//!
+//! * [`BigUint`] — unsigned big integers on u64 limbs: schoolbook and
+//!   Karatsuba multiplication, Knuth Algorithm D division, shifts,
+//!   modular exponentiation, integer square root;
+//! * primality — trial division + Miller-Rabin (deterministic witnesses
+//!   below 128 bits, random witnesses above) and random prime generation;
+//! * [`factor`] — the weak-key search kernel: one call =
+//!   one worker task of the paper's parallel factorization.
+
+#![warn(missing_docs)]
+
+mod biguint;
+pub mod factor;
+mod prime;
+mod sqrt;
+
+pub use biguint::BigUint;
+pub use factor::{make_weak_key, search_range, test_difference, SearchOutcome, WeakKey};
+
+#[cfg(test)]
+mod proptests {
+    use super::BigUint;
+    use proptest::prelude::*;
+
+    fn biguint_strategy() -> impl Strategy<Value = BigUint> {
+        proptest::collection::vec(any::<u64>(), 0..6).prop_map(BigUint::from_limbs)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn add_commutes(a in biguint_strategy(), b in biguint_strategy()) {
+            prop_assert_eq!(a.add(&b), b.add(&a));
+        }
+
+        #[test]
+        fn add_sub_inverse(a in biguint_strategy(), b in biguint_strategy()) {
+            prop_assert_eq!(a.add(&b).sub(&b), a);
+        }
+
+        #[test]
+        fn mul_commutes(a in biguint_strategy(), b in biguint_strategy()) {
+            prop_assert_eq!(a.mul(&b), b.mul(&a));
+        }
+
+        #[test]
+        fn mul_distributes(a in biguint_strategy(), b in biguint_strategy(), c in biguint_strategy()) {
+            prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+        }
+
+        #[test]
+        fn division_identity(n in biguint_strategy(), d in biguint_strategy()) {
+            prop_assume!(!d.is_zero());
+            let (q, r) = n.divrem(&d);
+            prop_assert_eq!(q.mul(&d).add(&r), n);
+            prop_assert!(r < d);
+        }
+
+        #[test]
+        fn shift_roundtrip(a in biguint_strategy(), s in 0u64..200) {
+            prop_assert_eq!(a.shl(s).shr(s), a);
+        }
+
+        #[test]
+        fn decimal_roundtrip(a in biguint_strategy()) {
+            let s = a.to_decimal();
+            prop_assert_eq!(BigUint::from_decimal(&s).unwrap(), a);
+        }
+
+        #[test]
+        fn hex_roundtrip(a in biguint_strategy()) {
+            let s = a.to_hex();
+            prop_assert_eq!(BigUint::from_hex(&s).unwrap(), a);
+        }
+
+        #[test]
+        fn isqrt_floor(a in biguint_strategy()) {
+            let r = a.isqrt();
+            prop_assert!(r.mul(&r) <= a);
+            let r1 = r.add_u64(1);
+            prop_assert!(r1.mul(&r1) > a);
+        }
+
+        #[test]
+        fn square_detected(a in biguint_strategy()) {
+            let sq = a.mul(&a);
+            prop_assert_eq!(sq.perfect_sqrt(), Some(a));
+        }
+
+        #[test]
+        fn codec_roundtrip_u64_agreement(x in any::<u64>(), y in 1u64..) {
+            let a = BigUint::from_u64(x);
+            let b = BigUint::from_u64(y);
+            prop_assert_eq!(a.add(&b).to_u128(), Some(x as u128 + y as u128));
+            prop_assert_eq!(a.mul(&b).to_u128(), Some(x as u128 * y as u128));
+            let (q, r) = a.divrem(&b);
+            prop_assert_eq!(q.to_u64(), Some(x / y));
+            prop_assert_eq!(r.to_u64(), Some(x % y));
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Primality testing and random prime generation, used to build the
+//! experimental weak-RSA moduli of §5.2 ("a 512-bit randomly selected
+//! prime number P to which a small difference D was added").
+
+use crate::biguint::BigUint;
+use rand::Rng;
+
+/// Primes below 100, used for fast trial division.
+const SMALL_PRIMES: [u64; 25] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+];
+
+/// Deterministic Miller-Rabin witness set, sufficient for all n < 3.3·10^24
+/// (and in particular for every u64).
+const DETERMINISTIC_WITNESSES: [u64; 13] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41];
+
+impl BigUint {
+    /// Probabilistic primality test: trial division by the primes below 100,
+    /// then Miller-Rabin. For values below 128 bits the deterministic
+    /// witness set is used; larger values additionally get `rounds` random
+    /// witnesses (error probability ≤ 4^-rounds).
+    pub fn is_probable_prime<R: Rng + ?Sized>(&self, rounds: u32, rng: &mut R) -> bool {
+        if self.bits() <= 6 {
+            let v = self.to_u64().unwrap();
+            return SMALL_PRIMES.contains(&v);
+        }
+        for &p in &SMALL_PRIMES {
+            if self.divrem_u64(p).1 == 0 {
+                // Divisible by a small prime: composite unless it *is* it.
+                return self.to_u64() == Some(p);
+            }
+        }
+        // Write self-1 = d * 2^s with d odd.
+        let n_minus_1 = self.sub(&BigUint::one());
+        let s = {
+            let mut s = 0u64;
+            while !n_minus_1.bit(s) {
+                s += 1;
+            }
+            s
+        };
+        let d = n_minus_1.shr(s);
+
+        let witness = |a: &BigUint| -> bool {
+            // Returns true when `a` proves compositeness.
+            let a = a.rem(self);
+            if a.is_zero() || a.is_one() {
+                return false;
+            }
+            let mut x = a.modpow(&d, self);
+            if x.is_one() || x == n_minus_1 {
+                return false;
+            }
+            for _ in 1..s {
+                x = x.mulmod(&x, self);
+                if x == n_minus_1 {
+                    return false;
+                }
+                if x.is_one() {
+                    return true; // nontrivial square root of 1
+                }
+            }
+            true
+        };
+
+        for &w in &DETERMINISTIC_WITNESSES {
+            if witness(&BigUint::from_u64(w)) {
+                return false;
+            }
+        }
+        if self.bits() > 128 {
+            for _ in 0..rounds {
+                let a = BigUint::random_below(&n_minus_1, rng).add_u64(1);
+                if witness(&a) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Uniform random value in `[0, bound)`; `bound` must be nonzero.
+    pub fn random_below<R: Rng + ?Sized>(bound: &BigUint, rng: &mut R) -> BigUint {
+        assert!(!bound.is_zero(), "empty range");
+        let bits = bound.bits();
+        loop {
+            let candidate = BigUint::random_bits(bits, rng);
+            if candidate < *bound {
+                return candidate;
+            }
+        }
+    }
+
+    /// Random value with at most `bits` bits.
+    pub fn random_bits<R: Rng + ?Sized>(bits: u64, rng: &mut R) -> BigUint {
+        let limbs = bits.div_ceil(64) as usize;
+        let mut v: Vec<u64> = (0..limbs).map(|_| rng.random()).collect();
+        let top_bits = bits % 64;
+        if top_bits != 0 {
+            if let Some(top) = v.last_mut() {
+                *top &= (1u64 << top_bits) - 1;
+            }
+        }
+        BigUint::from_limbs(v)
+    }
+
+    /// Generates a random prime with exactly `bits` bits (top and bottom
+    /// bits forced to 1, as RSA key generation does).
+    pub fn gen_prime<R: Rng + ?Sized>(bits: u64, rng: &mut R) -> BigUint {
+        assert!(bits >= 2, "prime needs at least 2 bits");
+        let top = BigUint::one().shl(bits - 1);
+        loop {
+            let mut candidate = BigUint::random_bits(bits, rng);
+            // Force the top bit (exact width) and the bottom bit (odd).
+            if !candidate.bit(bits - 1) {
+                candidate = candidate.add(&top);
+            }
+            if candidate.is_even() {
+                candidate = candidate.add_u64(1);
+            }
+            debug_assert_eq!(candidate.bits(), bits);
+            if candidate.is_probable_prime(16, rng) {
+                return candidate;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    fn is_prime_u64(v: u64) -> bool {
+        BigUint::from_u64(v).is_probable_prime(8, &mut rng())
+    }
+
+    #[test]
+    fn small_numbers() {
+        let primes: Vec<u64> = (0..100).filter(|&v| is_prime_u64(v)).collect();
+        assert_eq!(
+            primes,
+            vec![
+                2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79,
+                83, 89, 97
+            ]
+        );
+    }
+
+    #[test]
+    fn known_primes_and_composites() {
+        assert!(is_prime_u64(1_000_000_007));
+        assert!(is_prime_u64(1_000_000_009));
+        assert!(!is_prime_u64(1_000_000_011));
+        // Carmichael numbers must be rejected.
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265] {
+            assert!(!is_prime_u64(c), "Carmichael {c}");
+        }
+        // Strong pseudoprime to base 2.
+        assert!(!is_prime_u64(3215031751));
+    }
+
+    #[test]
+    fn large_known_prime() {
+        // 2^127 - 1 is a Mersenne prime.
+        let m127 = BigUint::one().shl(127).sub(&BigUint::one());
+        assert!(m127.is_probable_prime(16, &mut rng()));
+        // 2^128 - 1 is composite.
+        let c = BigUint::one().shl(128).sub(&BigUint::one());
+        assert!(!c.is_probable_prime(16, &mut rng()));
+    }
+
+    #[test]
+    fn generated_primes_have_requested_size() {
+        let mut r = rng();
+        for bits in [16u64, 32, 64, 96, 128] {
+            let p = BigUint::gen_prime(bits, &mut r);
+            assert_eq!(p.bits(), bits, "bits for {p}");
+            assert!(p.is_probable_prime(8, &mut r));
+        }
+    }
+
+    #[test]
+    fn gen_prime_256_bits() {
+        let mut r = rng();
+        let p = BigUint::gen_prime(256, &mut r);
+        assert_eq!(p.bits(), 256);
+        assert!(!p.is_even());
+    }
+
+    #[test]
+    fn random_below_is_in_range() {
+        let mut r = rng();
+        let bound = BigUint::from_u64(1000);
+        for _ in 0..100 {
+            assert!(BigUint::random_below(&bound, &mut r) < bound);
+        }
+    }
+
+    #[test]
+    fn random_bits_respects_width() {
+        let mut r = rng();
+        for _ in 0..50 {
+            assert!(BigUint::random_bits(100, &mut r).bits() <= 100);
+        }
+    }
+}

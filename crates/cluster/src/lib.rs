@@ -1,0 +1,26 @@
+//! # kpn-cluster — the paper's heterogeneous computing environment
+//!
+//! The evaluation of §5.2 ran on "25 computers with 34 CPUs" in five speed
+//! classes (Table 1). We reproduce that environment *as a model*: each
+//! worker is assigned a CPU class whose relative speed throttles its
+//! synthetic tasks (see `kpn_parallel::SyntheticTask`), so one machine can
+//! emulate the full cluster — the scheduling behaviour under static vs
+//! dynamic load balancing depends only on relative speeds, task counts,
+//! and batch sizes, all of which are preserved.
+//!
+//! This crate holds the pure model: CPU classes and their Table 1 numbers,
+//! the machine inventory, the fastest-first allocation used by the paper's
+//! ideal curves, the ideal time/speed calculator behind Table 2 and
+//! Figures 19/20, and analytic makespan models (lock-step rounds for
+//! MetaStatic, greedy list scheduling for MetaDynamic) used to sanity-check
+//! the measured harness.
+
+#![warn(missing_docs)]
+
+pub mod model;
+
+pub use model::{
+    dynamic_makespan_minutes, ideal_speed, ideal_time_minutes, paper_machines,
+    static_makespan_minutes, CpuClass, Inventory, Machine, TimeScale, BASELINE_MINUTES,
+    PAPER_TASKS, PAPER_TASK_MINUTES,
+};

@@ -1,0 +1,468 @@
+//! CPU classes, inventory, ideal curves, and analytic schedule models.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Sequential execution time of the full factoring workload on the class-C
+/// baseline (Table 1, minutes).
+pub const BASELINE_MINUTES: f64 = 22.50;
+
+/// The paper's task count: "the factor P would be found after executing
+/// 2048 worker tasks".
+pub const PAPER_TASKS: u64 = 2048;
+
+/// Work per task in class-C minutes (`BASELINE_MINUTES / PAPER_TASKS`).
+pub const PAPER_TASK_MINUTES: f64 = BASELINE_MINUTES / PAPER_TASKS as f64;
+
+/// The five CPU classes of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CpuClass {
+    /// 2.4 GHz Pentium 4 — 11.63 min sequential.
+    A,
+    /// 2.2 GHz Pentium 4 — 13.13 min.
+    B,
+    /// 1.0 GHz Pentium III — 22.50 min (the normalization baseline).
+    C,
+    /// (CPU description not reported in Table 1) — 22.78 min.
+    D,
+    /// 700 MHz Pentium III Xeon (8-way SMP) — 28.14 min.
+    E,
+}
+
+impl CpuClass {
+    /// All classes, fastest first.
+    pub const ALL: [CpuClass; 5] = [
+        CpuClass::A,
+        CpuClass::B,
+        CpuClass::C,
+        CpuClass::D,
+        CpuClass::E,
+    ];
+
+    /// Sequential execution time of the workload (Table 1, minutes).
+    pub fn sequential_minutes(self) -> f64 {
+        match self {
+            CpuClass::A => 11.63,
+            CpuClass::B => 13.13,
+            CpuClass::C => 22.50,
+            CpuClass::D => 22.78,
+            CpuClass::E => 28.14,
+        }
+    }
+
+    /// Speed normalized to a 1 GHz Pentium III (Table 1's Speed column:
+    /// `22.50 / sequential_minutes`).
+    pub fn speed(self) -> f64 {
+        BASELINE_MINUTES / self.sequential_minutes()
+    }
+
+    /// The hardware description from Table 1.
+    pub fn description(self) -> &'static str {
+        match self {
+            CpuClass::A => "2.4 GHz Pentium 4",
+            CpuClass::B => "2.2 GHz Pentium 4",
+            CpuClass::C => "1.0 GHz Pentium III",
+            CpuClass::D => "(unreported)",
+            CpuClass::E => "700 MHz Pentium III Xeon",
+        }
+    }
+}
+
+/// A pool of CPUs by class.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Inventory {
+    /// `(class, cpu count)` entries, fastest class first.
+    pub entries: Vec<(CpuClass, usize)>,
+}
+
+impl Inventory {
+    /// The paper's pool: 25 computers, 34 CPUs — 1×A, 6×B, 15×C, 4×D
+    /// (two dual-CPU machines), 8×E (one 8-way machine). The counts are
+    /// fixed by Table 1's machine list and confirmed by reproducing the
+    /// ideal-speed column of Table 2 to within rounding.
+    pub fn paper() -> Self {
+        Inventory {
+            entries: vec![
+                (CpuClass::A, 1),
+                (CpuClass::B, 6),
+                (CpuClass::C, 15),
+                (CpuClass::D, 4),
+                (CpuClass::E, 8),
+            ],
+        }
+    }
+
+    /// A homogeneous pool of `n` class-C CPUs.
+    pub fn homogeneous(n: usize) -> Self {
+        Inventory {
+            entries: vec![(CpuClass::C, n)],
+        }
+    }
+
+    /// Total CPUs available.
+    pub fn total_cpus(&self) -> usize {
+        self.entries.iter().map(|(_, n)| n).sum()
+    }
+
+    /// The classes of the first `n` workers, allocated fastest-first
+    /// ("CPUs in the fastest categories are used first", §5.2).
+    pub fn allocate(&self, n: usize) -> Vec<CpuClass> {
+        assert!(
+            n <= self.total_cpus(),
+            "requested {n} workers from a {}-CPU inventory",
+            self.total_cpus()
+        );
+        let mut out = Vec::with_capacity(n);
+        for &(class, count) in &self.entries {
+            for _ in 0..count {
+                if out.len() == n {
+                    return out;
+                }
+                out.push(class);
+            }
+        }
+        out
+    }
+
+    /// Speeds of the first `n` workers, fastest-first.
+    pub fn speeds(&self, n: usize) -> Vec<f64> {
+        self.allocate(n).into_iter().map(CpuClass::speed).collect()
+    }
+}
+
+/// One physical computer in the paper's laboratory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Machine {
+    /// CPU class of every CPU in this machine.
+    pub class: CpuClass,
+    /// Number of CPUs ("some of the computers had a single CPU, some had
+    /// two, and one computer had eight").
+    pub cpus: usize,
+}
+
+/// The paper's 25 computers: 1 class-A single, 6 class-B singles, 15
+/// class-C singles, 2 class-D duals, and one 8-way class-E machine —
+/// the unique machine mix consistent with "a total of 25 computers with
+/// 34 CPUs ... 1 in class A, 6 in class B, 15 in class C, 2 in class D,
+/// and 1 in class E" plus Table 1's "8 × 700 MHz Pentium III Xeon".
+pub fn paper_machines() -> Vec<Machine> {
+    let mut machines = Vec::with_capacity(25);
+    machines.push(Machine {
+        class: CpuClass::A,
+        cpus: 1,
+    });
+    machines.extend((0..6).map(|_| Machine {
+        class: CpuClass::B,
+        cpus: 1,
+    }));
+    machines.extend((0..15).map(|_| Machine {
+        class: CpuClass::C,
+        cpus: 1,
+    }));
+    machines.extend((0..2).map(|_| Machine {
+        class: CpuClass::D,
+        cpus: 2,
+    }));
+    machines.push(Machine {
+        class: CpuClass::E,
+        cpus: 8,
+    });
+    machines
+}
+
+impl Inventory {
+    /// Builds the CPU pool from a machine list (fastest class first, the
+    /// paper's allocation order).
+    pub fn from_machines(machines: &[Machine]) -> Self {
+        let mut counts: std::collections::BTreeMap<String, (CpuClass, usize)> =
+            std::collections::BTreeMap::new();
+        for m in machines {
+            counts
+                .entry(format!("{:?}", m.class))
+                .or_insert((m.class, 0))
+                .1 += m.cpus;
+        }
+        let mut entries: Vec<(CpuClass, usize)> = counts.into_values().collect();
+        entries.sort_by(|a, b| {
+            b.0.speed()
+                .partial_cmp(&a.0.speed())
+                .expect("speeds are finite")
+        });
+        Inventory { entries }
+    }
+}
+
+/// Ideal aggregate speed with `n` workers (Table 2's Ideal Speed: the sum
+/// of the allocated CPUs' speeds).
+pub fn ideal_speed(inventory: &Inventory, n: usize) -> f64 {
+    inventory.speeds(n).iter().sum()
+}
+
+/// Ideal elapsed time with `n` workers (Table 2's Ideal Time:
+/// `BASELINE_MINUTES / ideal_speed`).
+pub fn ideal_time_minutes(inventory: &Inventory, n: usize) -> f64 {
+    BASELINE_MINUTES / ideal_speed(inventory, n)
+}
+
+/// Analytic makespan of the MetaStatic schema (Figure 16): tasks are dealt
+/// round-robin, so worker `w` of `n` gets `⌈(tasks - w) / n⌉` tasks and the
+/// run ends when the slowest-loaded worker finishes.
+pub fn static_makespan_minutes(
+    inventory: &Inventory,
+    n: usize,
+    tasks: u64,
+    task_minutes: f64,
+) -> f64 {
+    let speeds = inventory.speeds(n);
+    let mut worst: f64 = 0.0;
+    for (w, s) in speeds.iter().enumerate() {
+        let assigned = (tasks + n as u64 - 1 - w as u64) / n as u64;
+        worst = worst.max(assigned as f64 * task_minutes / s);
+    }
+    worst
+}
+
+/// Analytic makespan of the MetaDynamic schema (Figure 17): greedy
+/// on-demand dispatch — each task goes to the worker that becomes free
+/// first, which is exactly what the Direct/indexed-merge loop implements.
+pub fn dynamic_makespan_minutes(
+    inventory: &Inventory,
+    n: usize,
+    tasks: u64,
+    task_minutes: f64,
+) -> f64 {
+    let speeds = inventory.speeds(n);
+    let mut free_at = vec![0.0f64; n];
+    for _ in 0..tasks {
+        // Next free worker (ties: lowest index, matching the initial
+        // injection order).
+        let (w, _) = free_at
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        free_at[w] += task_minutes / speeds[w];
+    }
+    free_at.iter().cloned().fold(0.0, f64::max)
+}
+
+/// Conversion between the paper's minutes and harness wall-clock time.
+/// The default maps one paper-minute to one second, giving ~11 ms
+/// per class-C task — coarse enough for the sleep timer, fine enough that
+/// a full Table 2 sweep runs in about a minute.
+#[derive(Debug, Clone, Copy)]
+pub struct TimeScale {
+    /// Harness milliseconds per paper minute.
+    pub millis_per_minute: f64,
+}
+
+impl Default for TimeScale {
+    fn default() -> Self {
+        TimeScale {
+            millis_per_minute: 1000.0,
+        }
+    }
+}
+
+impl TimeScale {
+    /// Converts paper minutes to a harness duration.
+    pub fn to_duration(&self, minutes: f64) -> Duration {
+        Duration::from_secs_f64(minutes * self.millis_per_minute / 1000.0)
+    }
+
+    /// Converts a measured harness duration back to paper minutes.
+    pub fn to_minutes(&self, d: Duration) -> f64 {
+        d.as_secs_f64() * 1000.0 / self.millis_per_minute
+    }
+
+    /// Task cost in harness milliseconds-at-speed-1 for a task worth
+    /// `task_minutes` of class-C time.
+    pub fn task_cost_units(&self, task_minutes: f64) -> f64 {
+        task_minutes * self.millis_per_minute
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> Inventory {
+        Inventory::paper()
+    }
+
+    #[test]
+    fn speeds_match_table1() {
+        assert!((CpuClass::A.speed() - 1.93).abs() < 0.01);
+        assert!((CpuClass::B.speed() - 1.71).abs() < 0.01);
+        assert!((CpuClass::C.speed() - 1.00).abs() < 1e-9);
+        assert!((CpuClass::E.speed() - 0.80).abs() < 0.01);
+    }
+
+    #[test]
+    fn inventory_totals() {
+        assert_eq!(paper().total_cpus(), 34);
+    }
+
+    #[test]
+    fn allocation_is_fastest_first() {
+        let alloc = paper().allocate(9);
+        assert_eq!(alloc[0], CpuClass::A);
+        assert_eq!(&alloc[1..7], &[CpuClass::B; 6]);
+        assert_eq!(&alloc[7..9], &[CpuClass::C; 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requested")]
+    fn over_allocation_panics() {
+        paper().allocate(35);
+    }
+
+    #[test]
+    fn ideal_times_match_table2() {
+        // Table 2's Ideal column: workers → (time, speed).
+        let expect = [
+            (1, 11.63, 1.93),
+            (2, 6.17, 3.65),
+            (4, 3.18, 7.08),
+            (8, 1.70, 13.22),
+            (16, 1.06, 21.22),
+            (32, 0.63, 35.97),
+        ];
+        let inv = paper();
+        for (n, time, speed) in expect {
+            let s = ideal_speed(&inv, n);
+            let t = ideal_time_minutes(&inv, n);
+            assert!(
+                (s - speed).abs() < 0.03,
+                "ideal speed at {n}: got {s:.2}, paper {speed}"
+            );
+            assert!(
+                (t - time).abs() < 0.03,
+                "ideal time at {n}: got {t:.2}, paper {time}"
+            );
+        }
+    }
+
+    #[test]
+    fn ideal_speed_inflects_at_8_and_27() {
+        // Figure 20's two inflection points: the first class-C CPU (worker
+        // 8) and the first class-E CPU (worker 27).
+        let inv = paper();
+        let inc = |n: usize| ideal_speed(&inv, n) - ideal_speed(&inv, n - 1);
+        assert!(inc(8) < inc(7) - 0.5, "class B→C drop at worker 8");
+        let d27 = inc(27);
+        let d26 = inc(26);
+        assert!(d27 < d26 - 0.15, "class D→E drop at worker 27");
+    }
+
+    #[test]
+    fn static_makespan_increases_when_first_c_added() {
+        // §5.2: "when the first CPU from class C is added to the
+        // computation, the elapsed time actually increases".
+        let inv = paper();
+        let t7 = static_makespan_minutes(&inv, 7, PAPER_TASKS, PAPER_TASK_MINUTES);
+        let t8 = static_makespan_minutes(&inv, 8, PAPER_TASKS, PAPER_TASK_MINUTES);
+        assert!(
+            t8 > t7,
+            "static time must rise from 7 to 8 workers: {t7:.2} → {t8:.2}"
+        );
+    }
+
+    #[test]
+    fn static_matches_paper_shape() {
+        // Paper Table 2, Static column (includes ~0.3-0.6 min overhead we
+        // do not model analytically): the model must land below but near.
+        let inv = paper();
+        let expect = [
+            (1, 12.15),
+            (2, 6.93),
+            (4, 3.55),
+            (8, 3.03),
+            (16, 1.63),
+            (32, 1.00),
+        ];
+        for (n, paper_time) in expect {
+            let t = static_makespan_minutes(&inv, n, PAPER_TASKS, PAPER_TASK_MINUTES);
+            assert!(
+                t <= paper_time + 0.01,
+                "analytic static at {n} ({t:.2}) above paper ({paper_time})"
+            );
+            assert!(
+                t > paper_time * 0.75,
+                "analytic static at {n} ({t:.2}) far below paper ({paper_time})"
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_beats_static_in_heterogeneous_pool() {
+        let inv = paper();
+        for n in [8usize, 16, 32] {
+            let st = static_makespan_minutes(&inv, n, PAPER_TASKS, PAPER_TASK_MINUTES);
+            let dy = dynamic_makespan_minutes(&inv, n, PAPER_TASKS, PAPER_TASK_MINUTES);
+            assert!(
+                dy < st,
+                "dynamic ({dy:.2}) should beat static ({st:.2}) at {n} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_approaches_ideal() {
+        // Dynamic load balancing reaches within one task granule of ideal.
+        let inv = paper();
+        for n in [1usize, 2, 4, 8, 16, 32] {
+            let dy = dynamic_makespan_minutes(&inv, n, PAPER_TASKS, PAPER_TASK_MINUTES);
+            let ideal = ideal_time_minutes(&inv, n);
+            assert!(dy >= ideal - 1e-9);
+            assert!(
+                dy < ideal + 2.0 * PAPER_TASK_MINUTES / 0.79,
+                "dynamic at {n}: {dy:.3} vs ideal {ideal:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn schemas_identical_in_homogeneous_pool() {
+        let inv = Inventory::homogeneous(16);
+        let st = static_makespan_minutes(&inv, 8, 256, 0.01);
+        let dy = dynamic_makespan_minutes(&inv, 8, 256, 0.01);
+        assert!((st - dy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_scale_roundtrip() {
+        let scale = TimeScale {
+            millis_per_minute: 250.0,
+        };
+        let d = scale.to_duration(2.0);
+        assert_eq!(d, Duration::from_millis(500));
+        assert!((scale.to_minutes(d) - 2.0).abs() < 1e-9);
+        assert!((scale.task_cost_units(0.01) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_machines_match_the_text() {
+        let machines = paper_machines();
+        assert_eq!(machines.len(), 25, "25 computers");
+        let cpus: usize = machines.iter().map(|m| m.cpus).sum();
+        assert_eq!(cpus, 34, "34 CPUs");
+        // Machine counts per class as listed in §5.2.
+        let count = |c: CpuClass| machines.iter().filter(|m| m.class == c).count();
+        assert_eq!(count(CpuClass::A), 1);
+        assert_eq!(count(CpuClass::B), 6);
+        assert_eq!(count(CpuClass::C), 15);
+        assert_eq!(count(CpuClass::D), 2);
+        assert_eq!(count(CpuClass::E), 1);
+    }
+
+    #[test]
+    fn inventory_from_machines_matches_paper_inventory() {
+        let from_machines = Inventory::from_machines(&paper_machines());
+        let paper = Inventory::paper();
+        assert_eq!(from_machines.total_cpus(), paper.total_cpus());
+        for n in [1usize, 8, 27, 34] {
+            assert_eq!(from_machines.allocate(n), paper.allocate(n), "n={n}");
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! The deserializer half of the binary format.
+//!
+//! The format is not self-describing: decoding is driven entirely by the
+//! target type, like `bincode` (and unlike JSON). `deserialize_any` is
+//! therefore unsupported.
+
+use crate::error::{CodecError, Result};
+use serde::de::{self, DeserializeOwned, IntoDeserializer, Visitor};
+use std::io::Read;
+
+/// Decodes a value from a byte slice, requiring all input to be consumed.
+pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T> {
+    let mut cursor = std::io::Cursor::new(bytes);
+    let value = from_reader(&mut cursor)?;
+    if (cursor.position() as usize) < bytes.len() {
+        return Err(CodecError::Malformed(format!(
+            "{} trailing bytes",
+            bytes.len() - cursor.position() as usize
+        )));
+    }
+    Ok(value)
+}
+
+/// Decodes a value from any `io::Read` (including a channel endpoint);
+/// consumes exactly the bytes of one value.
+pub fn from_reader<R: Read, T: DeserializeOwned>(reader: R) -> Result<T> {
+    let mut de = Deserializer::new(reader);
+    T::deserialize(&mut de)
+}
+
+/// Streaming deserializer over an `io::Read`.
+pub struct Deserializer<R: Read> {
+    reader: R,
+}
+
+impl<R: Read> Deserializer<R> {
+    /// Wraps a reader.
+    pub fn new(reader: R) -> Self {
+        Deserializer { reader }
+    }
+
+    /// Recovers the underlying reader.
+    pub fn into_inner(self) -> R {
+        self.reader
+    }
+
+    fn take<const N: usize>(&mut self) -> Result<[u8; N]> {
+        let mut buf = [0u8; N];
+        self.reader.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn take_len(&mut self) -> Result<usize> {
+        let len = u64::from_le_bytes(self.take()?);
+        usize::try_from(len).map_err(|_| CodecError::Malformed("length overflow".into()))
+    }
+
+    fn take_vec(&mut self) -> Result<Vec<u8>> {
+        let len = self.take_len()?;
+        // Guard against absurd lengths from corrupt input: read in chunks
+        // so a bogus 2^60 length fails on EOF instead of aborting on OOM.
+        let mut out = Vec::new();
+        let mut remaining = len;
+        let mut chunk = [0u8; 4096];
+        while remaining > 0 {
+            let n = remaining.min(chunk.len());
+            self.reader.read_exact(&mut chunk[..n])?;
+            out.extend_from_slice(&chunk[..n]);
+            remaining -= n;
+        }
+        Ok(out)
+    }
+
+    fn take_string(&mut self) -> Result<String> {
+        String::from_utf8(self.take_vec()?)
+            .map_err(|e| CodecError::Malformed(format!("invalid utf-8: {e}")))
+    }
+}
+
+macro_rules! de_fixed {
+    ($fn_name:ident, $visit:ident, $ty:ty) => {
+        fn $fn_name<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+            visitor.$visit(<$ty>::from_le_bytes(self.take()?))
+        }
+    };
+}
+
+impl<'de, R: Read> de::Deserializer<'de> for &mut Deserializer<R> {
+    type Error = CodecError;
+
+    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
+        Err(CodecError::Unsupported(
+            "format is not self-describing; deserialize_any unavailable".into(),
+        ))
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        match self.take::<1>()?[0] {
+            0 => visitor.visit_bool(false),
+            1 => visitor.visit_bool(true),
+            other => Err(CodecError::Malformed(format!("bad bool byte {other}"))),
+        }
+    }
+
+    de_fixed!(deserialize_i8, visit_i8, i8);
+    de_fixed!(deserialize_i16, visit_i16, i16);
+    de_fixed!(deserialize_i32, visit_i32, i32);
+    de_fixed!(deserialize_i64, visit_i64, i64);
+    de_fixed!(deserialize_i128, visit_i128, i128);
+    de_fixed!(deserialize_u8, visit_u8, u8);
+    de_fixed!(deserialize_u16, visit_u16, u16);
+    de_fixed!(deserialize_u32, visit_u32, u32);
+    de_fixed!(deserialize_u64, visit_u64, u64);
+    de_fixed!(deserialize_u128, visit_u128, u128);
+    de_fixed!(deserialize_f32, visit_f32, f32);
+    de_fixed!(deserialize_f64, visit_f64, f64);
+
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let raw = u32::from_le_bytes(self.take()?);
+        let c = char::from_u32(raw)
+            .ok_or_else(|| CodecError::Malformed(format!("bad char scalar {raw:#x}")))?;
+        visitor.visit_char(c)
+    }
+
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        visitor.visit_string(self.take_string()?)
+    }
+
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        visitor.visit_string(self.take_string()?)
+    }
+
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        visitor.visit_byte_buf(self.take_vec()?)
+    }
+
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        visitor.visit_byte_buf(self.take_vec()?)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        match self.take::<1>()?[0] {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            other => Err(CodecError::Malformed(format!("bad option tag {other}"))),
+        }
+    }
+
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let len = self.take_len()?;
+        visitor.visit_seq(Counted {
+            de: self,
+            remaining: len,
+        })
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value> {
+        visitor.visit_seq(Counted {
+            de: self,
+            remaining: len,
+        })
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_seq(Counted {
+            de: self,
+            remaining: len,
+        })
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let len = self.take_len()?;
+        visitor.visit_map(Counted {
+            de: self,
+            remaining: len,
+        })
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_seq(Counted {
+            de: self,
+            remaining: fields.len(),
+        })
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_enum(Enum { de: self })
+    }
+
+    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
+        Err(CodecError::Unsupported(
+            "identifiers are positional in this format".into(),
+        ))
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
+        Err(CodecError::Unsupported(
+            "cannot skip values in a non-self-describing format".into(),
+        ))
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+struct Counted<'a, R: Read> {
+    de: &'a mut Deserializer<R>,
+    remaining: usize,
+}
+
+impl<'de, R: Read> de::SeqAccess<'de> for Counted<'_, R> {
+    type Error = CodecError;
+
+    fn next_element_seed<T: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+impl<'de, R: Read> de::MapAccess<'de> for Counted<'_, R> {
+    type Error = CodecError;
+
+    fn next_key_seed<K: de::DeserializeSeed<'de>>(&mut self, seed: K) -> Result<Option<K::Value>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn next_value_seed<V: de::DeserializeSeed<'de>>(&mut self, seed: V) -> Result<V::Value> {
+        seed.deserialize(&mut *self.de)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+struct Enum<'a, R: Read> {
+    de: &'a mut Deserializer<R>,
+}
+
+impl<'de, R: Read> de::EnumAccess<'de> for Enum<'_, R> {
+    type Error = CodecError;
+    type Variant = Self;
+
+    fn variant_seed<V: de::DeserializeSeed<'de>>(self, seed: V) -> Result<(V::Value, Self)> {
+        let index = u32::from_le_bytes(self.de.take()?);
+        let index_de: de::value::U32Deserializer<CodecError> = index.into_deserializer();
+        let value = seed.deserialize(index_de)?;
+        Ok((value, self))
+    }
+}
+
+impl<'de, R: Read> de::VariantAccess<'de> for Enum<'_, R> {
+    type Error = CodecError;
+
+    fn unit_variant(self) -> Result<()> {
+        Ok(())
+    }
+
+    fn newtype_variant_seed<T: de::DeserializeSeed<'de>>(self, seed: T) -> Result<T::Value> {
+        seed.deserialize(self.de)
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value> {
+        visitor.visit_seq(Counted {
+            de: self.de,
+            remaining: len,
+        })
+    }
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_seq(Counted {
+            de: self.de,
+            remaining: fields.len(),
+        })
+    }
+}

@@ -1,0 +1,61 @@
+//! Codec error type bridging serde's error traits and the workspace
+//! [`kpn_core::Error`].
+
+use std::fmt;
+
+/// Errors raised while encoding or decoding.
+#[derive(Debug)]
+pub enum CodecError {
+    /// Underlying transport failed (includes EOF mid-value).
+    Io(std::io::Error),
+    /// The bytes do not decode to the requested type.
+    Malformed(String),
+    /// A `Serialize` impl produced something this format cannot express
+    /// (e.g. a sequence of unknown length).
+    Unsupported(String),
+    /// Custom message from serde.
+    Message(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "io: {e}"),
+            CodecError::Malformed(m) => write!(f, "malformed input: {m}"),
+            CodecError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            CodecError::Message(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl serde::ser::Error for CodecError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        CodecError::Message(msg.to_string())
+    }
+}
+
+impl serde::de::Error for CodecError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        CodecError::Message(msg.to_string())
+    }
+}
+
+impl From<std::io::Error> for CodecError {
+    fn from(e: std::io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+impl From<CodecError> for kpn_core::Error {
+    fn from(e: CodecError) -> Self {
+        match e {
+            CodecError::Io(io) => io.into(),
+            other => kpn_core::Error::Codec(other.to_string()),
+        }
+    }
+}
+
+/// Result alias for codec operations.
+pub type Result<T> = std::result::Result<T, CodecError>;

@@ -1,0 +1,302 @@
+//! # kpn-codec — binary object streams for process networks
+//!
+//! The paper layers `java.io.ObjectOutputStream`/`ObjectInputStream` over
+//! channel byte streams to send structured values between processes
+//! (§3.1), and relies on Java Object Serialization to ship process
+//! subgraphs between compute servers (§4.2). Rust has no ambient object
+//! serialization, so this crate provides the substitute: a compact,
+//! non-self-describing binary format implemented directly on the serde
+//! data model (in the spirit of `bincode`, written from scratch here).
+//!
+//! * [`to_bytes`] / [`from_bytes`] — one-shot encoding of any
+//!   `Serialize`/`Deserialize` value;
+//! * [`Serializer`] / [`Deserializer`] — streaming over any
+//!   `io::Write`/`io::Read`, usable directly on channel endpoints;
+//! * [`ObjectWriter`] / [`ObjectReader`] — the `ObjectOutputStream`
+//!   analogue: length-delimited records over a KPN channel, so a reader
+//!   always consumes exactly one object per call and untyped stages can
+//!   forward whole records.
+//!
+//! ## Wire format
+//!
+//! Fixed-width little-endian integers and floats; `bool` as one byte;
+//! strings and byte arrays as a `u64` length followed by raw bytes;
+//! `Option` as a one-byte tag; sequences and maps as a `u64` length
+//! followed by elements; enum variants as a `u32` index followed by the
+//! variant payload. Struct and tuple fields are emitted in order with no
+//! framing — both sides must agree on the type, as with Java classes
+//! sharing a `serialVersionUID`.
+
+#![warn(missing_docs)]
+
+mod de;
+mod error;
+mod object;
+mod ser;
+mod typed;
+
+pub use de::{from_bytes, from_reader, Deserializer};
+pub use error::{CodecError, Result};
+pub use object::{ObjectReader, ObjectWriter};
+pub use ser::{to_bytes, to_writer, Serializer};
+pub use typed::{typed_channel, TypedReader, TypedWriter};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    fn roundtrip<T>(value: &T) -> T
+    where
+        T: Serialize + for<'de> Deserialize<'de> + PartialEq + std::fmt::Debug,
+    {
+        let bytes = to_bytes(value).expect("serialize");
+        let back: T = from_bytes(&bytes).expect("deserialize");
+        assert_eq!(&back, value);
+        back
+    }
+
+    #[test]
+    fn primitives() {
+        roundtrip(&true);
+        roundtrip(&false);
+        roundtrip(&0u8);
+        roundtrip(&255u8);
+        roundtrip(&-1i8);
+        roundtrip(&i16::MIN);
+        roundtrip(&u16::MAX);
+        roundtrip(&i32::MIN);
+        roundtrip(&u32::MAX);
+        roundtrip(&i64::MIN);
+        roundtrip(&u64::MAX);
+        roundtrip(&i128::MIN);
+        roundtrip(&u128::MAX);
+        roundtrip(&0.5f32);
+        roundtrip(&core::f64::consts::E);
+        roundtrip(&'λ');
+    }
+
+    #[test]
+    fn strings_and_bytes() {
+        roundtrip(&String::from(""));
+        roundtrip(&String::from("hello world"));
+        roundtrip(&String::from("ユニコード 🚀"));
+        roundtrip(&vec![0u8, 1, 2, 255]);
+    }
+
+    #[test]
+    fn options_and_units() {
+        roundtrip(&Option::<u32>::None);
+        roundtrip(&Some(42u32));
+        roundtrip(&Some(Some(1u8)));
+        roundtrip(&());
+        #[derive(Serialize, Deserialize, PartialEq, Debug)]
+        struct Unit;
+        roundtrip(&Unit);
+    }
+
+    #[test]
+    fn sequences_and_maps() {
+        roundtrip(&Vec::<i64>::new());
+        roundtrip(&vec![1i64, -2, 3]);
+        roundtrip(&vec![vec![1u8], vec![], vec![2, 3]]);
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u32);
+        m.insert("b".to_string(), 2u32);
+        roundtrip(&m);
+        roundtrip(&(1u8, "two".to_string(), 3.0f64));
+        roundtrip(&[7i32; 4]);
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Task {
+        id: u64,
+        payload: Vec<u8>,
+        label: String,
+        retries: Option<u8>,
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    enum Message {
+        Ping,
+        Data(Vec<u8>),
+        Pair(u32, u32),
+        Task { inner: Task, priority: i8 },
+    }
+
+    #[test]
+    fn structs_and_enums() {
+        roundtrip(&Task {
+            id: 9,
+            payload: vec![1, 2, 3],
+            label: "factor".into(),
+            retries: Some(2),
+        });
+        roundtrip(&Message::Ping);
+        roundtrip(&Message::Data(vec![9, 9]));
+        roundtrip(&Message::Pair(1, 2));
+        roundtrip(&Message::Task {
+            inner: Task {
+                id: 0,
+                payload: vec![],
+                label: String::new(),
+                retries: None,
+            },
+            priority: -1,
+        });
+    }
+
+    #[test]
+    fn newtype_and_tuple_structs() {
+        #[derive(Serialize, Deserialize, PartialEq, Debug)]
+        struct Wrapper(u64);
+        #[derive(Serialize, Deserialize, PartialEq, Debug)]
+        struct Pair(i32, i32);
+        roundtrip(&Wrapper(77));
+        roundtrip(&Pair(-1, 1));
+    }
+
+    #[test]
+    fn truncated_input_fails_cleanly() {
+        let bytes = to_bytes(&12345u64).unwrap();
+        let short = &bytes[..4];
+        let r: Result<u64> = from_bytes(short);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = to_bytes(&1u8).unwrap();
+        bytes.push(0);
+        let r: Result<u8> = from_bytes(&bytes);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn bad_bool_fails() {
+        let r: Result<bool> = from_bytes(&[7]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn bad_option_tag_fails() {
+        let r: Result<Option<u8>> = from_bytes(&[2, 0]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn bad_variant_index_fails() {
+        let bytes = 99u32.to_le_bytes();
+        let r: Result<Message> = from_bytes(&bytes);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn bad_utf8_fails() {
+        let mut bytes = to_bytes(&String::from("ok")).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] = 0xFF;
+        bytes[n - 2] = 0xFE;
+        let r: Result<String> = from_bytes(&bytes);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn char_out_of_range_fails() {
+        let bytes = 0xD800u32.to_le_bytes(); // surrogate, not a scalar value
+        let r: Result<char> = from_bytes(&bytes);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn huge_length_prefix_fails_on_eof_not_oom() {
+        let bytes = (1u64 << 60).to_le_bytes();
+        let r: Result<Vec<u8>> = from_bytes(&bytes);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn concatenated_values_stream() {
+        // Values written back-to-back decode in order from one reader —
+        // the property object streams over channels rely on.
+        let mut buf = Vec::new();
+        to_writer(&mut buf, &1u32).unwrap();
+        to_writer(&mut buf, &"mid".to_string()).unwrap();
+        to_writer(&mut buf, &2.5f64).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let a: u32 = from_reader(&mut cursor).unwrap();
+        let s: String = from_reader(&mut cursor).unwrap();
+        let f: f64 = from_reader(&mut cursor).unwrap();
+        assert_eq!((a, s.as_str(), f), (1, "mid", 2.5));
+    }
+
+    #[test]
+    fn wire_format_is_little_endian_fixed_width() {
+        assert_eq!(to_bytes(&1u32).unwrap(), vec![1, 0, 0, 0]);
+        assert_eq!(to_bytes(&true).unwrap(), vec![1]);
+        assert_eq!(
+            to_bytes(&"ab".to_string()).unwrap(),
+            vec![2, 0, 0, 0, 0, 0, 0, 0, b'a', b'b']
+        );
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        #[derive(Serialize, Deserialize, PartialEq, Debug, Clone)]
+        enum Tree {
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+
+        fn tree_strategy() -> impl Strategy<Value = Tree> {
+            let leaf = any::<i64>().prop_map(Tree::Leaf);
+            leaf.prop_recursive(6, 64, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(l, r)| Tree::Node(Box::new(l), Box::new(r)))
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn roundtrip_i64(v in any::<i64>()) {
+                roundtrip(&v);
+            }
+
+            #[test]
+            fn roundtrip_f64(v in any::<f64>().prop_filter("nan", |f| !f.is_nan())) {
+                roundtrip(&v);
+            }
+
+            #[test]
+            fn roundtrip_string(s in ".*") {
+                roundtrip(&s);
+            }
+
+            #[test]
+            fn roundtrip_vec_bytes(v in proptest::collection::vec(any::<u8>(), 0..512)) {
+                roundtrip(&v);
+            }
+
+            #[test]
+            fn roundtrip_nested(v in proptest::collection::vec(
+                (any::<u32>(), proptest::option::of(".{0,16}")), 0..32)) {
+                roundtrip(&v);
+            }
+
+            #[test]
+            fn roundtrip_tree(t in tree_strategy()) {
+                roundtrip(&t);
+            }
+
+            #[test]
+            fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+                // Decoding garbage may fail, but must not panic or OOM.
+                let _: Result<Message> = from_bytes(&bytes);
+                let _: Result<Vec<String>> = from_bytes(&bytes);
+                let _: Result<(bool, char, u64)> = from_bytes(&bytes);
+            }
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! The serializer half of the binary format.
+
+use crate::error::{CodecError, Result};
+use serde::ser::{self, Serialize};
+use std::io::Write;
+
+/// Encodes a value into a fresh byte vector.
+pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    to_writer(&mut out, value)?;
+    Ok(out)
+}
+
+/// Encodes a value onto any `io::Write` (including a channel endpoint).
+pub fn to_writer<W: Write, T: Serialize + ?Sized>(writer: W, value: &T) -> Result<()> {
+    let mut ser = Serializer::new(writer);
+    value.serialize(&mut ser)
+}
+
+/// Streaming serializer over an `io::Write`.
+pub struct Serializer<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> Serializer<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        Serializer { writer }
+    }
+
+    /// Recovers the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+
+    fn put(&mut self, bytes: &[u8]) -> Result<()> {
+        self.writer.write_all(bytes)?;
+        Ok(())
+    }
+
+    fn put_len(&mut self, len: usize) -> Result<()> {
+        self.put(&(len as u64).to_le_bytes())
+    }
+}
+
+impl<'a, W: Write> ser::Serializer for &'a mut Serializer<W> {
+    type Ok = ();
+    type Error = CodecError;
+    type SerializeSeq = Compound<'a, W>;
+    type SerializeTuple = Compound<'a, W>;
+    type SerializeTupleStruct = Compound<'a, W>;
+    type SerializeTupleVariant = Compound<'a, W>;
+    type SerializeMap = Compound<'a, W>;
+    type SerializeStruct = Compound<'a, W>;
+    type SerializeStructVariant = Compound<'a, W>;
+
+    fn serialize_bool(self, v: bool) -> Result<()> {
+        self.put(&[v as u8])
+    }
+    fn serialize_i8(self, v: i8) -> Result<()> {
+        self.put(&v.to_le_bytes())
+    }
+    fn serialize_i16(self, v: i16) -> Result<()> {
+        self.put(&v.to_le_bytes())
+    }
+    fn serialize_i32(self, v: i32) -> Result<()> {
+        self.put(&v.to_le_bytes())
+    }
+    fn serialize_i64(self, v: i64) -> Result<()> {
+        self.put(&v.to_le_bytes())
+    }
+    fn serialize_i128(self, v: i128) -> Result<()> {
+        self.put(&v.to_le_bytes())
+    }
+    fn serialize_u8(self, v: u8) -> Result<()> {
+        self.put(&v.to_le_bytes())
+    }
+    fn serialize_u16(self, v: u16) -> Result<()> {
+        self.put(&v.to_le_bytes())
+    }
+    fn serialize_u32(self, v: u32) -> Result<()> {
+        self.put(&v.to_le_bytes())
+    }
+    fn serialize_u64(self, v: u64) -> Result<()> {
+        self.put(&v.to_le_bytes())
+    }
+    fn serialize_u128(self, v: u128) -> Result<()> {
+        self.put(&v.to_le_bytes())
+    }
+    fn serialize_f32(self, v: f32) -> Result<()> {
+        self.put(&v.to_le_bytes())
+    }
+    fn serialize_f64(self, v: f64) -> Result<()> {
+        self.put(&v.to_le_bytes())
+    }
+    fn serialize_char(self, v: char) -> Result<()> {
+        self.put(&(v as u32).to_le_bytes())
+    }
+    fn serialize_str(self, v: &str) -> Result<()> {
+        self.put_len(v.len())?;
+        self.put(v.as_bytes())
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<()> {
+        self.put_len(v.len())?;
+        self.put(v)
+    }
+    fn serialize_none(self) -> Result<()> {
+        self.put(&[0])
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<()> {
+        self.put(&[1])?;
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<()> {
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<()> {
+        Ok(())
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<()> {
+        self.put(&variant_index.to_le_bytes())
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        self.put(&variant_index.to_le_bytes())?;
+        value.serialize(self)
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq> {
+        let len = len
+            .ok_or_else(|| CodecError::Unsupported("sequences must have a known length".into()))?;
+        self.put_len(len)?;
+        Ok(Compound { ser: self })
+    }
+    fn serialize_tuple(self, _len: usize) -> Result<Self::SerializeTuple> {
+        Ok(Compound { ser: self })
+    }
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleStruct> {
+        Ok(Compound { ser: self })
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleVariant> {
+        self.put(&variant_index.to_le_bytes())?;
+        Ok(Compound { ser: self })
+    }
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap> {
+        let len =
+            len.ok_or_else(|| CodecError::Unsupported("maps must have a known length".into()))?;
+        self.put_len(len)?;
+        Ok(Compound { ser: self })
+    }
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self::SerializeStruct> {
+        Ok(Compound { ser: self })
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStructVariant> {
+        self.put(&variant_index.to_le_bytes())?;
+        Ok(Compound { ser: self })
+    }
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+/// Compound-value serializer shared by all composite shapes.
+pub struct Compound<'a, W: Write> {
+    ser: &'a mut Serializer<W>,
+}
+
+impl<W: Write> ser::SerializeSeq for Compound<'_, W> {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl<W: Write> ser::SerializeTuple for Compound<'_, W> {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl<W: Write> ser::SerializeTupleStruct for Compound<'_, W> {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl<W: Write> ser::SerializeTupleVariant for Compound<'_, W> {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl<W: Write> ser::SerializeMap for Compound<'_, W> {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<()> {
+        key.serialize(&mut *self.ser)
+    }
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl<W: Write> ser::SerializeStruct for Compound<'_, W> {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl<W: Write> ser::SerializeStructVariant for Compound<'_, W> {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}

@@ -1,0 +1,147 @@
+//! Typed channel endpoints: a compile-time-typed veneer over the byte
+//! channels.
+//!
+//! The paper deliberately keeps channels byte-oriented so that routing
+//! processes stay type-independent (§3.1); this module is the ergonomic
+//! shortcut for application endpoints that always carry one Rust type —
+//! a [`TypedWriter<T>`]/[`TypedReader<T>`] pair is an
+//! `ObjectOutputStream`/`ObjectInputStream` whose element type is fixed,
+//! so mismatched reads become compile errors instead of decode errors.
+
+use crate::object::{ObjectReader, ObjectWriter};
+use kpn_core::{ChannelReader, ChannelWriter, Result};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::marker::PhantomData;
+
+/// The write end of a channel carrying values of type `T`.
+pub struct TypedWriter<T: Serialize> {
+    inner: ObjectWriter,
+    _t: PhantomData<fn(&T)>,
+}
+
+impl<T: Serialize> TypedWriter<T> {
+    /// Types a byte-channel writer.
+    pub fn new(inner: ChannelWriter) -> Self {
+        TypedWriter {
+            inner: ObjectWriter::new(inner),
+            _t: PhantomData,
+        }
+    }
+
+    /// Sends one value (blocking while the channel is full).
+    pub fn send(&mut self, value: &T) -> Result<()> {
+        self.inner.write(value)
+    }
+
+    /// Gracefully closes the stream (also happens on drop).
+    pub fn close(&mut self) {
+        self.inner.close();
+    }
+
+    /// Recovers the untyped byte endpoint.
+    pub fn into_inner(self) -> ChannelWriter {
+        self.inner.into_inner()
+    }
+}
+
+/// The read end of a channel carrying values of type `T`.
+pub struct TypedReader<T: DeserializeOwned> {
+    inner: ObjectReader,
+    _t: PhantomData<fn() -> T>,
+}
+
+impl<T: DeserializeOwned> TypedReader<T> {
+    /// Types a byte-channel reader.
+    pub fn new(inner: ChannelReader) -> Self {
+        TypedReader {
+            inner: ObjectReader::new(inner),
+            _t: PhantomData,
+        }
+    }
+
+    /// Receives one value; [`kpn_core::Error::Eof`] at end of stream.
+    pub fn recv(&mut self) -> Result<T> {
+        self.inner.read()
+    }
+
+    /// Iterates until the end of the stream (non-EOF errors end the
+    /// iteration silently; use [`TypedReader::recv`] to observe them).
+    pub fn iter(&mut self) -> impl Iterator<Item = T> + '_ {
+        std::iter::from_fn(move || self.recv().ok())
+    }
+
+    /// Closes the stream (writers fail on next write).
+    pub fn close(&mut self) {
+        self.inner.close();
+    }
+
+    /// Recovers the untyped byte endpoint.
+    pub fn into_inner(self) -> ChannelReader {
+        self.inner.into_inner()
+    }
+}
+
+/// A typed in-memory channel with the default capacity.
+pub fn typed_channel<T: Serialize + DeserializeOwned>() -> (TypedWriter<T>, TypedReader<T>) {
+    let (w, r) = kpn_core::channel();
+    (TypedWriter::new(w), TypedReader::new(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug, Clone)]
+    struct Sample {
+        id: u32,
+        values: Vec<f64>,
+    }
+
+    #[test]
+    fn typed_roundtrip() {
+        let (mut w, mut r) = typed_channel::<Sample>();
+        let s = Sample {
+            id: 1,
+            values: vec![0.5, -0.5],
+        };
+        w.send(&s).unwrap();
+        w.close();
+        assert_eq!(r.recv().unwrap(), s);
+        assert!(r.recv().is_err());
+    }
+
+    #[test]
+    fn iterator_drains_stream() {
+        let (mut w, mut r) = typed_channel::<u64>();
+        for i in 0..10u64 {
+            w.send(&i).unwrap();
+        }
+        drop(w);
+        let got: Vec<u64> = r.iter().collect();
+        assert_eq!(got, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn typed_over_network_channel() {
+        use kpn_core::Network;
+        let net = Network::new();
+        let (w, r) = net.channel();
+        let mut tw = TypedWriter::<String>::new(w);
+        let mut tr = TypedReader::<String>::new(r);
+        net.add_fn("producer", move |_| {
+            for word in ["kahn", "process", "network"] {
+                tw.send(&word.to_string())?;
+            }
+            Ok(())
+        });
+        net.start();
+        assert_eq!(tr.recv().unwrap(), "kahn");
+        assert_eq!(tr.recv().unwrap(), "process");
+        assert_eq!(tr.recv().unwrap(), "network");
+        assert!(tr.recv().is_err());
+        drop(tr);
+        net.join().unwrap();
+    }
+}

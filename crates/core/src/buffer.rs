@@ -1,0 +1,242 @@
+//! Growable ring buffer of bytes backing local channels.
+//!
+//! Channels in the paper are byte FIFOs (§3.1): "the individual bytes
+//! passing through a Channel correspond naturally to the data elements of
+//! the mathematical representation of streams". This buffer is the
+//! in-memory equivalent of the `Piped{Input,Output}Stream` pair, with one
+//! addition: the capacity can be *grown in place* while data is buffered,
+//! which is what the bounded-scheduling monitor does to resolve artificial
+//! deadlock (§3.5).
+
+/// A FIFO ring buffer of bytes with an explicit soft capacity.
+///
+/// The backing allocation always matches the capacity, so `len == capacity`
+/// means "full" — writers must block. [`RingBuffer::grow`] raises the
+/// capacity while preserving content order.
+#[derive(Debug)]
+pub struct RingBuffer {
+    data: Box<[u8]>,
+    /// Index of the oldest byte.
+    head: usize,
+    /// Number of buffered bytes.
+    len: usize,
+}
+
+impl RingBuffer {
+    /// Creates an empty buffer with the given capacity (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingBuffer {
+            data: vec![0u8; capacity].into_boxed_slice(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Current capacity in bytes.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of buffered bytes.
+    #[allow(dead_code)] // part of the buffer API; exercised by tests
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no bytes are buffered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when `len == capacity`; writers must block.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.len == self.data.len()
+    }
+
+    /// Free space available for writing.
+    #[inline]
+    pub fn free(&self) -> usize {
+        self.data.len() - self.len
+    }
+
+    /// Appends as many bytes from `src` as fit; returns how many were taken.
+    pub fn push(&mut self, src: &[u8]) -> usize {
+        let n = src.len().min(self.free());
+        if n == 0 {
+            return 0;
+        }
+        let cap = self.data.len();
+        let tail = (self.head + self.len) % cap;
+        let first = n.min(cap - tail);
+        self.data[tail..tail + first].copy_from_slice(&src[..first]);
+        let rest = n - first;
+        if rest > 0 {
+            self.data[..rest].copy_from_slice(&src[first..n]);
+        }
+        self.len += n;
+        n
+    }
+
+    /// Removes up to `dst.len()` bytes into `dst`; returns how many.
+    pub fn pop(&mut self, dst: &mut [u8]) -> usize {
+        let n = dst.len().min(self.len);
+        if n == 0 {
+            return 0;
+        }
+        let cap = self.data.len();
+        let first = n.min(cap - self.head);
+        dst[..first].copy_from_slice(&self.data[self.head..self.head + first]);
+        let rest = n - first;
+        if rest > 0 {
+            dst[first..n].copy_from_slice(&self.data[..rest]);
+        }
+        self.head = (self.head + n) % cap;
+        self.len -= n;
+        n
+    }
+
+    /// Grows the capacity to `new_capacity` (no-op if not larger),
+    /// preserving buffered bytes in order. Used by the deadlock monitor.
+    pub fn grow(&mut self, new_capacity: usize) {
+        if new_capacity <= self.data.len() {
+            return;
+        }
+        let mut fresh = vec![0u8; new_capacity].into_boxed_slice();
+        let mut copied = 0;
+        let cap = self.data.len();
+        if self.len > 0 {
+            let first = self.len.min(cap - self.head);
+            fresh[..first].copy_from_slice(&self.data[self.head..self.head + first]);
+            copied = first;
+            let rest = self.len - first;
+            if rest > 0 {
+                fresh[copied..copied + rest].copy_from_slice(&self.data[..rest]);
+                copied += rest;
+            }
+        }
+        debug_assert_eq!(copied, self.len);
+        self.data = fresh;
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_simple() {
+        let mut rb = RingBuffer::with_capacity(8);
+        assert_eq!(rb.push(b"hello"), 5);
+        let mut out = [0u8; 5];
+        assert_eq!(rb.pop(&mut out), 5);
+        assert_eq!(&out, b"hello");
+        assert!(rb.is_empty());
+    }
+
+    #[test]
+    fn push_respects_capacity() {
+        let mut rb = RingBuffer::with_capacity(4);
+        assert_eq!(rb.push(b"abcdef"), 4);
+        assert!(rb.is_full());
+        assert_eq!(rb.push(b"x"), 0);
+    }
+
+    #[test]
+    fn wraparound_preserves_order() {
+        let mut rb = RingBuffer::with_capacity(4);
+        assert_eq!(rb.push(b"abc"), 3);
+        let mut two = [0u8; 2];
+        assert_eq!(rb.pop(&mut two), 2);
+        assert_eq!(&two, b"ab");
+        // head is now at 2; this push wraps.
+        assert_eq!(rb.push(b"def"), 3);
+        let mut out = [0u8; 4];
+        assert_eq!(rb.pop(&mut out), 4);
+        assert_eq!(&out, b"cdef");
+    }
+
+    #[test]
+    fn pop_partial() {
+        let mut rb = RingBuffer::with_capacity(8);
+        rb.push(b"xyz");
+        let mut big = [0u8; 8];
+        assert_eq!(rb.pop(&mut big), 3);
+        assert_eq!(&big[..3], b"xyz");
+    }
+
+    #[test]
+    fn zero_capacity_clamped_to_one() {
+        let rb = RingBuffer::with_capacity(0);
+        assert_eq!(rb.capacity(), 1);
+    }
+
+    #[test]
+    fn grow_preserves_contiguous_content() {
+        let mut rb = RingBuffer::with_capacity(4);
+        rb.push(b"abcd");
+        rb.grow(8);
+        assert_eq!(rb.capacity(), 8);
+        assert_eq!(rb.len(), 4);
+        assert_eq!(rb.push(b"efgh"), 4);
+        let mut out = [0u8; 8];
+        rb.pop(&mut out);
+        assert_eq!(&out, b"abcdefgh");
+    }
+
+    #[test]
+    fn grow_preserves_wrapped_content() {
+        let mut rb = RingBuffer::with_capacity(4);
+        rb.push(b"abcd");
+        let mut two = [0u8; 2];
+        rb.pop(&mut two);
+        rb.push(b"ef"); // wraps: buffer holds c d | e f with head=2
+        rb.grow(10);
+        let mut out = [0u8; 4];
+        assert_eq!(rb.pop(&mut out), 4);
+        assert_eq!(&out, b"cdef");
+    }
+
+    #[test]
+    fn grow_smaller_is_noop() {
+        let mut rb = RingBuffer::with_capacity(8);
+        rb.push(b"abc");
+        rb.grow(4);
+        assert_eq!(rb.capacity(), 8);
+        assert_eq!(rb.len(), 3);
+    }
+
+    #[test]
+    fn interleaved_stress_matches_vecdeque() {
+        use std::collections::VecDeque;
+        let mut rb = RingBuffer::with_capacity(7);
+        let mut model: VecDeque<u8> = VecDeque::new();
+        let mut x: u32 = 0x2545_F491;
+        for step in 0..2000 {
+            // xorshift for deterministic pseudo-random sizes
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            let n = (x % 9) as usize;
+            if step % 2 == 0 {
+                let src: Vec<u8> = (0..n).map(|i| (step + i) as u8).collect();
+                let taken = rb.push(&src);
+                assert_eq!(taken, src.len().min(7 - model.len()));
+                model.extend(&src[..taken]);
+            } else {
+                let mut dst = vec![0u8; n];
+                let got = rb.pop(&mut dst);
+                assert_eq!(got, n.min(model.len()));
+                for b in dst.iter().take(got) {
+                    assert_eq!(*b, model.pop_front().unwrap());
+                }
+            }
+            assert_eq!(rb.len(), model.len());
+        }
+    }
+}

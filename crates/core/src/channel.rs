@@ -1,0 +1,962 @@
+//! FIFO byte channels with blocking reads and bounded blocking writes.
+//!
+//! This is the operational embodiment of Kahn's streams (§3.1): a
+//! [`ChannelWriter`]/[`ChannelReader`] pair connected by a shared in-memory
+//! ring buffer. Reads **block** when no data is available — the condition
+//! Kahn requires for determinacy — and writes block when the bounded buffer
+//! is full (§3.5), which both enforces scheduling fairness and enables
+//! Parks' bounded-scheduling buffer management.
+//!
+//! Three features beyond a plain pipe reproduce the paper's machinery:
+//!
+//! * **Sequence readers** (`java.io.SequenceInputStream` analogue): a
+//!   [`ChannelReader`] holds a *queue* of byte sources and advances to the
+//!   next when one ends, so channels can be spliced together during dynamic
+//!   reconfiguration without losing or duplicating bytes (Figures 9/10).
+//! * **Writer retirement** ([`ChannelWriter::retire`]): a process that
+//!   removes itself from the graph hands its *input* reader over to its
+//!   output channel as a continuation; the downstream reader drains the
+//!   buffer, then transparently continues reading from the spliced source.
+//! * **Pluggable transports**: both endpoints are trait objects
+//!   ([`Sink`]/[`Source`]), so the lowest layer can be swapped between the
+//!   local shared buffer and a network socket (Figure 3's bottom layer),
+//!   including mid-stream via [`SourceRead::Splice`] (used by the redirect
+//!   protocol of §4.3).
+
+use crate::buffer::RingBuffer;
+use crate::error::{Error, Result};
+use crate::monitor::{
+    BlockGuard, BlockKind, ChannelIoStats, Monitor, MonitoredChannel, MONITOR_TICK,
+};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+/// Default channel capacity in bytes, analogous to the default buffer size
+/// of Java piped streams ("the default buffer capacities for Java streams
+/// are sufficient for many programs", §3.5).
+pub const DEFAULT_CAPACITY: usize = 8 * 1024;
+
+static NEXT_CHANNEL_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Outcome of a single [`Source::read`] call.
+pub enum SourceRead {
+    /// `n > 0` bytes were copied into the buffer.
+    Data(usize),
+    /// This source ended; the reader should advance to its next source (or
+    /// report EOF if there is none).
+    End,
+    /// This source ended *and* delivered a continuation: the reader splices
+    /// the given reader's sources in place of this source and keeps going.
+    /// Produced by writer retirement (Figures 9/10) and by transport
+    /// redirects (§4.3).
+    Splice(ChannelReader),
+}
+
+/// A blocking byte source: one stage of a [`ChannelReader`]'s sequence.
+pub trait Source: Send {
+    /// Blocks until at least one byte is available, the source ends, or an
+    /// error occurs. `buf` is non-empty.
+    fn read(&mut self, buf: &mut [u8]) -> Result<SourceRead>;
+    /// The reader abandons this source (process terminated): release
+    /// resources and make the corresponding writer fail on its next write.
+    fn close(&mut self);
+}
+
+/// A blocking byte sink: the write end of a channel.
+pub trait Sink: Send {
+    /// Blocks until every byte has been accepted. Fails with
+    /// [`Error::WriteClosed`] once the reader has closed.
+    fn write_all(&mut self, buf: &[u8]) -> Result<()>;
+    /// Pushes buffered bytes toward the reader (no-op for local channels).
+    fn flush(&mut self) -> Result<()> {
+        Ok(())
+    }
+    /// Gracefully ends the stream: the reader drains remaining data, then
+    /// sees EOF.
+    fn close(&mut self);
+    /// Ends the stream with a continuation: the reader drains remaining
+    /// data, then continues reading from `upstream` (writer retirement,
+    /// Figures 9/10). Only local sinks support this.
+    fn retire(self: Box<Self>, upstream: ChannelReader) -> Result<()> {
+        drop(upstream); // closing it propagates upstream cancellation
+        Err(Error::Graph("retire unsupported on this transport".into()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Local shared-buffer transport
+// ---------------------------------------------------------------------------
+
+struct BufState {
+    buf: RingBuffer,
+    write_closed: bool,
+    read_closed: bool,
+    poisoned: bool,
+    continuation: Option<ChannelReader>,
+    // I/O counters (ChannelIoStats).
+    bytes_written: u64,
+    write_blocks: u64,
+    read_blocks: u64,
+    peak_occupancy: usize,
+}
+
+/// Shared state of a local channel. Registered with the network's deadlock
+/// monitor when created through [`crate::Network::channel`].
+pub(crate) struct Shared {
+    id: u64,
+    state: Mutex<BufState>,
+    readable: Condvar,
+    writable: Condvar,
+    monitor: Option<Arc<Monitor>>,
+}
+
+impl Shared {
+    fn new(capacity: usize, monitor: Option<Arc<Monitor>>) -> Arc<Self> {
+        Arc::new(Shared {
+            id: NEXT_CHANNEL_ID.fetch_add(1, Ordering::Relaxed),
+            state: Mutex::new(BufState {
+                buf: RingBuffer::with_capacity(capacity),
+                write_closed: false,
+                read_closed: false,
+                poisoned: false,
+                continuation: None,
+                bytes_written: 0,
+                write_blocks: 0,
+                read_blocks: 0,
+                peak_occupancy: 0,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+            monitor,
+        })
+    }
+}
+
+impl Drop for Shared {
+    fn drop(&mut self) {
+        // Preserve this channel's final counters in the monitor's report.
+        if let Some(m) = &self.monitor {
+            let st = self.state.get_mut();
+            m.channel_retired(
+                self.id,
+                ChannelIoStats {
+                    bytes_written: st.bytes_written,
+                    write_blocks: st.write_blocks,
+                    read_blocks: st.read_blocks,
+                    peak_occupancy: st.peak_occupancy,
+                    capacity: st.buf.capacity(),
+                },
+            );
+        }
+    }
+}
+
+impl MonitoredChannel for Shared {
+    fn capacity(&self) -> usize {
+        self.state.lock().buf.capacity()
+    }
+
+    fn is_full(&self) -> bool {
+        self.state.lock().buf.is_full()
+    }
+
+    fn buffered(&self) -> usize {
+        self.state.lock().buf.len()
+    }
+
+    fn is_write_closed(&self) -> bool {
+        self.state.lock().write_closed
+    }
+
+    fn is_read_closed(&self) -> bool {
+        self.state.lock().read_closed
+    }
+
+    fn grow_if_full(&self, max: Option<usize>) -> Option<(usize, usize)> {
+        let mut st = self.state.lock();
+        if !st.buf.is_full() {
+            return None;
+        }
+        let old = st.buf.capacity();
+        let new = old.saturating_mul(2).min(max.unwrap_or(usize::MAX));
+        if new <= old {
+            return None;
+        }
+        st.buf.grow(new);
+        drop(st);
+        self.writable.notify_all();
+        Some((old, new))
+    }
+
+    fn poison(&self) {
+        let mut st = self.state.lock();
+        st.poisoned = true;
+        drop(st);
+        self.readable.notify_all();
+        self.writable.notify_all();
+    }
+
+    fn io_stats(&self) -> ChannelIoStats {
+        let st = self.state.lock();
+        ChannelIoStats {
+            bytes_written: st.bytes_written,
+            write_blocks: st.write_blocks,
+            read_blocks: st.read_blocks,
+            peak_occupancy: st.peak_occupancy,
+            capacity: st.buf.capacity(),
+        }
+    }
+}
+
+/// The write end of a local channel.
+struct LocalSink {
+    shared: Arc<Shared>,
+    closed: bool,
+}
+
+impl LocalSink {
+    /// Blocks until the buffer has free space, the reader closes, or the
+    /// network is poisoned. Returns with the state lock *not* held.
+    fn block_until_writable(&self) -> Result<()> {
+        let sh = &self.shared;
+        loop {
+            let mut st = sh.state.lock();
+            if st.poisoned {
+                return Err(Error::Deadlocked);
+            }
+            if st.read_closed {
+                return Err(Error::WriteClosed);
+            }
+            if !st.buf.is_full() {
+                return Ok(());
+            }
+            st.write_blocks += 1;
+            drop(st);
+            match &sh.monitor {
+                Some(m) => {
+                    let guard = BlockGuard::enter(m, BlockKind::Write, sh.id)?;
+                    let mut st = sh.state.lock();
+                    while st.buf.is_full() && !st.read_closed && !st.poisoned {
+                        let timed_out = sh.writable.wait_for(&mut st, MONITOR_TICK).timed_out();
+                        if timed_out {
+                            drop(st);
+                            m.tick();
+                            st = sh.state.lock();
+                        }
+                    }
+                    drop(st);
+                    drop(guard);
+                }
+                None => {
+                    let mut st = sh.state.lock();
+                    while st.buf.is_full() && !st.read_closed && !st.poisoned {
+                        sh.writable.wait(&mut st);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Sink for LocalSink {
+    fn write_all(&mut self, mut buf: &[u8]) -> Result<()> {
+        let sh = self.shared.clone();
+        // An empty write still surfaces a closed/poisoned channel promptly.
+        if buf.is_empty() {
+            let st = sh.state.lock();
+            if st.poisoned {
+                return Err(Error::Deadlocked);
+            }
+            if st.read_closed {
+                return Err(Error::WriteClosed);
+            }
+            return Ok(());
+        }
+        while !buf.is_empty() {
+            self.block_until_writable()?;
+            let mut st = sh.state.lock();
+            if st.poisoned {
+                return Err(Error::Deadlocked);
+            }
+            if st.read_closed {
+                return Err(Error::WriteClosed);
+            }
+            let n = st.buf.push(buf);
+            buf = &buf[n..];
+            st.bytes_written += n as u64;
+            st.peak_occupancy = st.peak_occupancy.max(st.buf.len());
+            drop(st);
+            if n > 0 {
+                sh.readable.notify_one();
+            }
+        }
+        Ok(())
+    }
+
+    fn close(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        let mut st = self.shared.state.lock();
+        st.write_closed = true;
+        drop(st);
+        self.shared.readable.notify_all();
+    }
+
+    fn retire(mut self: Box<Self>, upstream: ChannelReader) -> Result<()> {
+        self.closed = true;
+        let mut st = self.shared.state.lock();
+        if st.read_closed {
+            // Downstream is gone; just propagate cancellation upstream.
+            drop(st);
+            drop(upstream);
+            return Err(Error::WriteClosed);
+        }
+        st.continuation = Some(upstream);
+        st.write_closed = true;
+        drop(st);
+        self.shared.readable.notify_all();
+        Ok(())
+    }
+}
+
+impl Drop for LocalSink {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// The read end of a local channel.
+struct LocalSource {
+    shared: Arc<Shared>,
+    closed: bool,
+}
+
+impl Source for LocalSource {
+    fn read(&mut self, out: &mut [u8]) -> Result<SourceRead> {
+        debug_assert!(!out.is_empty());
+        let sh = self.shared.clone();
+        loop {
+            let mut st = sh.state.lock();
+            if st.poisoned {
+                return Err(Error::Deadlocked);
+            }
+            if !st.buf.is_empty() {
+                let n = st.buf.pop(out);
+                drop(st);
+                sh.writable.notify_one();
+                return Ok(SourceRead::Data(n));
+            }
+            if st.write_closed {
+                return match st.continuation.take() {
+                    Some(cont) => Ok(SourceRead::Splice(cont)),
+                    None => Ok(SourceRead::End),
+                };
+            }
+            st.read_blocks += 1;
+            drop(st);
+            match &sh.monitor {
+                Some(m) => {
+                    let guard = BlockGuard::enter(m, BlockKind::Read, sh.id)?;
+                    let mut st = sh.state.lock();
+                    while st.buf.is_empty() && !st.write_closed && !st.poisoned {
+                        let timed_out = sh.readable.wait_for(&mut st, MONITOR_TICK).timed_out();
+                        if timed_out {
+                            drop(st);
+                            m.tick();
+                            st = sh.state.lock();
+                        }
+                    }
+                    drop(st);
+                    drop(guard);
+                }
+                None => {
+                    let mut st = sh.state.lock();
+                    while st.buf.is_empty() && !st.write_closed && !st.poisoned {
+                        sh.readable.wait(&mut st);
+                    }
+                }
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        let cont = {
+            let mut st = self.shared.state.lock();
+            st.read_closed = true;
+            st.continuation.take()
+        };
+        self.shared.writable.notify_all();
+        // Dropping a pending continuation closes it, cancelling upstream.
+        drop(cont);
+        if let Some(m) = &self.shared.monitor {
+            m.unregister_channel(self.shared.id);
+        }
+    }
+}
+
+impl Drop for LocalSource {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public endpoints
+// ---------------------------------------------------------------------------
+
+/// The write end of a channel. Dropping it closes the stream gracefully
+/// (the reader drains buffered data, then sees EOF) — exactly the `onStop`
+/// behaviour of the paper's `IterativeProcess` (§3.2, §3.4).
+pub struct ChannelWriter {
+    sink: Option<Box<dyn Sink>>,
+}
+
+impl ChannelWriter {
+    /// Wraps an arbitrary transport sink.
+    pub fn from_sink(sink: Box<dyn Sink>) -> Self {
+        ChannelWriter { sink: Some(sink) }
+    }
+
+    fn sink(&mut self) -> &mut dyn Sink {
+        self.sink
+            .as_deref_mut()
+            .expect("write on closed ChannelWriter")
+    }
+
+    /// Writes all bytes, blocking while the channel is full.
+    pub fn write_all(&mut self, buf: &[u8]) -> Result<()> {
+        self.sink().write_all(buf)
+    }
+
+    /// Flushes buffered bytes toward the reader.
+    pub fn flush(&mut self) -> Result<()> {
+        self.sink().flush()
+    }
+
+    /// Gracefully closes the stream. Idempotent; also performed on drop.
+    pub fn close(&mut self) {
+        if let Some(mut s) = self.sink.take() {
+            s.close();
+        }
+    }
+
+    /// Removes the owning process from the graph (Figures 9/10): ends this
+    /// stream but splices `upstream` after the buffered data, so the
+    /// downstream reader continues without losing or repeating a byte.
+    pub fn retire(mut self, upstream: ChannelReader) -> Result<()> {
+        match self.sink.take() {
+            Some(s) => s.retire(upstream),
+            None => Err(Error::WriteClosed),
+        }
+    }
+
+    /// Replaces the underlying transport, returning the previous one.
+    /// Used when a channel endpoint migrates between servers (§4.2).
+    pub fn replace_sink(&mut self, sink: Box<dyn Sink>) -> Option<Box<dyn Sink>> {
+        self.sink.replace(sink)
+    }
+}
+
+impl Drop for ChannelWriter {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl std::io::Write for ChannelWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.write_all(buf).map_err(std::io::Error::from)?;
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        ChannelWriter::flush(self).map_err(std::io::Error::from)
+    }
+}
+
+impl std::fmt::Debug for ChannelWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ChannelWriter({})",
+            if self.sink.is_some() {
+                "open"
+            } else {
+                "closed"
+            }
+        )
+    }
+}
+
+/// The read end of a channel: a *sequence* of byte sources, advanced on EOF
+/// and extended by splicing (the `SequenceInputStream` of §3.1/§3.3).
+/// Dropping it closes the stream: writers fail on their next write.
+pub struct ChannelReader {
+    sources: VecDeque<Box<dyn Source>>,
+}
+
+impl ChannelReader {
+    /// Wraps a single transport source.
+    pub fn from_source(source: Box<dyn Source>) -> Self {
+        let mut sources = VecDeque::with_capacity(1);
+        sources.push_back(source);
+        ChannelReader { sources }
+    }
+
+    /// An already-exhausted reader (EOF immediately).
+    pub fn empty() -> Self {
+        ChannelReader {
+            sources: VecDeque::new(),
+        }
+    }
+
+    /// Reads up to `buf.len()` bytes, blocking until at least one byte is
+    /// available. Returns `Ok(0)` only at the true end of the stream.
+    pub fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        loop {
+            let Some(src) = self.sources.front_mut() else {
+                return Ok(0);
+            };
+            match src.read(buf)? {
+                SourceRead::Data(n) => {
+                    debug_assert!(n > 0);
+                    return Ok(n);
+                }
+                SourceRead::End => {
+                    self.sources.pop_front();
+                }
+                SourceRead::Splice(cont) => {
+                    self.sources.pop_front();
+                    for s in cont.into_sources().into_iter().rev() {
+                        self.sources.push_front(s);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reads exactly `buf.len()` bytes or fails with [`Error::Eof`].
+    pub fn read_exact(&mut self, buf: &mut [u8]) -> Result<()> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            let n = self.read(&mut buf[filled..])?;
+            if n == 0 {
+                return Err(Error::Eof);
+            }
+            filled += n;
+        }
+        Ok(())
+    }
+
+    /// Appends another reader's sources after this one's: after this reader
+    /// reaches the end of its current data, it continues with `tail`.
+    pub fn append(&mut self, tail: ChannelReader) {
+        self.sources.extend(tail.into_sources());
+    }
+
+    /// Closes the stream; pending and future writes upstream fail.
+    /// Idempotent; also performed on drop.
+    pub fn close(&mut self) {
+        for mut s in self.sources.drain(..) {
+            s.close();
+        }
+    }
+
+    fn into_sources(mut self) -> VecDeque<Box<dyn Source>> {
+        std::mem::take(&mut self.sources)
+    }
+}
+
+impl Drop for ChannelReader {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl std::io::Read for ChannelReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        ChannelReader::read(self, buf).map_err(std::io::Error::from)
+    }
+}
+
+impl std::fmt::Debug for ChannelReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ChannelReader({} sources)", self.sources.len())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Constructors
+// ---------------------------------------------------------------------------
+
+/// Creates an unmonitored local channel with [`DEFAULT_CAPACITY`].
+pub fn channel() -> (ChannelWriter, ChannelReader) {
+    channel_with(DEFAULT_CAPACITY, None)
+}
+
+/// Creates an unmonitored local channel with the given capacity.
+pub fn channel_with_capacity(capacity: usize) -> (ChannelWriter, ChannelReader) {
+    channel_with(capacity, None)
+}
+
+/// Creates a local channel, optionally registered with a deadlock monitor.
+/// [`crate::Network::channel`] is the usual entry point.
+pub fn channel_with(
+    capacity: usize,
+    monitor: Option<Arc<Monitor>>,
+) -> (ChannelWriter, ChannelReader) {
+    let shared = Shared::new(capacity, monitor.clone());
+    if let Some(m) = &monitor {
+        let weak: Weak<dyn MonitoredChannel> = {
+            let w: Weak<Shared> = Arc::downgrade(&shared);
+            w
+        };
+        m.register_channel(shared.id, weak);
+    }
+    let writer = ChannelWriter::from_sink(Box::new(LocalSink {
+        shared: shared.clone(),
+        closed: false,
+    }));
+    let reader = ChannelReader::from_source(Box::new(LocalSource {
+        shared,
+        closed: false,
+    }));
+    (writer, reader)
+}
+
+/// A `Channel` object in the style of the paper's API (Figure 6): holds both
+/// endpoints until the graph construction code claims them.
+///
+/// ```
+/// use kpn_core::Channel;
+/// let mut ch = Channel::new();
+/// let mut w = ch.writer();
+/// let mut r = ch.reader();
+/// w.write_all(b"hi").unwrap();
+/// drop(w);
+/// let mut buf = [0u8; 2];
+/// r.read_exact(&mut buf).unwrap();
+/// assert_eq!(&buf, b"hi");
+/// ```
+#[derive(Debug)]
+pub struct Channel {
+    writer: Option<ChannelWriter>,
+    reader: Option<ChannelReader>,
+}
+
+impl Channel {
+    /// A channel with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A channel with an explicit capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let (w, r) = channel_with_capacity(capacity);
+        Channel {
+            writer: Some(w),
+            reader: Some(r),
+        }
+    }
+
+    /// Claims the single write end (`getOutputStream`). Panics if already
+    /// claimed — channels are single-producer (§1).
+    pub fn writer(&mut self) -> ChannelWriter {
+        self.writer.take().expect("channel writer already claimed")
+    }
+
+    /// Claims the single read end (`getInputStream`). Panics if already
+    /// claimed — channels are single-consumer (§1).
+    pub fn reader(&mut self) -> ChannelReader {
+        self.reader.take().expect("channel reader already claimed")
+    }
+}
+
+impl Default for Channel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn write_then_read() {
+        let (mut w, mut r) = channel();
+        w.write_all(b"abc").unwrap();
+        let mut buf = [0u8; 3];
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"abc");
+    }
+
+    #[test]
+    fn read_blocks_until_data() {
+        let (mut w, mut r) = channel();
+        let h = thread::spawn(move || {
+            let mut buf = [0u8; 4];
+            r.read_exact(&mut buf).unwrap();
+            buf
+        });
+        thread::sleep(Duration::from_millis(20));
+        w.write_all(b"wait").unwrap();
+        assert_eq!(&h.join().unwrap(), b"wait");
+    }
+
+    #[test]
+    fn write_blocks_until_space() {
+        let (mut w, mut r) = channel_with_capacity(4);
+        w.write_all(b"1234").unwrap();
+        let h = thread::spawn(move || {
+            w.write_all(b"5678").unwrap(); // blocks until reader drains
+            w
+        });
+        thread::sleep(Duration::from_millis(20));
+        let mut buf = [0u8; 8];
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"12345678");
+        drop(h.join().unwrap());
+    }
+
+    #[test]
+    fn close_writer_gives_eof_after_drain() {
+        // §3.4: closing an OutputStream does not interrupt the reader; EOF
+        // arrives only after all buffered data is consumed.
+        let (mut w, mut r) = channel();
+        w.write_all(b"tail").unwrap();
+        drop(w);
+        let mut buf = [0u8; 4];
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"tail");
+        assert_eq!(r.read(&mut buf).unwrap(), 0);
+        assert!(matches!(r.read_exact(&mut buf), Err(Error::Eof)));
+    }
+
+    #[test]
+    fn close_reader_fails_next_write() {
+        // §3.4: closing an InputStream causes an exception on the next write.
+        let (mut w, r) = channel();
+        w.write_all(b"x").unwrap();
+        drop(r);
+        assert!(matches!(w.write_all(b"y"), Err(Error::WriteClosed)));
+    }
+
+    #[test]
+    fn close_reader_wakes_blocked_writer() {
+        let (mut w, r) = channel_with_capacity(2);
+        w.write_all(b"ab").unwrap();
+        let h = thread::spawn(move || w.write_all(b"cd"));
+        thread::sleep(Duration::from_millis(20));
+        drop(r);
+        assert!(matches!(h.join().unwrap(), Err(Error::WriteClosed)));
+    }
+
+    #[test]
+    fn close_writer_wakes_blocked_reader() {
+        let (w, mut r) = channel();
+        let h = thread::spawn(move || {
+            let mut buf = [0u8; 1];
+            r.read(&mut buf)
+        });
+        thread::sleep(Duration::from_millis(20));
+        drop(w);
+        assert_eq!(h.join().unwrap().unwrap(), 0);
+    }
+
+    #[test]
+    fn large_transfer_through_small_buffer() {
+        let (mut w, mut r) = channel_with_capacity(16);
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let expect = data.clone();
+        let h = thread::spawn(move || {
+            w.write_all(&data).unwrap();
+        });
+        let mut got = vec![0u8; expect.len()];
+        r.read_exact(&mut got).unwrap();
+        h.join().unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn retire_splices_upstream_after_buffered_data() {
+        // Figure 10: process b (up -> down) removes itself. Downstream must
+        // see b's buffered output first, then bytes coming from upstream.
+        let (mut up_w, up_r) = channel();
+        let (mut down_w, mut down_r) = channel();
+        up_w.write_all(b"XY").unwrap();
+        down_w.write_all(b"ab").unwrap();
+        down_w.retire(up_r).unwrap();
+        drop(up_w);
+        let mut buf = [0u8; 4];
+        down_r.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"abXY");
+        assert_eq!(down_r.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn retire_then_live_upstream_writes_flow_through() {
+        let (mut up_w, up_r) = channel();
+        let (down_w, mut down_r) = channel();
+        down_w.retire(up_r).unwrap();
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            up_w.write_all(b"later").unwrap();
+        });
+        let mut buf = [0u8; 5];
+        down_r.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"later");
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn retire_to_closed_reader_cancels_upstream() {
+        let (mut up_w, up_r) = channel();
+        let (down_w, down_r) = channel();
+        drop(down_r);
+        assert!(down_w.retire(up_r).is_err());
+        // Upstream got closed by the failed retire.
+        assert!(matches!(up_w.write_all(b"x"), Err(Error::WriteClosed)));
+    }
+
+    #[test]
+    fn closing_spliced_reader_cancels_chain() {
+        // Reader close must propagate through a pending continuation.
+        let (mut up_w, up_r) = channel();
+        let (down_w, down_r) = channel();
+        down_w.retire(up_r).unwrap();
+        drop(down_r); // closes local source AND the pending continuation
+        assert!(matches!(up_w.write_all(b"x"), Err(Error::WriteClosed)));
+    }
+
+    #[test]
+    fn append_concatenates_streams() {
+        let (mut w1, mut r1) = channel();
+        let (mut w2, r2) = channel();
+        w1.write_all(b"one").unwrap();
+        w2.write_all(b"two").unwrap();
+        drop(w1);
+        drop(w2);
+        r1.append(r2);
+        let mut buf = [0u8; 6];
+        r1.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"onetwo");
+        assert_eq!(r1.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn chained_retires_preserve_all_bytes() {
+        // a -> [b] -> [c] -> reader, where b and c both retire.
+        let (mut aw, ar) = channel();
+        let (mut bw, br) = channel();
+        let (mut cw, mut cr) = channel();
+        aw.write_all(b"A").unwrap();
+        bw.write_all(b"B").unwrap();
+        cw.write_all(b"C").unwrap();
+        cw.retire(br).unwrap(); // c removes itself: cr continues from b
+        bw.retire(ar).unwrap(); // b removes itself: continues from a
+        drop(aw);
+        let mut buf = [0u8; 3];
+        cr.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"CBA");
+        assert_eq!(cr.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn io_trait_interop() {
+        use std::io::{Read, Write};
+        let (mut w, mut r) = channel();
+        w.write(b"io").unwrap();
+        Write::flush(&mut w).unwrap();
+        drop(w);
+        let mut s = String::new();
+        r.read_to_string(&mut s).unwrap();
+        assert_eq!(s, "io");
+    }
+
+    #[test]
+    fn channel_struct_claims_panic_on_double_take() {
+        let mut ch = Channel::new();
+        let _w = ch.writer();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ch.writer()));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn writer_close_idempotent() {
+        let (mut w, _r) = channel();
+        w.close();
+        w.close();
+    }
+
+    #[test]
+    fn reader_empty_is_immediate_eof() {
+        let mut r = ChannelReader::empty();
+        let mut buf = [0u8; 1];
+        assert_eq!(r.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn many_small_writes_one_big_read() {
+        let (mut w, mut r) = channel_with_capacity(8);
+        let h = thread::spawn(move || {
+            for i in 0..1000u32 {
+                w.write_all(&[(i % 256) as u8]).unwrap();
+            }
+        });
+        let mut got = vec![0u8; 1000];
+        r.read_exact(&mut got).unwrap();
+        h.join().unwrap();
+        for (i, b) in got.iter().enumerate() {
+            assert_eq!(*b, (i % 256) as u8);
+        }
+    }
+
+    #[test]
+    fn replace_sink_switches_transport_midstream() {
+        // §4.2's transport swap at the writer: bytes written before and
+        // after the swap land on the respective channels.
+        let (w1, mut r1) = channel();
+        let (w2, mut r2) = channel();
+        let mut writer = w1;
+        writer.write_all(b"first").unwrap();
+        // Swap the underlying sink for channel 2's.
+        let (sink2, _guard) = {
+            // Extract channel 2's sink by deconstructing its writer.
+            let mut w2 = w2;
+            let sink = w2.replace_sink(Box::new(NullSink)).unwrap();
+            (sink, w2)
+        };
+        let old = writer.replace_sink(sink2).unwrap();
+        drop(old); // closes channel 1
+        writer.write_all(b"second").unwrap();
+        drop(writer);
+        let mut buf1 = [0u8; 5];
+        r1.read_exact(&mut buf1).unwrap();
+        assert_eq!(&buf1, b"first");
+        assert_eq!(r1.read(&mut buf1).unwrap(), 0, "channel 1 closed");
+        let mut buf2 = [0u8; 6];
+        r2.read_exact(&mut buf2).unwrap();
+        assert_eq!(&buf2, b"second");
+    }
+
+    struct NullSink;
+    impl Sink for NullSink {
+        fn write_all(&mut self, _buf: &[u8]) -> Result<()> {
+            Err(Error::WriteClosed)
+        }
+        fn close(&mut self) {}
+    }
+}

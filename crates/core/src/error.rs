@@ -1,0 +1,142 @@
+//! Error and result types for channel and process operations.
+//!
+//! The paper's Java implementation signals every stream condition with an
+//! `IOException`; the run loop of `IterativeProcess` catches it and stops the
+//! process (§3.2, Figure 4). We mirror that with a single [`Error`] enum:
+//! any `Err` returned from a process `step` terminates the process, closing
+//! its endpoints and propagating the cascade described in §3.4.
+
+use std::fmt;
+
+/// Errors produced by channel operations and process steps.
+#[derive(Debug)]
+pub enum Error {
+    /// A read reached the true end of the stream: the writer closed its end
+    /// and all buffered data has been consumed (§3.4: "an exception occurs
+    /// only after the end of the data stream is reached").
+    Eof,
+    /// A write was attempted on a channel whose reader has been closed
+    /// (§3.4: "closing an InputStream causes an exception to occur the next
+    /// time the corresponding OutputStream is written to").
+    WriteClosed,
+    /// The network was aborted because the deadlock monitor declared a true
+    /// (non-artificial) deadlock, or because [`crate::Network::abort`] was
+    /// called. All blocked operations fail with this error.
+    Deadlocked,
+    /// A remote peer disconnected abruptly (socket error without a graceful
+    /// close frame). Treated like an exception in the Java implementation:
+    /// the process stops and the termination cascade proceeds.
+    Disconnected(String),
+    /// Transport-level I/O failure on a distributed channel.
+    Io(std::io::Error),
+    /// A typed or object stream could not decode the incoming bytes.
+    Codec(String),
+    /// Graph construction or migration error (bad spec, unknown process
+    /// type, unroutable endpoint).
+    Graph(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Eof => write!(f, "end of stream"),
+            Error::WriteClosed => write!(f, "write on channel with closed reader"),
+            Error::Deadlocked => write!(f, "network deadlocked"),
+            Error::Disconnected(why) => write!(f, "peer disconnected: {why}"),
+            Error::Io(e) => write!(f, "transport error: {e}"),
+            Error::Codec(why) => write!(f, "codec error: {why}"),
+            Error::Graph(why) => write!(f, "graph error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => Error::Eof,
+            std::io::ErrorKind::BrokenPipe => Error::WriteClosed,
+            _ => Error::Io(e),
+        }
+    }
+}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        use std::io::ErrorKind;
+        match e {
+            Error::Eof => std::io::Error::new(ErrorKind::UnexpectedEof, "kpn: end of stream"),
+            Error::WriteClosed => std::io::Error::new(ErrorKind::BrokenPipe, "kpn: reader closed"),
+            Error::Io(inner) => inner,
+            other => std::io::Error::other(other.to_string()),
+        }
+    }
+}
+
+impl Error {
+    /// True when the error is an orderly end-of-computation signal (EOF or
+    /// reader-closed) rather than a fault. The termination cascade of §3.4
+    /// is made of exactly these.
+    pub fn is_graceful(&self) -> bool {
+        matches!(self, Error::Eof | Error::WriteClosed)
+    }
+}
+
+/// Result alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Error::Eof.to_string(), "end of stream");
+        assert_eq!(
+            Error::WriteClosed.to_string(),
+            "write on channel with closed reader"
+        );
+        assert!(Error::Codec("bad tag".into())
+            .to_string()
+            .contains("bad tag"));
+    }
+
+    #[test]
+    fn graceful_classification() {
+        assert!(Error::Eof.is_graceful());
+        assert!(Error::WriteClosed.is_graceful());
+        assert!(!Error::Deadlocked.is_graceful());
+        assert!(!Error::Disconnected("x".into()).is_graceful());
+    }
+
+    #[test]
+    fn io_roundtrip_eof() {
+        let io: std::io::Error = Error::Eof.into();
+        assert_eq!(io.kind(), std::io::ErrorKind::UnexpectedEof);
+        let back: Error = io.into();
+        assert!(matches!(back, Error::Eof));
+    }
+
+    #[test]
+    fn io_roundtrip_broken_pipe() {
+        let io: std::io::Error = Error::WriteClosed.into();
+        assert_eq!(io.kind(), std::io::ErrorKind::BrokenPipe);
+        let back: Error = io.into();
+        assert!(matches!(back, Error::WriteClosed));
+    }
+
+    #[test]
+    fn io_other_maps_to_io_variant() {
+        let io = std::io::Error::other("boom");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+    }
+}

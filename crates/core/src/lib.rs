@@ -1,0 +1,44 @@
+//! # kpn-core — Kahn Process Networks with bounded scheduling
+//!
+//! The runtime layer of the *Distributed Process Networks* reproduction:
+//!
+//! * [`mod@channel`]s are FIFO **byte** streams with blocking reads (Kahn's
+//!   determinacy condition, §2) and bounded, blocking writes (§3.5);
+//! * [`process`]es run one-per-thread, built from the
+//!   [`process::Iterative`] pattern (`onStart`/`step`/`onStop`, Figure 4);
+//! * [`network::Network`] owns the graph, the threads, and the
+//!   [`monitor::Monitor`] implementing Parks' bounded scheduling: artificial
+//!   deadlocks are resolved by growing the smallest full channel, true
+//!   deadlocks abort the network;
+//! * [`stdlib`] provides every process used by the paper's example
+//!   networks, and [`graphs`] assembles those examples (Fibonacci, the
+//!   Sieve of Eratosthenes, Hamming numbers, Newton's method) ready to run.
+//!
+//! Determinacy in practice: the history of values on every channel depends
+//! only on the graph, never on scheduling — the property tests in
+//! `tests/determinacy.rs` (workspace root) exercise exactly this.
+
+#![warn(missing_docs)]
+
+mod buffer;
+pub mod channel;
+pub mod error;
+pub mod graphs;
+pub mod monitor;
+pub mod network;
+pub mod process;
+pub mod stdlib;
+pub mod stream;
+
+pub use channel::{
+    channel, channel_with_capacity, Channel, ChannelReader, ChannelWriter, Sink, Source,
+    SourceRead, DEFAULT_CAPACITY,
+};
+pub use error::{Error, Result};
+pub use monitor::{
+    BlockKind, ChannelIoStats, DeadlockPolicy, ExternalBlockGuard, Monitor, MonitorSnapshot,
+    MonitorStats,
+};
+pub use network::{Network, NetworkConfig, NetworkHandle, NetworkReport};
+pub use process::{CompositeProcess, FnProcess, Iterative, IterativeProcess, Process, ProcessCtx};
+pub use stream::{DataReader, DataWriter};

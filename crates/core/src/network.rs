@@ -1,0 +1,553 @@
+//! The network runner: builds a program graph, spawns one thread per
+//! process, tracks dynamically spawned processes, and reports the outcome.
+//!
+//! This plays the role of the paper's top-level graph-construction code
+//! (Figure 6): channels are created, processes are added and wired by
+//! moving channel endpoints into them, and the whole graph is started.
+//! Unlike the Java version there is no ambient runtime — the [`Network`]
+//! owns the deadlock [`Monitor`] and the join bookkeeping.
+
+use crate::channel::{channel_with, ChannelReader, ChannelWriter, DEFAULT_CAPACITY};
+use crate::error::{Error, Result};
+use crate::monitor::{mark_process_thread, DeadlockPolicy, Monitor, MonitorStats};
+use crate::process::{FnProcess, Iterative, IterativeProcess, Process, ProcessCtx};
+use parking_lot::Mutex;
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Configuration for a [`Network`].
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Capacity (bytes) for channels created without an explicit size.
+    pub default_capacity: usize,
+    /// What to do when every process is blocked (§3.5).
+    pub deadlock_policy: DeadlockPolicy,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            default_capacity: DEFAULT_CAPACITY,
+            deadlock_policy: DeadlockPolicy::default(),
+        }
+    }
+}
+
+struct NetworkInner {
+    config: NetworkConfig,
+    monitor: Arc<Monitor>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    pending: Mutex<Vec<Box<dyn Process>>>,
+    errors: Mutex<Vec<(String, Error)>>,
+    processes_run: Mutex<usize>,
+}
+
+/// Cheaply cloneable handle used by running processes (via
+/// [`ProcessCtx`]) to create channels and spawn into the network.
+#[derive(Clone)]
+pub struct NetworkHandle {
+    inner: Arc<NetworkInner>,
+}
+
+impl NetworkHandle {
+    /// Creates a monitored channel with the network default capacity.
+    pub fn channel(&self) -> (ChannelWriter, ChannelReader) {
+        self.channel_with_capacity(self.inner.config.default_capacity)
+    }
+
+    /// Creates a monitored channel with an explicit capacity.
+    pub fn channel_with_capacity(&self, capacity: usize) -> (ChannelWriter, ChannelReader) {
+        channel_with(capacity, Some(self.inner.monitor.clone()))
+    }
+
+    /// Spawns a process thread immediately.
+    pub fn spawn(&self, p: Box<dyn Process>) {
+        // Count the process as live *before* its thread exists, so a
+        // partially-started graph can never be mistaken for all-blocked.
+        self.inner.monitor.process_started();
+        self.spawn_reserved(p);
+    }
+
+    /// Spawns a process whose live-count was already reserved by the
+    /// caller. [`Network::start`] reserves the whole batch up front so that
+    /// early processes finishing (or blocking) while later ones are still
+    /// being spawned can never look like an all-blocked network.
+    pub(crate) fn spawn_reserved(&self, p: Box<dyn Process>) {
+        let inner = self.inner.clone();
+        *inner.processes_run.lock() += 1;
+        let name = p.name();
+        let thread_inner = inner.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("kpn:{name}"))
+            .spawn(move || {
+                mark_process_thread(true);
+                let ctx = ProcessCtx::new(NetworkHandle {
+                    inner: thread_inner.clone(),
+                });
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| p.run(&ctx)));
+                match outcome {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) if e.is_graceful() => {}
+                    Ok(Err(e)) => thread_inner.errors.lock().push((name, e)),
+                    Err(_) => thread_inner
+                        .errors
+                        .lock()
+                        .push((name, Error::Graph("process panicked".into()))),
+                }
+                thread_inner.monitor.process_finished();
+            })
+            .expect("failed to spawn process thread");
+        inner.handles.lock().push(handle);
+    }
+
+    /// The network's deadlock monitor.
+    pub fn monitor(&self) -> &Arc<Monitor> {
+        &self.inner.monitor
+    }
+}
+
+/// Outcome summary returned by [`Network::join`].
+#[derive(Debug)]
+pub struct NetworkReport {
+    /// Total process threads run, including dynamically spawned ones.
+    pub processes_run: usize,
+    /// Deadlock-monitor counters (artificial deadlocks resolved, etc.).
+    pub monitor: MonitorStats,
+    /// Non-graceful process failures `(process name, error)`.
+    pub errors: Vec<(String, Error)>,
+}
+
+/// A Kahn process network: a set of processes connected by channels,
+/// executed with one thread per process.
+///
+/// ```
+/// use kpn_core::{Network, stdlib::{Sequence, Collect}};
+/// use std::sync::{Arc, Mutex};
+///
+/// let net = Network::new();
+/// let (w, r) = net.channel();
+/// let out = Arc::new(Mutex::new(Vec::new()));
+/// net.add(Sequence::new(1, 5, w));
+/// net.add(Collect::new(r, out.clone()));
+/// net.run().unwrap();
+/// assert_eq!(*out.lock().unwrap(), vec![1, 2, 3, 4, 5]);
+/// ```
+#[derive(Clone)]
+pub struct Network {
+    handle: NetworkHandle,
+}
+
+impl Network {
+    /// A network with the default configuration (8 KiB channels, grow-on-
+    /// artificial-deadlock policy).
+    pub fn new() -> Self {
+        Self::with_config(NetworkConfig::default())
+    }
+
+    /// A network with an explicit configuration.
+    pub fn with_config(config: NetworkConfig) -> Self {
+        let monitor = Monitor::new(config.deadlock_policy);
+        Network {
+            handle: NetworkHandle {
+                inner: Arc::new(NetworkInner {
+                    config,
+                    monitor,
+                    handles: Mutex::new(Vec::new()),
+                    pending: Mutex::new(Vec::new()),
+                    errors: Mutex::new(Vec::new()),
+                    processes_run: Mutex::new(0),
+                }),
+            },
+        }
+    }
+
+    /// Creates a monitored channel with the default capacity.
+    pub fn channel(&self) -> (ChannelWriter, ChannelReader) {
+        self.handle.channel()
+    }
+
+    /// Creates a monitored channel with an explicit capacity.
+    pub fn channel_with_capacity(&self, capacity: usize) -> (ChannelWriter, ChannelReader) {
+        self.handle.channel_with_capacity(capacity)
+    }
+
+    /// Adds an [`Iterative`] process to run when the network starts.
+    pub fn add<T: Iterative>(&self, it: T) {
+        self.add_process(Box::new(IterativeProcess::new(it)));
+    }
+
+    /// Adds a boxed [`Process`].
+    pub fn add_process(&self, p: Box<dyn Process>) {
+        self.handle.inner.pending.lock().push(p);
+    }
+
+    /// Adds a closure process.
+    pub fn add_fn<F>(&self, name: impl Into<String>, body: F)
+    where
+        F: FnOnce(&ProcessCtx) -> Result<()> + Send + 'static,
+    {
+        self.add_process(Box::new(FnProcess::new(name, body)));
+    }
+
+    /// Spawns all pending processes. Can be called repeatedly; processes
+    /// added after `start` must be started again or spawned via
+    /// [`NetworkHandle::spawn`].
+    pub fn start(&self) {
+        let pending: Vec<_> = self.handle.inner.pending.lock().drain(..).collect();
+        // Reserve the live-count for the whole batch before any thread
+        // runs; see `spawn_reserved`.
+        for _ in &pending {
+            self.handle.inner.monitor.process_started();
+        }
+        for p in pending {
+            self.handle.spawn_reserved(p);
+        }
+    }
+
+    /// Waits for every process — including dynamically spawned ones — to
+    /// terminate, then reports. Fails with [`Error::Deadlocked`] if the
+    /// monitor declared a true deadlock, or [`Error::Graph`] if any process
+    /// failed non-gracefully.
+    pub fn join(&self) -> Result<NetworkReport> {
+        let report = self.join_report();
+        if self.handle.inner.monitor.is_aborted() {
+            return Err(Error::Deadlocked);
+        }
+        if !report.errors.is_empty() {
+            let summary = report
+                .errors
+                .iter()
+                .map(|(n, e)| format!("{n}: {e}"))
+                .collect::<Vec<_>>()
+                .join("; ");
+            return Err(Error::Graph(format!("process failures: {summary}")));
+        }
+        Ok(report)
+    }
+
+    /// Joins every process and builds the report without classifying the
+    /// outcome (shared by [`Network::join`] and [`Network::run_report`]).
+    fn join_report(&self) -> NetworkReport {
+        loop {
+            let batch: Vec<JoinHandle<()>> = {
+                let mut handles = self.handle.inner.handles.lock();
+                handles.drain(..).collect()
+            };
+            if batch.is_empty() {
+                break;
+            }
+            for h in batch {
+                let _ = h.join();
+            }
+        }
+        let inner = &self.handle.inner;
+        let errors: Vec<(String, Error)> = inner.errors.lock().drain(..).collect();
+        NetworkReport {
+            processes_run: *inner.processes_run.lock(),
+            monitor: inner.monitor.stats(),
+            errors,
+        }
+    }
+
+    /// Starts and joins the network.
+    pub fn run(&self) -> Result<NetworkReport> {
+        self.start();
+        self.join()
+    }
+
+    /// Like [`Network::run`] but returns the report even when the network
+    /// deadlocked or a process failed (for tests asserting on failure
+    /// details).
+    pub fn run_report(&self) -> NetworkReport {
+        self.start();
+        self.join_report()
+    }
+
+    /// Aborts the network: every blocked channel operation fails with
+    /// [`Error::Deadlocked`], unwinding all processes.
+    pub fn abort(&self) {
+        self.handle.inner.monitor.abort();
+    }
+
+    /// The network's deadlock monitor (stats, abort state).
+    pub fn monitor(&self) -> &Arc<Monitor> {
+        self.handle.monitor()
+    }
+
+    /// Per-channel I/O counters for every live channel of this network
+    /// (bytes, blocking episodes, peak occupancy, current capacity).
+    pub fn channel_report(&self) -> Vec<(u64, crate::monitor::ChannelIoStats)> {
+        self.handle.monitor().channel_report()
+    }
+
+    /// A cloneable handle for spawning from outside a process (used by the
+    /// distributed compute server).
+    pub fn handle(&self) -> NetworkHandle {
+        self.handle.clone()
+    }
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{DataReader, DataWriter};
+    use std::time::Duration;
+
+    #[test]
+    fn empty_network_joins_immediately() {
+        let net = Network::new();
+        let report = net.run().unwrap();
+        assert_eq!(report.processes_run, 0);
+    }
+
+    #[test]
+    fn closure_pipeline_runs() {
+        let net = Network::new();
+        let (w, r) = net.channel();
+        let (sum_w, sum_r) = net.channel();
+        net.add_fn("producer", move |_| {
+            let mut dw = DataWriter::new(w);
+            for i in 0..100 {
+                dw.write_i64(i)?;
+            }
+            Ok(())
+        });
+        net.add_fn("summer", move |_| {
+            let mut dr = DataReader::new(r);
+            let mut dw = DataWriter::new(sum_w);
+            let mut total = 0;
+            loop {
+                match dr.read_i64() {
+                    Ok(v) => total += v,
+                    Err(Error::Eof) => break,
+                    Err(e) => return Err(e),
+                }
+            }
+            dw.write_i64(total)?;
+            Ok(())
+        });
+        net.start();
+        let mut dr = DataReader::new(sum_r);
+        assert_eq!(dr.read_i64().unwrap(), 4950);
+        drop(dr);
+        net.join().unwrap();
+    }
+
+    #[test]
+    fn dynamic_spawn_is_joined() {
+        let net = Network::new();
+        let (w, mut r) = net.channel();
+        net.add_fn("parent", move |ctx| {
+            let mut w = w;
+            ctx.spawn(Box::new(FnProcess::new("child", move |_| {
+                w.write_all(b"hi")?;
+                Ok(())
+            })));
+            Ok(())
+        });
+        net.start();
+        let mut buf = [0u8; 2];
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hi");
+        drop(r);
+        let report = net.join().unwrap();
+        assert_eq!(report.processes_run, 2);
+    }
+
+    #[test]
+    fn composite_spawns_children_in_own_threads() {
+        use crate::process::CompositeProcess;
+        let net = Network::new();
+        let (w1, mut r1) = net.channel();
+        let (w2, mut r2) = net.channel();
+        let mut comp = CompositeProcess::new("pair");
+        comp.add(Box::new(FnProcess::new("a", move |_| {
+            let mut w = w1;
+            w.write_all(b"A")?;
+            Ok(())
+        })));
+        comp.add(Box::new(FnProcess::new("b", move |_| {
+            let mut w = w2;
+            w.write_all(b"B")?;
+            Ok(())
+        })));
+        assert_eq!(comp.len(), 2);
+        net.add_process(Box::new(comp));
+        net.start();
+        let mut a = [0u8; 1];
+        let mut b = [0u8; 1];
+        r1.read_exact(&mut a).unwrap();
+        r2.read_exact(&mut b).unwrap();
+        assert_eq!((&a, &b), (b"A", b"B"));
+        drop((r1, r2));
+        let report = net.join().unwrap();
+        assert_eq!(report.processes_run, 3); // composite + 2 children
+    }
+
+    #[test]
+    fn process_panic_is_reported_and_cascades() {
+        let net = Network::new();
+        let (w, r) = net.channel();
+        net.add_fn("panicker", move |_| {
+            let _w = w; // endpoint dropped during unwind -> EOF downstream
+            panic!("boom");
+        });
+        net.add_fn("reader", move |_| {
+            let mut r = r;
+            let mut buf = [0u8; 1];
+            // Sees EOF because the panicking process dropped its writer.
+            assert_eq!(r.read(&mut buf)?, 0);
+            Ok(())
+        });
+        net.start();
+        let err = net.join().unwrap_err();
+        assert!(err.to_string().contains("panicker"));
+    }
+
+    #[test]
+    fn abort_unblocks_everyone() {
+        let net = Network::new();
+        let (_w, r) = net.channel();
+        net.add_fn("stuck-reader", move |_| {
+            let mut r = r;
+            let mut buf = [0u8; 1];
+            match r.read(&mut buf) {
+                Err(Error::Deadlocked) => Ok(()), // expected
+                other => panic!("expected Deadlocked, got {other:?}"),
+            }
+        });
+        net.start();
+        std::thread::sleep(Duration::from_millis(30));
+        net.abort();
+        assert!(net.join().is_err());
+    }
+
+    #[test]
+    fn iterative_limit_runs_exact_count() {
+        struct Counter {
+            w: DataWriter,
+            n: i64,
+        }
+        impl Iterative for Counter {
+            fn name(&self) -> String {
+                "counter".into()
+            }
+            fn limit(&self) -> Option<u64> {
+                Some(5)
+            }
+            fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
+                self.w.write_i64(self.n)?;
+                self.n += 1;
+                Ok(())
+            }
+        }
+        let net = Network::new();
+        let (w, r) = net.channel();
+        net.add(Counter {
+            w: DataWriter::new(w),
+            n: 10,
+        });
+        net.start();
+        let mut dr = DataReader::new(r);
+        for expect in 10..15 {
+            assert_eq!(dr.read_i64().unwrap(), expect);
+        }
+        assert!(matches!(dr.read_i64(), Err(Error::Eof)));
+        drop(dr);
+        net.join().unwrap();
+    }
+
+    #[test]
+    fn on_start_and_on_stop_run_once() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+        #[derive(Default)]
+        struct Hooks {
+            starts: Arc<AtomicU32>,
+            stops: Arc<AtomicU32>,
+            steps: Arc<AtomicU32>,
+        }
+        struct P(Hooks);
+        impl Iterative for P {
+            fn limit(&self) -> Option<u64> {
+                Some(3)
+            }
+            fn on_start(&mut self, _: &ProcessCtx) -> Result<()> {
+                self.0.starts.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }
+            fn step(&mut self, _: &ProcessCtx) -> Result<()> {
+                self.0.steps.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }
+            fn on_stop(&mut self) {
+                self.0.stops.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let hooks = Hooks::default();
+        let (s1, s2, s3) = (
+            hooks.starts.clone(),
+            hooks.stops.clone(),
+            hooks.steps.clone(),
+        );
+        let net = Network::new();
+        net.add(P(hooks));
+        net.run().unwrap();
+        assert_eq!(s1.load(Ordering::SeqCst), 1);
+        assert_eq!(s2.load(Ordering::SeqCst), 1);
+        assert_eq!(s3.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn on_stop_runs_after_step_error() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        struct Failing(Arc<AtomicBool>);
+        impl Iterative for Failing {
+            fn step(&mut self, _: &ProcessCtx) -> Result<()> {
+                Err(Error::Eof) // graceful stop on first step
+            }
+            fn on_stop(&mut self) {
+                self.0.store(true, Ordering::SeqCst);
+            }
+        }
+        let flag = Arc::new(AtomicBool::new(false));
+        let net = Network::new();
+        net.add(Failing(flag.clone()));
+        net.run().unwrap();
+        assert!(flag.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn run_report_surfaces_failures_without_err() {
+        let net = Network::new();
+        net.add_fn("failer", |_| Err(Error::Graph("intentional".into())));
+        let report = net.run_report();
+        assert_eq!(report.errors.len(), 1);
+        assert!(report.errors[0].1.to_string().contains("intentional"));
+    }
+
+    #[test]
+    fn channel_report_counts_live_and_retired() {
+        let net = Network::new();
+        let (mut w, mut r) = net.channel();
+        w.write_all(b"xy").unwrap();
+        let mut buf = [0u8; 2];
+        r.read_exact(&mut buf).unwrap();
+        // Live channel appears.
+        assert_eq!(net.channel_report().len(), 1);
+        drop(w);
+        drop(r);
+        // Retired channel still appears, with its final counters.
+        let report = net.channel_report();
+        assert_eq!(report.len(), 1);
+        assert_eq!(report[0].1.bytes_written, 2);
+    }
+}

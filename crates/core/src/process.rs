@@ -1,0 +1,234 @@
+//! Processes and process composition (§3.2).
+//!
+//! Every process executes in its own thread, created by the owning
+//! [`crate::Network`]. New process types either implement [`Process`]
+//! directly (full control of the run loop) or — far more commonly —
+//! implement [`Iterative`], the analogue of the paper's
+//! `IterativeProcess` base class: optional one-time `on_start`/`on_stop`
+//! hooks around a repeated `step`, with an optional iteration limit
+//! (Figure 4).
+//!
+//! A step that returns a *graceful* error ([`crate::Error::Eof`] or
+//! [`crate::Error::WriteClosed`]) terminates the process normally; its channel
+//! endpoints are dropped (= closed), which propagates the termination
+//! cascade of §3.4 to its neighbours.
+
+use crate::channel::{ChannelReader, ChannelWriter};
+use crate::error::Result;
+use crate::network::NetworkHandle;
+
+/// Execution context handed to a running process: lets self-modifying
+/// graphs create channels and spawn new processes at run time (§3.3 —
+/// "reconfiguration \[is\] initiated by processes and not some external
+/// agent").
+pub struct ProcessCtx {
+    net: NetworkHandle,
+}
+
+impl ProcessCtx {
+    pub(crate) fn new(net: NetworkHandle) -> Self {
+        ProcessCtx { net }
+    }
+
+    /// Creates a new channel registered with this network's deadlock
+    /// monitor, using the network's default capacity.
+    pub fn channel(&self) -> (ChannelWriter, ChannelReader) {
+        self.net.channel()
+    }
+
+    /// Creates a new monitored channel with an explicit capacity.
+    pub fn channel_with_capacity(&self, capacity: usize) -> (ChannelWriter, ChannelReader) {
+        self.net.channel_with_capacity(capacity)
+    }
+
+    /// Spawns a process into the running network (dynamic reconfiguration:
+    /// the Sift process of Figures 7/8 uses this to insert Modulo filters).
+    pub fn spawn(&self, p: Box<dyn Process>) {
+        self.net.spawn(p);
+    }
+
+    /// Spawns an [`Iterative`] process into the running network.
+    pub fn spawn_iterative<T: Iterative>(&self, it: T) {
+        self.net.spawn(Box::new(IterativeProcess::new(it)));
+    }
+
+    /// A handle to the owning network (for composing with `kpn-net`).
+    pub fn network(&self) -> &NetworkHandle {
+        &self.net
+    }
+}
+
+/// A process in a Kahn network. Owns its channel endpoints; communicates
+/// *only* through them (§1).
+pub trait Process: Send + 'static {
+    /// Human-readable name used for thread naming and error reports.
+    fn name(&self) -> String {
+        "process".into()
+    }
+
+    /// The body of the process. Runs on a dedicated thread. Returning
+    /// (with any result) drops the process and thereby closes all of its
+    /// channel endpoints — the paper's `onStop` behaviour.
+    fn run(self: Box<Self>, ctx: &ProcessCtx) -> Result<()>;
+}
+
+/// The `IterativeProcess` pattern (§3.2, Figure 4): one-time start/stop
+/// hooks around a repeated `step`, with an optional iteration limit.
+pub trait Iterative: Send + 'static {
+    /// Process name for diagnostics.
+    fn name(&self) -> String {
+        "iterative".into()
+    }
+
+    /// Iteration limit; `None` runs until a step returns an error
+    /// (typically the graceful EOF/WriteClosed cascade).
+    fn limit(&self) -> Option<u64> {
+        None
+    }
+
+    /// One-time initialization, invoked as execution begins.
+    fn on_start(&mut self, _ctx: &ProcessCtx) -> Result<()> {
+        Ok(())
+    }
+
+    /// One unit of the process's work.
+    fn step(&mut self, ctx: &ProcessCtx) -> Result<()>;
+
+    /// One-time cleanup, invoked as execution ends (even after an error).
+    /// Channel endpoints are closed automatically when the process drops.
+    fn on_stop(&mut self) {}
+}
+
+/// Adapter running an [`Iterative`] under the [`Process`] contract.
+pub struct IterativeProcess<T: Iterative> {
+    inner: T,
+}
+
+impl<T: Iterative> IterativeProcess<T> {
+    /// Wraps an iterative process body.
+    pub fn new(inner: T) -> Self {
+        IterativeProcess { inner }
+    }
+}
+
+impl<T: Iterative> Process for IterativeProcess<T> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn run(mut self: Box<Self>, ctx: &ProcessCtx) -> Result<()> {
+        let result: Result<()> = (|| {
+            self.inner.on_start(ctx)?;
+            match self.inner.limit() {
+                Some(n) => {
+                    for _ in 0..n {
+                        self.inner.step(ctx)?;
+                    }
+                }
+                None => loop {
+                    self.inner.step(ctx)?;
+                },
+            }
+            Ok(())
+        })();
+        self.inner.on_stop();
+        match result {
+            // §3.4: EOF / closed-reader exceptions are the normal
+            // termination cascade, not failures.
+            Err(e) if e.is_graceful() => Ok(()),
+            other => other,
+        }
+    }
+}
+
+/// A process defined by a closure — convenient for tests and examples.
+pub struct FnProcess<F>
+where
+    F: FnOnce(&ProcessCtx) -> Result<()> + Send + 'static,
+{
+    name: String,
+    body: F,
+}
+
+impl<F> FnProcess<F>
+where
+    F: FnOnce(&ProcessCtx) -> Result<()> + Send + 'static,
+{
+    /// Creates a named closure process.
+    pub fn new(name: impl Into<String>, body: F) -> Self {
+        FnProcess {
+            name: name.into(),
+            body,
+        }
+    }
+}
+
+impl<F> Process for FnProcess<F>
+where
+    F: FnOnce(&ProcessCtx) -> Result<()> + Send + 'static,
+{
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn run(self: Box<Self>, ctx: &ProcessCtx) -> Result<()> {
+        let result = (self.body)(ctx);
+        match result {
+            Err(e) if e.is_graceful() => Ok(()),
+            other => other,
+        }
+    }
+}
+
+/// Hierarchical composition (§3.2): a process that is itself a collection
+/// of processes. Each component gets **its own thread** — running component
+/// steps in sequence could introduce deadlock through composition, which
+/// the paper explicitly avoids.
+pub struct CompositeProcess {
+    name: String,
+    children: Vec<Box<dyn Process>>,
+}
+
+impl CompositeProcess {
+    /// An empty composite.
+    pub fn new(name: impl Into<String>) -> Self {
+        CompositeProcess {
+            name: name.into(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Adds a component process (builder style).
+    pub fn add(&mut self, p: Box<dyn Process>) -> &mut Self {
+        self.children.push(p);
+        self
+    }
+
+    /// Adds an [`Iterative`] component.
+    pub fn add_iterative<T: Iterative>(&mut self, it: T) -> &mut Self {
+        self.add(Box::new(IterativeProcess::new(it)))
+    }
+
+    /// Number of direct components.
+    pub fn len(&self) -> usize {
+        self.children.len()
+    }
+
+    /// True when the composite has no components.
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+impl Process for CompositeProcess {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn run(self: Box<Self>, ctx: &ProcessCtx) -> Result<()> {
+        for child in self.children {
+            ctx.spawn(child);
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,325 @@
+//! Type-independent byte-level processes (§3.1): these "simply process
+//! bytes and need not be aware of any structure within a byte stream", so a
+//! single implementation serves streams of ints, doubles, or objects.
+
+use crate::channel::{ChannelReader, ChannelWriter};
+use crate::error::{Error, Result};
+use crate::process::{Iterative, ProcessCtx};
+
+const COPY_CHUNK: usize = 1024;
+
+/// Copies its input to its output unchanged.
+pub struct Identity {
+    input: ChannelReader,
+    output: ChannelWriter,
+    buf: Vec<u8>,
+}
+
+impl Identity {
+    /// An identity process between `input` and `output`.
+    pub fn new(input: ChannelReader, output: ChannelWriter) -> Self {
+        Identity {
+            input,
+            output,
+            buf: vec![0u8; COPY_CHUNK],
+        }
+    }
+}
+
+impl Iterative for Identity {
+    fn name(&self) -> String {
+        "Identity".into()
+    }
+    fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
+        let n = self.input.read(&mut self.buf)?;
+        if n == 0 {
+            return Err(Error::Eof);
+        }
+        self.output.write_all(&self.buf[..n])
+    }
+}
+
+/// Inserts a stream at the head of another stream (§3.2): copies all of
+/// `first`, then all of `rest`. With [`Cons::removing_self`], once the
+/// prefix has been delivered the process retires from the graph by splicing
+/// `rest` directly onto its output channel (Figures 9/10), avoiding the
+/// per-byte copy.
+pub struct Cons {
+    first: Option<ChannelReader>,
+    rest: Option<ChannelReader>,
+    output: Option<ChannelWriter>,
+    remove_self: bool,
+    buf: Vec<u8>,
+}
+
+impl Cons {
+    /// A cons process that keeps copying for its whole life.
+    pub fn new(first: ChannelReader, rest: ChannelReader, output: ChannelWriter) -> Self {
+        Cons {
+            first: Some(first),
+            rest: Some(rest),
+            output: Some(output),
+            remove_self: false,
+            buf: vec![0u8; COPY_CHUNK],
+        }
+    }
+
+    /// After delivering the prefix, remove this process from the graph by
+    /// splicing `rest` onto the output channel ("to avoid unnecessary
+    /// copying of data and improve efficiency, the Cons processes remove
+    /// themselves from the program graph", §3.3).
+    pub fn removing_self(mut self) -> Self {
+        self.remove_self = true;
+        self
+    }
+
+    fn copy_all_of_first(&mut self) -> Result<()> {
+        let first = self.first.as_mut().expect("first already consumed");
+        let out = self.output.as_mut().expect("output already retired");
+        loop {
+            let n = first.read(&mut self.buf)?;
+            if n == 0 {
+                break;
+            }
+            out.write_all(&self.buf[..n])?;
+        }
+        self.first = None;
+        Ok(())
+    }
+}
+
+impl Iterative for Cons {
+    fn name(&self) -> String {
+        "Cons".into()
+    }
+
+    fn on_start(&mut self, _ctx: &ProcessCtx) -> Result<()> {
+        self.copy_all_of_first()?;
+        if self.remove_self {
+            let output = self.output.take().expect("output present");
+            let rest = self.rest.take().expect("rest present");
+            output.retire(rest)?;
+            // Nothing left to do; end the process gracefully.
+            return Err(Error::Eof);
+        }
+        Ok(())
+    }
+
+    fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
+        let rest = self.rest.as_mut().expect("rest present");
+        let out = self.output.as_mut().expect("output present");
+        let n = rest.read(&mut self.buf)?;
+        if n == 0 {
+            return Err(Error::Eof);
+        }
+        out.write_all(&self.buf[..n])
+    }
+}
+
+/// Creates multiple copies of a stream (§1 footnote: streams have a single
+/// consumer; fan-out is expressed by an explicit Duplicate process).
+/// Figure 5's `step` is the direct model for this implementation.
+///
+/// By default the process dies on the first closed output — the paper's
+/// behaviour, and the one the §3.4 termination cascades rely on (a sink
+/// limit must tear down *all* branches). [`Duplicate::resilient`] opts
+/// into keeping the surviving branches fed until every output has closed,
+/// which some fan-out topologies prefer; it deliberately trades cascade
+/// promptness for branch independence.
+pub struct Duplicate {
+    input: ChannelReader,
+    outputs: Vec<Option<ChannelWriter>>,
+    resilient: bool,
+    buf: Vec<u8>,
+}
+
+impl Duplicate {
+    /// Duplicates `input` onto each writer in `outputs`.
+    pub fn new(input: ChannelReader, outputs: Vec<ChannelWriter>) -> Self {
+        assert!(!outputs.is_empty(), "Duplicate needs at least one output");
+        Duplicate {
+            input,
+            outputs: outputs.into_iter().map(Some).collect(),
+            resilient: false,
+            buf: vec![0u8; COPY_CHUNK],
+        }
+    }
+
+    /// Convenience constructor for the common two-way split.
+    pub fn two(input: ChannelReader, a: ChannelWriter, b: ChannelWriter) -> Self {
+        Self::new(input, vec![a, b])
+    }
+
+    /// Keep feeding surviving outputs when one closes; terminate only when
+    /// all outputs have closed (or the input ends).
+    pub fn resilient(mut self) -> Self {
+        self.resilient = true;
+        self
+    }
+}
+
+impl Iterative for Duplicate {
+    fn name(&self) -> String {
+        format!("Duplicate(x{})", self.outputs.len())
+    }
+
+    fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
+        let n = self.input.read(&mut self.buf)?;
+        if n == 0 {
+            return Err(Error::Eof);
+        }
+        let mut alive = 0;
+        for slot in &mut self.outputs {
+            let Some(out) = slot.as_mut() else { continue };
+            match out.write_all(&self.buf[..n]) {
+                Ok(()) => alive += 1,
+                Err(e) if self.resilient && e.is_graceful() => {
+                    // This branch closed; drop its writer and carry on.
+                    *slot = None;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if self.resilient && alive == 0 {
+            return Err(Error::WriteClosed); // all branches gone
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::channel;
+    use crate::network::Network;
+    use crate::stdlib::{Collect, Constant, Sequence};
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn cons_prepends_prefix() {
+        let net = Network::new();
+        let (fw, fr) = net.channel();
+        let (rw, rr) = net.channel();
+        let (ow, or) = net.channel();
+        let out = Arc::new(Mutex::new(Vec::new()));
+        net.add(Constant::new(99, fw).with_limit(1));
+        net.add(Sequence::new(1, 3, rw));
+        net.add(Cons::new(fr, rr, ow));
+        net.add(Collect::new(or, out.clone()));
+        net.run().unwrap();
+        assert_eq!(*out.lock().unwrap(), vec![99, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cons_removing_self_produces_identical_stream() {
+        // Figure 9: the reconfigured network must produce the same history.
+        let net = Network::new();
+        let (fw, fr) = net.channel();
+        let (rw, rr) = net.channel();
+        let (ow, or) = net.channel();
+        let out = Arc::new(Mutex::new(Vec::new()));
+        net.add(Constant::new(99, fw).with_limit(1));
+        net.add(Sequence::new(1, 100, rw));
+        net.add(Cons::new(fr, rr, ow).removing_self());
+        net.add(Collect::new(or, out.clone()));
+        net.run().unwrap();
+        let mut expect = vec![99i64];
+        expect.extend(1..=100);
+        assert_eq!(*out.lock().unwrap(), expect);
+    }
+
+    #[test]
+    fn duplicate_copies_to_all_outputs() {
+        let net = Network::new();
+        let (iw, ir) = net.channel();
+        let (aw, ar) = net.channel();
+        let (bw, br) = net.channel();
+        let (cw, cr) = net.channel();
+        let oa = Arc::new(Mutex::new(Vec::new()));
+        let ob = Arc::new(Mutex::new(Vec::new()));
+        let oc = Arc::new(Mutex::new(Vec::new()));
+        net.add(Sequence::new(0, 50, iw));
+        net.add(Duplicate::new(ir, vec![aw, bw, cw]));
+        net.add(Collect::new(ar, oa.clone()));
+        net.add(Collect::new(br, ob.clone()));
+        net.add(Collect::new(cr, oc.clone()));
+        net.run().unwrap();
+        let expect: Vec<i64> = (0..50).collect();
+        assert_eq!(*oa.lock().unwrap(), expect);
+        assert_eq!(*ob.lock().unwrap(), expect);
+        assert_eq!(*oc.lock().unwrap(), expect);
+    }
+
+    #[test]
+    fn identity_is_transparent() {
+        let net = Network::new();
+        let (iw, ir) = net.channel();
+        let (ow, or) = net.channel();
+        let out = Arc::new(Mutex::new(Vec::new()));
+        net.add(Sequence::new(5, 10, iw));
+        net.add(Identity::new(ir, ow));
+        net.add(Collect::new(or, out.clone()));
+        net.run().unwrap();
+        assert_eq!(*out.lock().unwrap(), (5..15).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one output")]
+    fn duplicate_requires_outputs() {
+        let (_w, r) = channel();
+        let _ = Duplicate::new(r, vec![]);
+    }
+
+    #[test]
+    fn default_duplicate_cascades_on_first_closed_branch() {
+        // §3.4 behaviour: one limited branch tears the whole graph down.
+        let net = Network::new();
+        let (iw, ir) = net.channel_with_capacity(64);
+        let (aw, ar) = net.channel_with_capacity(64);
+        let (bw, br) = net.channel_with_capacity(64);
+        let oa = Arc::new(Mutex::new(Vec::new()));
+        let ob = Arc::new(Mutex::new(Vec::new()));
+        net.add(Sequence::unbounded(0, iw));
+        net.add(Duplicate::two(ir, aw, bw));
+        net.add(Collect::new(ar, oa.clone()).with_limit(5));
+        net.add(Collect::new(br, ob.clone()));
+        net.run().unwrap();
+        assert_eq!(oa.lock().unwrap().len(), 5);
+        // Branch b got at most a few buffered extras before the cascade.
+        assert!(ob.lock().unwrap().len() < 100);
+    }
+
+    #[test]
+    fn resilient_duplicate_keeps_surviving_branch_alive() {
+        let net = Network::new();
+        let (iw, ir) = net.channel();
+        let (aw, ar) = net.channel();
+        let (bw, br) = net.channel();
+        let oa = Arc::new(Mutex::new(Vec::new()));
+        let ob = Arc::new(Mutex::new(Vec::new()));
+        net.add(Sequence::new(0, 500, iw));
+        net.add(Duplicate::two(ir, aw, bw).resilient());
+        net.add(Collect::new(ar, oa.clone()).with_limit(5)); // dies early
+        net.add(Collect::new(br, ob.clone())); // must still get everything
+        net.run().unwrap();
+        assert_eq!(oa.lock().unwrap().len(), 5);
+        assert_eq!(*ob.lock().unwrap(), (0..500).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn resilient_duplicate_stops_when_all_branches_close() {
+        let net = Network::new();
+        let (iw, ir) = net.channel_with_capacity(64);
+        let (aw, ar) = net.channel_with_capacity(64);
+        let (bw, br) = net.channel_with_capacity(64);
+        let oa = Arc::new(Mutex::new(Vec::new()));
+        let ob = Arc::new(Mutex::new(Vec::new()));
+        net.add(Sequence::unbounded(0, iw)); // infinite source
+        net.add(Duplicate::two(ir, aw, bw).resilient());
+        net.add(Collect::new(ar, oa.clone()).with_limit(3));
+        net.add(Collect::new(br, ob.clone()).with_limit(7));
+        net.run().unwrap(); // must terminate: both limits reached
+        assert_eq!(oa.lock().unwrap().len(), 3);
+        assert_eq!(ob.lock().unwrap().len(), 7);
+    }
+}

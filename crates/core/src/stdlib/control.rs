@@ -1,0 +1,122 @@
+//! Data-dependent control: the `Guard` process of the Newton square-root
+//! network (Figure 11, §3.4), demonstrating data-dependent termination.
+
+use crate::channel::{ChannelReader, ChannelWriter};
+use crate::error::{Error, Result};
+use crate::process::{Iterative, ProcessCtx};
+use crate::stream::{DataReader, DataWriter};
+
+/// Passes `f64` data to its output when the paired control value is true
+/// and discards it otherwise. Optionally stops after passing the first
+/// true-guarded value — the paper's configuration for Newton's method:
+/// "causing the Guard to pass one value to the Print process and stop".
+pub struct Guard {
+    data: DataReader,
+    control: DataReader,
+    out: DataWriter,
+    stop_after_true: bool,
+}
+
+impl Guard {
+    /// A guard over a data stream and a boolean control stream.
+    pub fn new(data: ChannelReader, control: ChannelReader, out: ChannelWriter) -> Self {
+        Guard {
+            data: DataReader::new(data),
+            control: DataReader::new(control),
+            out: DataWriter::new(out),
+            stop_after_true: false,
+        }
+    }
+
+    /// Terminate (gracefully, starting the §3.4 cascade) after the first
+    /// value passed through.
+    pub fn stopping_after_first(mut self) -> Self {
+        self.stop_after_true = true;
+        self
+    }
+}
+
+impl Iterative for Guard {
+    fn name(&self) -> String {
+        "Guard".into()
+    }
+
+    fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
+        let value = self.data.read_f64()?;
+        let pass = self.control.read_bool()?;
+        if pass {
+            self.out.write_f64(value)?;
+            if self.stop_after_true {
+                return Err(Error::Eof); // graceful self-termination
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use crate::stdlib::CollectF64;
+    use crate::stream::DataWriter;
+    use std::sync::{Arc, Mutex};
+
+    fn run_guard(data: Vec<f64>, ctrl: Vec<bool>, stop_first: bool) -> Vec<f64> {
+        let net = Network::new();
+        let (dw, dr) = net.channel();
+        let (cw, cr) = net.channel();
+        let (ow, or) = net.channel();
+        let out = Arc::new(Mutex::new(Vec::new()));
+        net.add_fn("data", move |_| {
+            let mut w = DataWriter::new(dw);
+            for v in data {
+                w.write_f64(v)?;
+            }
+            Ok(())
+        });
+        net.add_fn("ctrl", move |_| {
+            let mut w = DataWriter::new(cw);
+            for v in ctrl {
+                w.write_bool(v)?;
+            }
+            Ok(())
+        });
+        let g = Guard::new(dr, cr, ow);
+        net.add(if stop_first {
+            g.stopping_after_first()
+        } else {
+            g
+        });
+        net.add(CollectF64::new(or, out.clone()));
+        net.run().unwrap();
+        let v = out.lock().unwrap().clone();
+        v
+    }
+
+    #[test]
+    fn passes_only_true_guarded_values() {
+        let got = run_guard(
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![false, true, false, true],
+            false,
+        );
+        assert_eq!(got, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn stops_after_first_true() {
+        let got = run_guard(
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![false, true, true, true],
+            true,
+        );
+        assert_eq!(got, vec![2.0]);
+    }
+
+    #[test]
+    fn all_false_passes_nothing() {
+        let got = run_guard(vec![1.0, 2.0], vec![false, false], false);
+        assert!(got.is_empty());
+    }
+}

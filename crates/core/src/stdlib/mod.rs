@@ -1,0 +1,23 @@
+//! The standard process library: every process the paper uses in its
+//! example networks (Figures 1, 2, 7, 9, 11, 12, 13).
+//!
+//! Byte-level processes (`Cons`, `Duplicate`, `Identity`) copy raw bytes and
+//! are therefore type-independent (§3.1); arithmetic processes layer
+//! [`crate::DataReader`]/[`crate::DataWriter`] over their endpoints inside
+//! the process.
+
+mod arith;
+mod bytewise;
+mod control;
+mod merge;
+mod sieve;
+mod sinks;
+mod sources;
+
+pub use arith::{Add, Average, Divide, Equal, Scale};
+pub use bytewise::{Cons, Duplicate, Identity};
+pub use control::Guard;
+pub use merge::{ModRouter, OrderedMerge};
+pub use sieve::{Modulo, Sift};
+pub use sinks::{Collect, CollectF64, Discard, Print};
+pub use sources::{Constant, ConstantF64, Sequence};

@@ -1,0 +1,197 @@
+//! Sink processes: consume data. `Print` is the paper's terminal process in
+//! every example network; `Collect` is its test-friendly sibling that
+//! gathers values into a shared vector; `Discard` drains bytes.
+//!
+//! Imposing an iteration limit on the sink is how the paper terminates
+//! otherwise-infinite programs ("to compute the first 100 prime numbers, we
+//! can impose an iteration limit on the Print process", §3.4): when the
+//! limit is reached the process stops, its endpoints close, and the
+//! termination cascade unwinds the whole graph.
+
+use crate::channel::ChannelReader;
+use crate::error::{Error, Result};
+use crate::process::{Iterative, ProcessCtx};
+use crate::stream::DataReader;
+use std::sync::{Arc, Mutex};
+
+/// Prints each `i64` read from its input to stdout.
+pub struct Print {
+    input: DataReader,
+    label: String,
+    limit: Option<u64>,
+}
+
+impl Print {
+    /// Prints every value until EOF.
+    pub fn new(input: ChannelReader) -> Self {
+        Print {
+            input: DataReader::new(input),
+            label: String::new(),
+            limit: None,
+        }
+    }
+
+    /// Stops (and triggers the termination cascade) after `limit` values.
+    pub fn with_limit(mut self, limit: u64) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Prefixes each printed line.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+impl Iterative for Print {
+    fn name(&self) -> String {
+        "Print".into()
+    }
+    fn limit(&self) -> Option<u64> {
+        self.limit
+    }
+    fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
+        let v = self.input.read_i64()?;
+        if self.label.is_empty() {
+            println!("{v}");
+        } else {
+            println!("{}: {v}", self.label);
+        }
+        Ok(())
+    }
+}
+
+/// Collects `i64` values into a shared vector — the observable output of
+/// most tests and property checks in this workspace.
+pub struct Collect {
+    input: DataReader,
+    out: Arc<Mutex<Vec<i64>>>,
+    limit: Option<u64>,
+}
+
+impl Collect {
+    /// Collects every value until EOF.
+    pub fn new(input: ChannelReader, out: Arc<Mutex<Vec<i64>>>) -> Self {
+        Collect {
+            input: DataReader::new(input),
+            out,
+            limit: None,
+        }
+    }
+
+    /// Stops after `limit` values (triggers the termination cascade).
+    pub fn with_limit(mut self, limit: u64) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+}
+
+impl Iterative for Collect {
+    fn name(&self) -> String {
+        "Collect".into()
+    }
+    fn limit(&self) -> Option<u64> {
+        self.limit
+    }
+    fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
+        let v = self.input.read_i64()?;
+        self.out.lock().expect("collector poisoned").push(v);
+        Ok(())
+    }
+}
+
+/// Collects `f64` values into a shared vector.
+pub struct CollectF64 {
+    input: DataReader,
+    out: Arc<Mutex<Vec<f64>>>,
+    limit: Option<u64>,
+}
+
+impl CollectF64 {
+    /// Collects every value until EOF.
+    pub fn new(input: ChannelReader, out: Arc<Mutex<Vec<f64>>>) -> Self {
+        CollectF64 {
+            input: DataReader::new(input),
+            out,
+            limit: None,
+        }
+    }
+
+    /// Stops after `limit` values.
+    pub fn with_limit(mut self, limit: u64) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+}
+
+impl Iterative for CollectF64 {
+    fn name(&self) -> String {
+        "CollectF64".into()
+    }
+    fn limit(&self) -> Option<u64> {
+        self.limit
+    }
+    fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
+        let v = self.input.read_f64()?;
+        self.out.lock().expect("collector poisoned").push(v);
+        Ok(())
+    }
+}
+
+/// Reads and discards bytes until EOF (a `/dev/null` process).
+pub struct Discard {
+    input: ChannelReader,
+    buf: Vec<u8>,
+}
+
+impl Discard {
+    /// Discards everything written to `input`.
+    pub fn new(input: ChannelReader) -> Self {
+        Discard {
+            input,
+            buf: vec![0u8; 1024],
+        }
+    }
+}
+
+impl Iterative for Discard {
+    fn name(&self) -> String {
+        "Discard".into()
+    }
+    fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
+        let n = self.input.read(&mut self.buf)?;
+        if n == 0 {
+            return Err(Error::Eof);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use crate::stdlib::Sequence;
+
+    #[test]
+    fn collect_with_limit_closes_early() {
+        let net = Network::new();
+        let (w, r) = net.channel_with_capacity(32);
+        let out = Arc::new(Mutex::new(Vec::new()));
+        net.add(Sequence::unbounded(0, w));
+        net.add(Collect::new(r, out.clone()).with_limit(4));
+        net.run().unwrap();
+        assert_eq!(*out.lock().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn discard_drains_to_eof() {
+        let net = Network::new();
+        let (w, r) = net.channel();
+        net.add(Sequence::new(0, 1000, w));
+        net.add(Discard::new(r));
+        let report = net.run().unwrap();
+        assert_eq!(report.processes_run, 2);
+    }
+}

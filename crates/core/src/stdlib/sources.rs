@@ -1,0 +1,165 @@
+//! Source processes: emit data without consuming any.
+
+use crate::channel::ChannelWriter;
+use crate::error::Result;
+use crate::process::{Iterative, ProcessCtx};
+use crate::stream::DataWriter;
+
+/// Emits a constant `i64` value, a fixed number of times (or forever).
+/// The paper's `Constant(1, ab.getOutputStream(), 1)` (Figure 6) becomes
+/// `Constant::new(1, writer).with_limit(1)`.
+pub struct Constant {
+    value: i64,
+    out: DataWriter,
+    limit: Option<u64>,
+}
+
+impl Constant {
+    /// A constant source with no iteration limit.
+    pub fn new(value: i64, out: ChannelWriter) -> Self {
+        Constant {
+            value,
+            out: DataWriter::new(out),
+            limit: None,
+        }
+    }
+
+    /// Limits the number of values emitted.
+    pub fn with_limit(mut self, limit: u64) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+}
+
+impl Iterative for Constant {
+    fn name(&self) -> String {
+        format!("Constant({})", self.value)
+    }
+    fn limit(&self) -> Option<u64> {
+        self.limit
+    }
+    fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
+        self.out.write_i64(self.value)
+    }
+}
+
+/// Emits a constant `f64` value (for the Newton network of Figure 11).
+pub struct ConstantF64 {
+    value: f64,
+    out: DataWriter,
+    limit: Option<u64>,
+}
+
+impl ConstantF64 {
+    /// A constant source with no iteration limit.
+    pub fn new(value: f64, out: ChannelWriter) -> Self {
+        ConstantF64 {
+            value,
+            out: DataWriter::new(out),
+            limit: None,
+        }
+    }
+
+    /// Limits the number of values emitted.
+    pub fn with_limit(mut self, limit: u64) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+}
+
+impl Iterative for ConstantF64 {
+    fn name(&self) -> String {
+        format!("ConstantF64({})", self.value)
+    }
+    fn limit(&self) -> Option<u64> {
+        self.limit
+    }
+    fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
+        self.out.write_f64(self.value)
+    }
+}
+
+/// Emits consecutive integers starting from `start`. With a limit of `n` it
+/// emits `start, start+1, …, start+n-1` — the Sequence process that feeds
+/// the Sieve of Eratosthenes (Figure 7, §3.4).
+pub struct Sequence {
+    next: i64,
+    out: DataWriter,
+    limit: Option<u64>,
+}
+
+impl Sequence {
+    /// Emits `count` consecutive integers starting at `start`.
+    pub fn new(start: i64, count: u64, out: ChannelWriter) -> Self {
+        Sequence {
+            next: start,
+            out: DataWriter::new(out),
+            limit: Some(count),
+        }
+    }
+
+    /// Emits integers forever (until the downstream reader closes).
+    pub fn unbounded(start: i64, out: ChannelWriter) -> Self {
+        Sequence {
+            next: start,
+            out: DataWriter::new(out),
+            limit: None,
+        }
+    }
+}
+
+impl Iterative for Sequence {
+    fn name(&self) -> String {
+        format!("Sequence(from {})", self.next)
+    }
+    fn limit(&self) -> Option<u64> {
+        self.limit
+    }
+    fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
+        self.out.write_i64(self.next)?;
+        self.next += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use crate::stdlib::Collect;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn constant_emits_exact_count() {
+        let net = Network::new();
+        let (w, r) = net.channel();
+        let out = Arc::new(Mutex::new(Vec::new()));
+        net.add(Constant::new(7, w).with_limit(3));
+        net.add(Collect::new(r, out.clone()));
+        net.run().unwrap();
+        assert_eq!(*out.lock().unwrap(), vec![7, 7, 7]);
+    }
+
+    #[test]
+    fn sequence_emits_range() {
+        let net = Network::new();
+        let (w, r) = net.channel();
+        let out = Arc::new(Mutex::new(Vec::new()));
+        net.add(Sequence::new(-2, 5, w));
+        net.add(Collect::new(r, out.clone()));
+        net.run().unwrap();
+        assert_eq!(*out.lock().unwrap(), vec![-2, -1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn unbounded_source_terminates_when_reader_closes() {
+        // §3.4 cascade: the sink stops first; the source hits WriteClosed.
+        let net = Network::new();
+        let (w, r) = net.channel_with_capacity(64);
+        let out = Arc::new(Mutex::new(Vec::new()));
+        net.add(Sequence::unbounded(0, w));
+        net.add(Collect::new(r, out.clone()).with_limit(10));
+        net.run().unwrap();
+        assert_eq!(*out.lock().unwrap(), (0..10).collect::<Vec<i64>>());
+    }
+}

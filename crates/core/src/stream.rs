@@ -1,0 +1,307 @@
+//! Typed layering over byte channels (§3.1).
+//!
+//! All inter-process communication is a stream of bytes; a process that
+//! wants to exchange richer values layers a formatter over its endpoint
+//! *inside the process*, exactly like wrapping a Java
+//! `DataOutputStream`/`DataInputStream` around a channel stream. Values are
+//! encoded big-endian, matching the Java wire format, so a `Duplicate` or
+//! `Cons` that copies raw bytes composes transparently with typed producers
+//! and consumers.
+//!
+//! For full object graphs (`ObjectOutputStream` analogue) see `kpn-codec`,
+//! which provides a serde-based binary format over any `io::Write`/`Read` —
+//! including these channel endpoints.
+
+use crate::channel::{ChannelReader, ChannelWriter};
+use crate::error::Result;
+
+/// Writes primitive values big-endian onto a channel
+/// (`java.io.DataOutputStream` analogue).
+#[derive(Debug)]
+pub struct DataWriter {
+    inner: ChannelWriter,
+}
+
+impl DataWriter {
+    /// Wraps a channel writer.
+    pub fn new(inner: ChannelWriter) -> Self {
+        DataWriter { inner }
+    }
+
+    /// Recovers the underlying byte endpoint.
+    pub fn into_inner(self) -> ChannelWriter {
+        self.inner
+    }
+
+    /// Mutable access to the underlying endpoint (for mixed byte/typed use).
+    pub fn inner_mut(&mut self) -> &mut ChannelWriter {
+        &mut self.inner
+    }
+
+    /// Writes a single byte.
+    pub fn write_u8(&mut self, v: u8) -> Result<()> {
+        self.inner.write_all(&[v])
+    }
+
+    /// Writes a boolean as one byte (0/1).
+    pub fn write_bool(&mut self, v: bool) -> Result<()> {
+        self.write_u8(v as u8)
+    }
+
+    /// Writes a big-endian `i32`.
+    pub fn write_i32(&mut self, v: i32) -> Result<()> {
+        self.inner.write_all(&v.to_be_bytes())
+    }
+
+    /// Writes a big-endian `i64` (`writeLong`).
+    pub fn write_i64(&mut self, v: i64) -> Result<()> {
+        self.inner.write_all(&v.to_be_bytes())
+    }
+
+    /// Writes a big-endian `u64`.
+    pub fn write_u64(&mut self, v: u64) -> Result<()> {
+        self.inner.write_all(&v.to_be_bytes())
+    }
+
+    /// Writes a big-endian IEEE-754 `f64` (`writeDouble`).
+    pub fn write_f64(&mut self, v: f64) -> Result<()> {
+        self.inner.write_all(&v.to_be_bytes())
+    }
+
+    /// Writes a length-prefixed byte block (u32 length, then bytes).
+    pub fn write_block(&mut self, bytes: &[u8]) -> Result<()> {
+        self.inner.write_all(&(bytes.len() as u32).to_be_bytes())?;
+        self.inner.write_all(bytes)
+    }
+
+    /// Writes a UTF-8 string with a u16 byte-length prefix — the wire
+    /// shape of Java's `writeUTF` (for strings without supplementary
+    /// characters, which Java encodes in modified UTF-8).
+    pub fn write_utf(&mut self, s: &str) -> Result<()> {
+        let bytes = s.as_bytes();
+        let len = u16::try_from(bytes.len()).map_err(|_| {
+            crate::error::Error::Codec("writeUTF string longer than 65535 bytes".into())
+        })?;
+        self.inner.write_all(&len.to_be_bytes())?;
+        self.inner.write_all(bytes)
+    }
+
+    /// Flushes the underlying endpoint.
+    pub fn flush(&mut self) -> Result<()> {
+        self.inner.flush()
+    }
+
+    /// Gracefully closes the stream.
+    pub fn close(&mut self) {
+        self.inner.close()
+    }
+}
+
+/// Reads primitive values big-endian from a channel
+/// (`java.io.DataInputStream` analogue). Every read blocks until the value
+/// is complete and fails with [`crate::Error::Eof`] at end of stream.
+#[derive(Debug)]
+pub struct DataReader {
+    inner: ChannelReader,
+}
+
+impl DataReader {
+    /// Wraps a channel reader.
+    pub fn new(inner: ChannelReader) -> Self {
+        DataReader { inner }
+    }
+
+    /// Recovers the underlying byte endpoint.
+    pub fn into_inner(self) -> ChannelReader {
+        self.inner
+    }
+
+    /// Mutable access to the underlying endpoint.
+    pub fn inner_mut(&mut self) -> &mut ChannelReader {
+        &mut self.inner
+    }
+
+    /// Reads a single byte.
+    pub fn read_u8(&mut self) -> Result<u8> {
+        let mut b = [0u8; 1];
+        self.inner.read_exact(&mut b)?;
+        Ok(b[0])
+    }
+
+    /// Reads a boolean (any nonzero byte is `true`).
+    pub fn read_bool(&mut self) -> Result<bool> {
+        Ok(self.read_u8()? != 0)
+    }
+
+    /// Reads a big-endian `i32`.
+    pub fn read_i32(&mut self) -> Result<i32> {
+        let mut b = [0u8; 4];
+        self.inner.read_exact(&mut b)?;
+        Ok(i32::from_be_bytes(b))
+    }
+
+    /// Reads a big-endian `i64` (`readLong`).
+    pub fn read_i64(&mut self) -> Result<i64> {
+        let mut b = [0u8; 8];
+        self.inner.read_exact(&mut b)?;
+        Ok(i64::from_be_bytes(b))
+    }
+
+    /// Reads a big-endian `u64`.
+    pub fn read_u64(&mut self) -> Result<u64> {
+        let mut b = [0u8; 8];
+        self.inner.read_exact(&mut b)?;
+        Ok(u64::from_be_bytes(b))
+    }
+
+    /// Reads a big-endian IEEE-754 `f64` (`readDouble`).
+    pub fn read_f64(&mut self) -> Result<f64> {
+        let mut b = [0u8; 8];
+        self.inner.read_exact(&mut b)?;
+        Ok(f64::from_be_bytes(b))
+    }
+
+    /// Reads a length-prefixed byte block written by
+    /// [`DataWriter::write_block`].
+    pub fn read_block(&mut self) -> Result<Vec<u8>> {
+        let mut lb = [0u8; 4];
+        self.inner.read_exact(&mut lb)?;
+        let len = u32::from_be_bytes(lb) as usize;
+        let mut out = vec![0u8; len];
+        self.inner.read_exact(&mut out)?;
+        Ok(out)
+    }
+
+    /// Reads a string written by [`DataWriter::write_utf`].
+    pub fn read_utf(&mut self) -> Result<String> {
+        let mut lb = [0u8; 2];
+        self.inner.read_exact(&mut lb)?;
+        let len = u16::from_be_bytes(lb) as usize;
+        let mut bytes = vec![0u8; len];
+        self.inner.read_exact(&mut bytes)?;
+        String::from_utf8(bytes)
+            .map_err(|e| crate::error::Error::Codec(format!("invalid utf-8: {e}")))
+    }
+
+    /// Closes the stream (writers fail on next write).
+    pub fn close(&mut self) {
+        self.inner.close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::channel;
+    use crate::error::Error;
+
+    #[test]
+    fn primitive_roundtrip() {
+        let (w, r) = channel();
+        let mut dw = DataWriter::new(w);
+        let mut dr = DataReader::new(r);
+        dw.write_u8(0xAB).unwrap();
+        dw.write_bool(true).unwrap();
+        dw.write_i32(-7).unwrap();
+        dw.write_i64(i64::MIN).unwrap();
+        dw.write_u64(u64::MAX).unwrap();
+        dw.write_f64(core::f64::consts::PI).unwrap();
+        assert_eq!(dr.read_u8().unwrap(), 0xAB);
+        assert!(dr.read_bool().unwrap());
+        assert_eq!(dr.read_i32().unwrap(), -7);
+        assert_eq!(dr.read_i64().unwrap(), i64::MIN);
+        assert_eq!(dr.read_u64().unwrap(), u64::MAX);
+        assert_eq!(dr.read_f64().unwrap(), core::f64::consts::PI);
+    }
+
+    #[test]
+    fn big_endian_wire_format() {
+        // Java interop property: writeLong(1) is 7 zero bytes then 0x01.
+        let (w, mut r) = channel();
+        let mut dw = DataWriter::new(w);
+        dw.write_i64(1).unwrap();
+        drop(dw);
+        let mut buf = [0u8; 8];
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(buf, [0, 0, 0, 0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let (w, r) = channel();
+        let mut dw = DataWriter::new(w);
+        let mut dr = DataReader::new(r);
+        dw.write_block(b"hello world").unwrap();
+        dw.write_block(b"").unwrap();
+        assert_eq!(dr.read_block().unwrap(), b"hello world");
+        assert_eq!(dr.read_block().unwrap(), b"");
+    }
+
+    #[test]
+    fn utf_roundtrip() {
+        let (w, r) = channel();
+        let mut dw = DataWriter::new(w);
+        let mut dr = DataReader::new(r);
+        dw.write_utf("").unwrap();
+        dw.write_utf("plain ascii").unwrap();
+        dw.write_utf("ユニコード").unwrap();
+        assert_eq!(dr.read_utf().unwrap(), "");
+        assert_eq!(dr.read_utf().unwrap(), "plain ascii");
+        assert_eq!(dr.read_utf().unwrap(), "ユニコード");
+    }
+
+    #[test]
+    fn utf_wire_format_matches_java() {
+        // writeUTF("ab") = 0x00 0x02 'a' 'b'
+        let (w, mut r) = channel();
+        let mut dw = DataWriter::new(w);
+        dw.write_utf("ab").unwrap();
+        drop(dw);
+        let mut buf = [0u8; 4];
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(buf, [0, 2, b'a', b'b']);
+    }
+
+    #[test]
+    fn utf_oversized_rejected() {
+        let (w, _r) = channel();
+        let mut dw = DataWriter::new(w);
+        let big = "x".repeat(70_000);
+        assert!(dw.write_utf(&big).is_err());
+    }
+
+    #[test]
+    fn eof_mid_value() {
+        let (mut w, r) = channel();
+        w.write_all(&[0, 0, 0]).unwrap(); // 3 of 8 bytes of an i64
+        drop(w);
+        let mut dr = DataReader::new(r);
+        assert!(matches!(dr.read_i64(), Err(Error::Eof)));
+    }
+
+    #[test]
+    fn typed_over_byte_copy_is_transparent() {
+        // A byte-level identity stage between typed endpoints must not
+        // disturb values — the property that makes Duplicate/Cons
+        // type-independent (§3.1).
+        let (w1, mut r1) = channel();
+        let (mut w2, r2) = channel();
+        let mut dw = DataWriter::new(w1);
+        dw.write_i64(42).unwrap();
+        dw.write_f64(-0.5).unwrap();
+        drop(dw);
+        // byte-level copy stage
+        let mut buf = [0u8; 3];
+        loop {
+            let n = r1.read(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            w2.write_all(&buf[..n]).unwrap();
+        }
+        drop(w2);
+        let mut dr = DataReader::new(r2);
+        assert_eq!(dr.read_i64().unwrap(), 42);
+        assert_eq!(dr.read_f64().unwrap(), -0.5);
+    }
+}

@@ -1,0 +1,92 @@
+//! Tests for the channel observability layer: per-channel I/O counters and
+//! the monitor's growth log (the raw material for the buffer-management
+//! analysis of §3.5/§6.2).
+
+use kpn_core::graphs::{hamming, mod_merge_dag, GraphOptions};
+use kpn_core::stdlib::{Collect, Scale, Sequence};
+use kpn_core::Network;
+use std::sync::{Arc, Mutex};
+
+#[test]
+fn byte_counts_match_traffic() {
+    let net = Network::new();
+    let (aw, ar) = net.channel();
+    let (bw, br) = net.channel();
+    let out = Arc::new(Mutex::new(Vec::new()));
+    net.add(Sequence::new(0, 1000, aw));
+    net.add(Scale::new(2, ar, bw));
+    net.add(Collect::new(br, out.clone()));
+    net.run().unwrap();
+    // The report covers dropped channels: snapshot after completion.
+    let report = net.channel_report();
+    // Both channels carried 1000 i64s = 8000 bytes.
+    assert_eq!(report.len(), 2);
+    for (_id, stats) in &report {
+        assert_eq!(stats.bytes_written, 8000, "{stats:?}");
+        assert!(stats.peak_occupancy <= stats.capacity);
+        assert!(stats.peak_occupancy > 0);
+    }
+}
+
+#[test]
+fn blocking_counters_reflect_backpressure() {
+    // A tiny channel between a fast producer and a consumer forces many
+    // write blocks; the consumer side blocks when the buffer runs dry.
+    let net = Network::new();
+    let (aw, ar) = net.channel_with_capacity(16);
+    let out = Arc::new(Mutex::new(Vec::new()));
+    net.add(Sequence::new(0, 2000, aw));
+    net.add(Collect::new(ar, out.clone()));
+    net.run().unwrap();
+    let report = net.channel_report();
+    let (_, stats) = &report[0];
+    assert!(
+        stats.write_blocks > 10,
+        "2000 i64s through 16 bytes must block the writer often: {stats:?}"
+    );
+}
+
+#[test]
+fn growth_log_records_hamming_buffer_demand() {
+    let net = Network::new();
+    let opts = GraphOptions {
+        channel_capacity: 16,
+        ..Default::default()
+    };
+    let out = hamming(&net, 200, &opts);
+    let report = net.run().unwrap();
+    assert_eq!(out.lock().unwrap().len(), 200);
+    // Every log entry doubles a capacity, starting from the initial 16.
+    assert_eq!(
+        report.monitor.growths as usize,
+        report.monitor.growth_log.len()
+    );
+    assert!(!report.monitor.growth_log.is_empty());
+    for (_chan, old, new) in &report.monitor.growth_log {
+        assert_eq!(*new, old * 2, "growth doubles");
+        assert!(*old >= 16);
+    }
+}
+
+#[test]
+fn growth_log_identifies_the_starved_channel() {
+    // Figure 13: only the undersized "others" branch should need growth.
+    let net = Network::new();
+    let _out = mod_merge_dag(&net, 10, 200, 8);
+    let report = net.run().unwrap();
+    assert!(!report.monitor.growth_log.is_empty());
+    let grown_channels: std::collections::HashSet<u64> = report
+        .monitor
+        .growth_log
+        .iter()
+        .map(|(c, _, _)| *c)
+        .collect();
+    assert_eq!(
+        grown_channels.len(),
+        1,
+        "exactly one channel (the starved branch) grows: {:?}",
+        report.monitor.growth_log
+    );
+    // It grew from the deliberately tiny 8-byte capacity.
+    assert_eq!(report.monitor.growth_log[0].1, 8);
+}

@@ -1,0 +1,51 @@
+//! Regression guards for deadlock-policy behaviour on the example graphs.
+
+use kpn_core::graphs::{fibonacci, fibonacci_reference, hamming, hamming_reference, GraphOptions};
+use kpn_core::{DeadlockPolicy, Network, NetworkConfig};
+
+#[test]
+fn fibonacci_runs_without_any_monitor() {
+    // The Fibonacci feedback network must complete under the `Ignore`
+    // policy — proving its default-capacity execution never relies on
+    // monitor intervention, which in turn means any monitor action on it
+    // would be a false positive (the class of bug this test was written
+    // against).
+    let net = Network::with_config(NetworkConfig {
+        deadlock_policy: DeadlockPolicy::Ignore,
+        ..Default::default()
+    });
+    let out = fibonacci(&net, 20, &GraphOptions::default());
+    net.run().unwrap();
+    assert_eq!(*out.lock().unwrap(), fibonacci_reference(20));
+}
+
+#[test]
+fn hamming_with_ample_buffers_needs_no_monitor() {
+    let net = Network::with_config(NetworkConfig {
+        deadlock_policy: DeadlockPolicy::Ignore,
+        ..Default::default()
+    });
+    let out = hamming(
+        &net,
+        64,
+        &GraphOptions {
+            channel_capacity: 64 * 1024, // plenty: no growth needed
+            ..Default::default()
+        },
+    );
+    net.run().unwrap();
+    assert_eq!(*out.lock().unwrap(), hamming_reference(64));
+}
+
+#[test]
+fn abort_policy_kills_artificially_deadlocking_graph() {
+    // Under `Abort`, the Figure 13 graph (which only needs buffer growth)
+    // is torn down instead — demonstrating the policy boundary.
+    use kpn_core::graphs::mod_merge_dag;
+    let net = Network::with_config(NetworkConfig {
+        deadlock_policy: DeadlockPolicy::Abort,
+        ..Default::default()
+    });
+    let _out = mod_merge_dag(&net, 10, 100, 8);
+    assert!(net.run().is_err());
+}

@@ -1,0 +1,202 @@
+//! The per-node connection acceptor.
+//!
+//! Every participating node (compute server or client) runs one
+//! [`Acceptor`]: a TCP listener whose accept loop dispatches incoming
+//! connections by their first byte — data connections (`Hello` + endpoint
+//! token) are routed to the waiting channel endpoint, control sessions are
+//! handed to the compute-server logic.
+//!
+//! Tokens decouple *who listens* from *when they listen*: a connection may
+//! arrive before the graph spec that registers its endpoint has been
+//! processed (partitions are shipped one after another, §4.2), so
+//! unclaimed arrivals are parked until `register` claims them.
+
+use crate::frame::{read_hello_token, CONN_CONTROL, CONN_HELLO};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use kpn_core::{Error, Result};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+
+type ControlHandler = Arc<dyn Fn(TcpStream) + Send + Sync>;
+
+/// Receives the TCP stream for one registered endpoint token.
+pub(crate) struct PendingConn {
+    pub(crate) rx: Receiver<TcpStream>,
+}
+
+struct AcceptorState {
+    /// Endpoints waiting for their connection.
+    waiting: HashMap<u64, Sender<TcpStream>>,
+    /// Connections that arrived before their endpoint registered.
+    parked: HashMap<u64, TcpStream>,
+    /// Tokens whose endpoint was abandoned: late connections are dropped
+    /// so the connector observes a closed socket (termination cascade).
+    dead: HashSet<u64>,
+    control: Option<ControlHandler>,
+    closed: bool,
+}
+
+/// A node's connection acceptor (one TCP port for data and control).
+pub struct Acceptor {
+    addr: SocketAddr,
+    state: Mutex<AcceptorState>,
+}
+
+impl Acceptor {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop.
+    pub fn bind(addr: &str) -> Result<Arc<Self>> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let acceptor = Arc::new(Acceptor {
+            addr: local,
+            state: Mutex::new(AcceptorState {
+                waiting: HashMap::new(),
+                parked: HashMap::new(),
+                dead: HashSet::new(),
+                control: None,
+                closed: false,
+            }),
+        });
+        let weak = Arc::downgrade(&acceptor);
+        std::thread::Builder::new()
+            .name(format!("kpn-acceptor:{local}"))
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    let Some(acceptor) = weak.upgrade() else {
+                        break; // node dropped; stop accepting
+                    };
+                    if acceptor.state.lock().closed {
+                        break;
+                    }
+                    match conn {
+                        Ok(stream) => acceptor.dispatch(stream),
+                        Err(_) => continue,
+                    }
+                }
+            })
+            .expect("failed to spawn acceptor thread");
+        Ok(acceptor)
+    }
+
+    /// The actual bound address (with the resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Installs the control-session handler (compute server).
+    pub(crate) fn set_control_handler(&self, handler: ControlHandler) {
+        self.state.lock().control = Some(handler);
+    }
+
+    /// True once [`Acceptor::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+
+    /// Stops accepting new connections (existing data connections live on).
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        // Wake the blocking accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Registers an endpoint token; the returned receiver yields the data
+    /// connection when (or if it already has) arrived.
+    pub(crate) fn register(&self, token: u64) -> PendingConn {
+        let (tx, rx) = bounded(1);
+        let mut st = self.state.lock();
+        if let Some(stream) = st.parked.remove(&token) {
+            let _ = tx.send(stream);
+        } else {
+            st.waiting.insert(token, tx);
+        }
+        PendingConn { rx }
+    }
+
+    /// Removes a registration (endpoint abandoned before connecting).
+    /// A connection that later presents this token is dropped, which the
+    /// connector observes as a closed reader.
+    pub(crate) fn unregister(&self, token: u64) {
+        let mut st = self.state.lock();
+        st.waiting.remove(&token);
+        st.parked.remove(&token);
+        st.dead.insert(token);
+    }
+
+    fn dispatch(self: &Arc<Self>, mut stream: TcpStream) {
+        let mut tag = [0u8; 1];
+        if stream.read_exact(&mut tag).is_err() {
+            return;
+        }
+        match tag[0] {
+            CONN_HELLO => {
+                let Ok(token) = read_hello_token(&mut stream) else {
+                    return;
+                };
+                let _ = stream.set_nodelay(true);
+                let mut st = self.state.lock();
+                if st.closed {
+                    return;
+                }
+                if st.dead.contains(&token) {
+                    return; // abandoned endpoint: drop the connection
+                }
+                match st.waiting.remove(&token) {
+                    Some(tx) => {
+                        // Endpoint dropped meanwhile → stream drops → the
+                        // connector sees a closed socket (WriteClosed).
+                        let _ = tx.send(stream);
+                    }
+                    None => {
+                        st.parked.insert(token, stream);
+                    }
+                }
+            }
+            CONN_CONTROL => {
+                let handler = self.state.lock().control.clone();
+                if let Some(h) = handler {
+                    std::thread::Builder::new()
+                        .name("kpn-control".into())
+                        .spawn(move || h(stream))
+                        .expect("failed to spawn control thread");
+                }
+            }
+            _ => {} // unknown connection type: drop
+        }
+    }
+}
+
+impl std::fmt::Debug for Acceptor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("Acceptor")
+            .field("addr", &self.addr)
+            .field("waiting", &st.waiting.len())
+            .field("parked", &st.parked.len())
+            .finish()
+    }
+}
+
+/// Allocates a fresh endpoint token (random; collision probability over a
+/// deployment's lifetime is negligible).
+pub(crate) fn fresh_token() -> u64 {
+    loop {
+        let t: u64 = rand::random();
+        if t != 0 {
+            return t;
+        }
+    }
+}
+
+/// Opens a data connection to `addr` presenting `token`.
+pub(crate) fn connect_data(addr: &str, token: u64) -> Result<TcpStream> {
+    let mut stream = TcpStream::connect(addr)
+        .map_err(|e| Error::Disconnected(format!("connect {addr}: {e}")))?;
+    stream.set_nodelay(true)?;
+    crate::frame::write_hello(&mut stream, token)?;
+    Ok(stream)
+}

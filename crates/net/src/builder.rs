@@ -1,0 +1,561 @@
+//! Building and partitioning distributed program graphs.
+//!
+//! A [`GraphBuilder`] records a whole program graph — processes, channels,
+//! and a partition assignment — then [`GraphBuilder::deploy`] cuts it:
+//! channels whose endpoints land in the same partition stay local; cut
+//! channels get a fresh endpoint token, the reader side listening at its
+//! node's acceptor, the writer side connecting (§4.2's automatic
+//! connection establishment, driven here by spec construction instead of
+//! `writeReplace`/`readResolve` hooks). Connections between two remote
+//! partitions are always direct — the deploying client never relays data,
+//! which is the invariant Figure 15's redirect protocol exists to protect.
+//!
+//! The deploying client is itself a partition ([`CLIENT`]): processes
+//! assigned to it run in a local network, and channel ends claimed with
+//! [`GraphBuilder::claim_reader`]/[`claim_writer`] are handed back as raw
+//! endpoints so the caller can feed and drain the distributed graph.
+//!
+//! [`claim_writer`]: GraphBuilder::claim_writer
+
+use crate::acceptor::fresh_token;
+use crate::control::ServerHandle;
+use crate::node::Node;
+use crate::spec::{ChannelSpec, GraphSpec, InputSpec, OutputSpec, ProcessSpec};
+use kpn_core::{ChannelReader, ChannelWriter, Error, Network, Result, DEFAULT_CAPACITY};
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Partition id of the deploying client.
+pub const CLIENT: usize = usize::MAX;
+
+/// Internal pseudo-partition for endpoints claimed by the caller. Distinct
+/// from [`CLIENT`] so that a channel between a client-partition process and
+/// a claimed endpoint still counts as a cut channel (the claimed end is a
+/// raw endpoint outside the client's network).
+const CLAIMED: usize = usize::MAX - 1;
+
+/// Identifies a channel in a [`GraphBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChanId(usize);
+
+#[derive(Debug)]
+struct BuilderChannel {
+    capacity: usize,
+    producer: Option<Endpoint>,
+    consumer: Option<Endpoint>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Endpoint {
+    /// `(process index, port index)` — port order within the process.
+    Process(usize),
+    /// Claimed by the deploying client as a raw endpoint.
+    Claimed,
+}
+
+#[derive(Debug)]
+struct BuilderProcess {
+    partition: usize,
+    type_name: String,
+    params: Vec<u8>,
+    inputs: Vec<ChanId>,
+    outputs: Vec<ChanId>,
+}
+
+/// Records a program graph plus its partition assignment.
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    channels: Vec<BuilderChannel>,
+    processes: Vec<BuilderProcess>,
+    claimed_readers: Vec<ChanId>,
+    claimed_writers: Vec<ChanId>,
+}
+
+/// A deployed distributed graph.
+pub struct Deployment {
+    /// The client-partition network (empty if no processes were assigned
+    /// to [`CLIENT`]).
+    pub client_network: Network,
+    /// Endpoints claimed with [`GraphBuilder::claim_reader`].
+    pub readers: HashMap<ChanId, ChannelReader>,
+    /// Endpoints claimed with [`GraphBuilder::claim_writer`].
+    pub writers: HashMap<ChanId, ChannelWriter>,
+    /// Handles to the servers that received partitions.
+    pub servers: Vec<ServerHandle>,
+}
+
+impl Deployment {
+    /// Waits for the client partition and every server partition to
+    /// terminate — observing the distributed termination cascade of §3.4.
+    pub fn join(&self) -> Result<()> {
+        self.client_network.join()?;
+        for s in &self.servers {
+            s.wait_idle()?;
+        }
+        Ok(())
+    }
+}
+
+impl GraphBuilder {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a channel with the default capacity.
+    pub fn channel(&mut self) -> ChanId {
+        self.channel_with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Adds a channel with an explicit capacity.
+    pub fn channel_with_capacity(&mut self, capacity: usize) -> ChanId {
+        self.channels.push(BuilderChannel {
+            capacity,
+            producer: None,
+            consumer: None,
+        });
+        ChanId(self.channels.len() - 1)
+    }
+
+    /// Adds a process to `partition` ([`CLIENT`] or an index into the
+    /// server list given to [`GraphBuilder::deploy`]). `inputs` and
+    /// `outputs` are claimed in order; each channel has exactly one
+    /// producer and one consumer (§1).
+    pub fn add<P: Serialize>(
+        &mut self,
+        partition: usize,
+        type_name: &str,
+        params: &P,
+        inputs: &[ChanId],
+        outputs: &[ChanId],
+    ) -> Result<()> {
+        let index = self.processes.len();
+        for &c in inputs {
+            self.claim(c, Endpoint::Process(index), false)?;
+        }
+        for &c in outputs {
+            self.claim(c, Endpoint::Process(index), true)?;
+        }
+        self.processes.push(BuilderProcess {
+            partition,
+            type_name: type_name.into(),
+            params: kpn_codec::to_bytes(params).map_err(Error::from)?,
+            inputs: inputs.to_vec(),
+            outputs: outputs.to_vec(),
+        });
+        Ok(())
+    }
+
+    /// Marks a channel's read end as claimed by the client: `deploy`
+    /// returns the raw [`ChannelReader`].
+    pub fn claim_reader(&mut self, c: ChanId) -> Result<()> {
+        self.claim(c, Endpoint::Claimed, false)?;
+        self.claimed_readers.push(c);
+        Ok(())
+    }
+
+    /// Marks a channel's write end as claimed by the client: `deploy`
+    /// returns the raw [`ChannelWriter`].
+    pub fn claim_writer(&mut self, c: ChanId) -> Result<()> {
+        self.claim(c, Endpoint::Claimed, true)?;
+        self.claimed_writers.push(c);
+        Ok(())
+    }
+
+    fn claim(&mut self, c: ChanId, endpoint: Endpoint, producer: bool) -> Result<()> {
+        let ch = self
+            .channels
+            .get_mut(c.0)
+            .ok_or_else(|| Error::Graph(format!("unknown channel {c:?}")))?;
+        let slot = if producer {
+            &mut ch.producer
+        } else {
+            &mut ch.consumer
+        };
+        if slot.is_some() {
+            return Err(Error::Graph(format!(
+                "channel {c:?} already has a {}",
+                if producer { "producer" } else { "consumer" }
+            )));
+        }
+        *slot = Some(endpoint);
+        Ok(())
+    }
+
+    fn partition_of(&self, e: Endpoint) -> usize {
+        match e {
+            Endpoint::Claimed => CLAIMED,
+            Endpoint::Process(i) => self.processes[i].partition,
+        }
+    }
+
+    /// Renders the graph as Graphviz DOT, clustered by partition —
+    /// useful to inspect a deployment plan before shipping it.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("digraph kpn {\n  rankdir=LR;\n  node [shape=box];\n");
+        // Group processes by partition.
+        let mut partitions: Vec<usize> = self.processes.iter().map(|p| p.partition).collect();
+        partitions.sort_unstable();
+        partitions.dedup();
+        for part in partitions {
+            let label = if part == CLIENT {
+                "client".to_string()
+            } else {
+                format!("server {part}")
+            };
+            let _ = writeln!(out, "  subgraph \"cluster_{label}\" {{");
+            let _ = writeln!(out, "    label=\"{label}\";");
+            for (i, p) in self.processes.iter().enumerate() {
+                if p.partition == part {
+                    let _ = writeln!(out, "    p{i} [label=\"{}\"];", p.type_name);
+                }
+            }
+            let _ = writeln!(out, "  }}");
+        }
+        for (ci, ch) in self.channels.iter().enumerate() {
+            let node_of = |e: Option<Endpoint>, suffix: &str| match e {
+                Some(Endpoint::Process(i)) => format!("p{i}"),
+                Some(Endpoint::Claimed) => format!("claimed_{suffix}_{ci}"),
+                None => format!("unconnected_{suffix}_{ci}"),
+            };
+            let from = node_of(ch.producer, "w");
+            let to = node_of(ch.consumer, "r");
+            if !from.starts_with('p') {
+                let _ = writeln!(out, "  {from} [shape=plaintext, label=\"in\"];");
+            }
+            if !to.starts_with('p') {
+                let _ = writeln!(out, "  {to} [shape=plaintext, label=\"out\"];");
+            }
+            let _ = writeln!(out, "  {from} -> {to} [label=\"c{ci}\"];");
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Partitions the graph, ships each server its [`GraphSpec`], starts
+    /// the client partition locally, and returns the claimed endpoints.
+    ///
+    /// `node` is the deploying client's node (its acceptor receives the
+    /// data connections for claimed readers); `servers` are the remote
+    /// compute servers, indexed by the partition ids used in
+    /// [`GraphBuilder::add`].
+    pub fn deploy(self, node: &Node, servers: &[ServerHandle]) -> Result<Deployment> {
+        // Validate: every channel fully connected, partitions in range.
+        for (i, ch) in self.channels.iter().enumerate() {
+            if ch.producer.is_none() || ch.consumer.is_none() {
+                return Err(Error::Graph(format!("channel {i} is not fully connected")));
+            }
+        }
+        for p in &self.processes {
+            if p.partition != CLIENT && p.partition >= servers.len() {
+                return Err(Error::Graph(format!(
+                    "process {:?} assigned to unknown partition {}",
+                    p.type_name, p.partition
+                )));
+            }
+        }
+
+        let addr_of = |partition: usize| -> String {
+            if partition == CLIENT || partition == CLAIMED {
+                node.addr().to_string()
+            } else {
+                servers[partition].addr().to_string()
+            }
+        };
+
+        // Decide the fate of each channel.
+        enum Placement {
+            /// Internal to `partition`; local channel index there.
+            Local { partition: usize, index: usize },
+            /// Cut channel: reader at `reader_partition` listens on token.
+            Cut { reader_partition: usize, token: u64 },
+        }
+        let mut placements = Vec::with_capacity(self.channels.len());
+        let mut local_counts: HashMap<usize, usize> = HashMap::new();
+        for ch in &self.channels {
+            let prod = self.partition_of(ch.producer.unwrap());
+            let cons = self.partition_of(ch.consumer.unwrap());
+            if prod == cons {
+                let count = local_counts.entry(prod).or_insert(0);
+                placements.push(Placement::Local {
+                    partition: prod,
+                    index: *count,
+                });
+                *count += 1;
+            } else {
+                placements.push(Placement::Cut {
+                    reader_partition: cons,
+                    token: fresh_token(),
+                });
+            }
+        }
+
+        // Assemble one GraphSpec per partition (client included).
+        let mut specs: HashMap<usize, GraphSpec> = HashMap::new();
+        for (ci, ch) in self.channels.iter().enumerate() {
+            if let Placement::Local { partition, .. } = placements[ci] {
+                specs
+                    .entry(partition)
+                    .or_default()
+                    .channels
+                    .push(ChannelSpec {
+                        capacity: ch.capacity,
+                    });
+            }
+        }
+        for p in &self.processes {
+            let inputs = p
+                .inputs
+                .iter()
+                .map(|c| match placements[c.0] {
+                    Placement::Local { index, .. } => InputSpec::Local(index),
+                    Placement::Cut { token, .. } => InputSpec::Remote { token },
+                })
+                .collect();
+            let outputs = p
+                .outputs
+                .iter()
+                .map(|c| match &placements[c.0] {
+                    Placement::Local { index, .. } => OutputSpec::Local(*index),
+                    Placement::Cut {
+                        reader_partition,
+                        token,
+                    } => OutputSpec::Remote {
+                        addr: addr_of(*reader_partition),
+                        token: *token,
+                    },
+                })
+                .collect();
+            specs
+                .entry(p.partition)
+                .or_default()
+                .processes
+                .push(ProcessSpec {
+                    type_name: p.type_name.clone(),
+                    params: p.params.clone(),
+                    inputs,
+                    outputs,
+                });
+        }
+
+        // Claimed endpoints: cut channels ending (or starting) at the
+        // client that have no client-side process.
+        let mut readers = HashMap::new();
+        for &c in &self.claimed_readers {
+            match &placements[c.0] {
+                Placement::Cut { token, .. } => {
+                    readers.insert(c, node.remote_reader(*token));
+                }
+                Placement::Local { .. } => {
+                    return Err(Error::Graph(format!(
+                        "claimed reader {c:?} pairs with a claimed writer; \
+                         use a local kpn-core channel instead"
+                    )));
+                }
+            }
+        }
+        let mut writers = HashMap::new();
+        for &c in &self.claimed_writers {
+            match &placements[c.0] {
+                Placement::Cut {
+                    reader_partition,
+                    token,
+                } => {
+                    writers.insert(c, node.remote_writer(&addr_of(*reader_partition), *token)?);
+                }
+                Placement::Local { .. } => {
+                    return Err(Error::Graph(format!(
+                        "claimed writer {c:?} pairs with a claimed reader; \
+                         use a local kpn-core channel instead"
+                    )));
+                }
+            }
+        }
+
+        // Ship server partitions (order does not matter: connections for
+        // not-yet-registered endpoints are parked at the acceptors).
+        let mut used_servers = Vec::new();
+        for (partition, spec) in specs.iter() {
+            if *partition == CLIENT {
+                continue;
+            }
+            servers[*partition].run_graph(spec.clone())?;
+            used_servers.push(servers[*partition].clone());
+        }
+
+        // Start the client partition.
+        let client_spec = specs.remove(&CLIENT).unwrap_or_default();
+        let client_network = node.instantiate(client_spec)?;
+
+        Ok(Deployment {
+            client_network,
+            readers,
+            writers,
+            servers: used_servers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpn_core::{DataReader, DataWriter};
+
+    fn spawn_server() -> (std::sync::Arc<Node>, ServerHandle) {
+        let node = Node::serve("127.0.0.1:0").unwrap();
+        let handle = ServerHandle::new(node.addr().to_string());
+        (node, handle)
+    }
+
+    #[test]
+    fn single_server_pipeline() {
+        let client = Node::serve("127.0.0.1:0").unwrap();
+        let (_server, handle) = spawn_server();
+        let mut b = GraphBuilder::new();
+        let a = b.channel();
+        let out = b.channel();
+        b.add(0, "Sequence", &(1i64, Some(4u64)), &[], &[a])
+            .unwrap();
+        b.add(0, "Scale", &100i64, &[a], &[out]).unwrap();
+        b.claim_reader(out).unwrap();
+        let mut dep = b.deploy(&client, &[handle]).unwrap();
+        let mut r = DataReader::new(dep.readers.remove(&out).unwrap());
+        for expect in [100, 200, 300, 400] {
+            assert_eq!(r.read_i64().unwrap(), expect);
+        }
+        assert!(r.read_i64().is_err());
+        drop(r);
+        dep.join().unwrap();
+    }
+
+    #[test]
+    fn two_servers_talk_directly() {
+        // Producer on server 0, consumer pipeline on server 1, result to
+        // the client: exercises server↔server and server↔client cuts.
+        let client = Node::serve("127.0.0.1:0").unwrap();
+        let (_s0, h0) = spawn_server();
+        let (_s1, h1) = spawn_server();
+        let mut b = GraphBuilder::new();
+        let a = b.channel();
+        let c = b.channel();
+        b.add(0, "Sequence", &(0i64, Some(10u64)), &[], &[a])
+            .unwrap();
+        b.add(1, "Scale", &7i64, &[a], &[c]).unwrap();
+        b.claim_reader(c).unwrap();
+        let mut dep = b.deploy(&client, &[h0, h1]).unwrap();
+        let mut r = DataReader::new(dep.readers.remove(&c).unwrap());
+        for i in 0..10 {
+            assert_eq!(r.read_i64().unwrap(), i * 7);
+        }
+        assert!(r.read_i64().is_err());
+        drop(r);
+        dep.join().unwrap();
+    }
+
+    #[test]
+    fn client_writer_feeds_remote_graph() {
+        let client = Node::serve("127.0.0.1:0").unwrap();
+        let (_s0, h0) = spawn_server();
+        let mut b = GraphBuilder::new();
+        let input = b.channel();
+        let output = b.channel();
+        b.add(0, "Scale", &-1i64, &[input], &[output]).unwrap();
+        b.claim_writer(input).unwrap();
+        b.claim_reader(output).unwrap();
+        let mut dep = b.deploy(&client, &[h0]).unwrap();
+        let mut w = DataWriter::new(dep.writers.remove(&input).unwrap());
+        let mut r = DataReader::new(dep.readers.remove(&output).unwrap());
+        for i in 0..5 {
+            w.write_i64(i).unwrap();
+        }
+        drop(w);
+        for i in 0..5 {
+            assert_eq!(r.read_i64().unwrap(), -i);
+        }
+        assert!(r.read_i64().is_err());
+        drop(r);
+        dep.join().unwrap();
+    }
+
+    #[test]
+    fn client_partition_processes_run_locally() {
+        let client = Node::serve("127.0.0.1:0").unwrap();
+        let (_s0, h0) = spawn_server();
+        let mut b = GraphBuilder::new();
+        let a = b.channel();
+        let c = b.channel();
+        // Producer runs ON THE CLIENT, worker remotely.
+        b.add(CLIENT, "Sequence", &(5i64, Some(3u64)), &[], &[a])
+            .unwrap();
+        b.add(0, "Scale", &2i64, &[a], &[c]).unwrap();
+        b.claim_reader(c).unwrap();
+        let mut dep = b.deploy(&client, &[h0]).unwrap();
+        let mut r = DataReader::new(dep.readers.remove(&c).unwrap());
+        for expect in [10, 12, 14] {
+            assert_eq!(r.read_i64().unwrap(), expect);
+        }
+        drop(r);
+        dep.join().unwrap();
+    }
+
+    #[test]
+    fn half_connected_channel_is_rejected() {
+        let client = Node::serve("127.0.0.1:0").unwrap();
+        let mut b = GraphBuilder::new();
+        let a = b.channel();
+        b.add(CLIENT, "Sequence", &(0i64, Some(1u64)), &[], &[a])
+            .unwrap();
+        let err = match b.deploy(&client, &[]) {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("expected error"),
+        };
+        assert!(err.contains("not fully connected"));
+    }
+
+    #[test]
+    fn double_producer_is_rejected_at_build() {
+        let mut b = GraphBuilder::new();
+        let a = b.channel();
+        b.add(0, "Sequence", &(0i64, Some(1u64)), &[], &[a])
+            .unwrap();
+        let err = b
+            .add(0, "Sequence", &(0i64, Some(1u64)), &[], &[a])
+            .unwrap_err();
+        assert!(err.to_string().contains("already has a producer"));
+    }
+
+    #[test]
+    fn unknown_partition_is_rejected() {
+        let client = Node::serve("127.0.0.1:0").unwrap();
+        let mut b = GraphBuilder::new();
+        let a = b.channel();
+        b.add(3, "Sequence", &(0i64, Some(1u64)), &[], &[a])
+            .unwrap();
+        b.claim_reader(a).unwrap();
+        let err = match b.deploy(&client, &[]) {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("expected error"),
+        };
+        assert!(err.contains("unknown partition"));
+    }
+
+    #[test]
+    fn dot_export_shows_partitions_and_edges() {
+        let mut b = GraphBuilder::new();
+        let a = b.channel();
+        let c = b.channel();
+        b.add(0, "Sequence", &(0i64, Some(4u64)), &[], &[a])
+            .unwrap();
+        b.add(1, "Scale", &2i64, &[a], &[c]).unwrap();
+        b.claim_reader(c).unwrap();
+        let dot = b.to_dot();
+        assert!(dot.contains("cluster_server 0"), "{dot}");
+        assert!(dot.contains("cluster_server 1"), "{dot}");
+        assert!(dot.contains("p0 -> p1"), "{dot}");
+        assert!(dot.contains("Sequence"), "{dot}");
+        assert!(dot.contains("Scale"), "{dot}");
+        // Claimed reader shows as an exit port.
+        assert!(dot.contains("claimed_r_1"), "{dot}");
+    }
+}

@@ -1,0 +1,170 @@
+//! Wire protocol for channel data connections.
+//!
+//! A data connection starts with a [`Hello`] frame carrying the endpoint
+//! token the connector wants to attach to, followed by a stream of
+//! [`Frame`]s. The `Close` frame is the graceful end-of-stream marker that
+//! carries the §3.4 termination cascade across machines; `Redirect` is the
+//! decentralized-communication handshake of §4.3 (Figure 15).
+
+use kpn_core::{Error, Result};
+use std::io::{Read, Write};
+
+/// Frame tags on the wire.
+const TAG_DATA: u8 = 0x01;
+const TAG_CLOSE: u8 = 0x02;
+const TAG_REDIRECT: u8 = 0x03;
+
+/// Connection-opening tags (first byte of a fresh TCP connection).
+pub(crate) const CONN_HELLO: u8 = 0x48; // 'H' — data connection
+pub(crate) const CONN_CONTROL: u8 = 0x43; // 'C' — control session
+
+/// One frame on a data connection.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// A chunk of channel bytes.
+    Data(Vec<u8>),
+    /// Graceful end of stream: the reader drains, then sees EOF.
+    Close,
+    /// The writer endpoint is migrating: the reader should register
+    /// `token` with its local acceptor and splice in the connection that
+    /// will arrive for it (directly from the endpoint's new home).
+    Redirect {
+        /// Fresh token the replacement connection will present.
+        token: u64,
+    },
+}
+
+/// Writes the `Hello` preamble of a data connection.
+pub(crate) fn write_hello<W: Write>(w: &mut W, token: u64) -> Result<()> {
+    w.write_all(&[CONN_HELLO])?;
+    w.write_all(&token.to_be_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads the token of a `Hello` preamble (the leading tag byte has already
+/// been consumed by the connection dispatcher).
+pub(crate) fn read_hello_token<R: Read>(r: &mut R) -> Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_be_bytes(buf))
+}
+
+/// Writes one frame.
+pub(crate) fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<()> {
+    match frame {
+        Frame::Data(bytes) => {
+            w.write_all(&[TAG_DATA])?;
+            w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+            w.write_all(bytes)?;
+        }
+        Frame::Close => {
+            w.write_all(&[TAG_CLOSE])?;
+        }
+        Frame::Redirect { token } => {
+            w.write_all(&[TAG_REDIRECT])?;
+            w.write_all(&token.to_be_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads the header of the next frame. For `Data` frames the payload is
+/// *not* consumed — the caller streams it (so one big frame does not force
+/// one big allocation). Returns the payload length.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum FrameHeader {
+    /// `Data` frame with this many payload bytes to stream.
+    Data(usize),
+    /// Graceful close.
+    Close,
+    /// Redirect handshake.
+    Redirect(u64),
+}
+
+pub(crate) fn read_frame_header<R: Read>(r: &mut R) -> Result<FrameHeader> {
+    let mut tag = [0u8; 1];
+    if let Err(e) = r.read_exact(&mut tag) {
+        return Err(match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => {
+                Error::Disconnected("connection closed without Close frame".into())
+            }
+            _ => e.into(),
+        });
+    }
+    match tag[0] {
+        TAG_DATA => {
+            let mut len = [0u8; 4];
+            r.read_exact(&mut len)?;
+            Ok(FrameHeader::Data(u32::from_be_bytes(len) as usize))
+        }
+        TAG_CLOSE => Ok(FrameHeader::Close),
+        TAG_REDIRECT => {
+            let mut tok = [0u8; 8];
+            r.read_exact(&mut tok)?;
+            Ok(FrameHeader::Redirect(u64::from_be_bytes(tok)))
+        }
+        other => Err(Error::Disconnected(format!("unknown frame tag {other:#x}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn data_frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::Data(b"hello".to_vec())).unwrap();
+        let mut cur = Cursor::new(buf);
+        match read_frame_header(&mut cur).unwrap() {
+            FrameHeader::Data(5) => {
+                let mut payload = [0u8; 5];
+                cur.read_exact(&mut payload).unwrap();
+                assert_eq!(&payload, b"hello");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn close_and_redirect_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::Close).unwrap();
+        write_frame(&mut buf, &Frame::Redirect { token: 0xDEAD }).unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame_header(&mut cur).unwrap(), FrameHeader::Close);
+        assert_eq!(
+            read_frame_header(&mut cur).unwrap(),
+            FrameHeader::Redirect(0xDEAD)
+        );
+    }
+
+    #[test]
+    fn hello_roundtrip() {
+        let mut buf = Vec::new();
+        write_hello(&mut buf, 12345).unwrap();
+        assert_eq!(buf[0], CONN_HELLO);
+        let mut cur = Cursor::new(&buf[1..]);
+        assert_eq!(read_hello_token(&mut cur).unwrap(), 12345);
+    }
+
+    #[test]
+    fn truncated_stream_is_disconnect() {
+        let mut cur = Cursor::new(Vec::new());
+        assert!(matches!(
+            read_frame_header(&mut cur),
+            Err(Error::Disconnected(_))
+        ));
+    }
+
+    #[test]
+    fn garbage_tag_is_disconnect() {
+        let mut cur = Cursor::new(vec![0xFFu8]);
+        assert!(matches!(
+            read_frame_header(&mut cur),
+            Err(Error::Disconnected(_))
+        ));
+    }
+}

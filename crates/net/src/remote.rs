@@ -1,0 +1,582 @@
+//! Remote channel endpoints over TCP — the `RemoteOutputStream` /
+//! `RemoteInputStream` / `RedirectedInputStream` of §4.2–4.3.
+//!
+//! A [`RemoteSink`] plugs into a [`kpn_core::ChannelWriter`]; a
+//! [`RemoteSource`] (or, before its connection arrives, a
+//! [`PendingSource`]) plugs into a [`kpn_core::ChannelReader`]. Both sides
+//! preserve the full channel semantics across the network:
+//!
+//! * graceful writer close → `Close` frame → reader drains, then EOF;
+//! * reader close → socket shutdown → writer's next write fails with
+//!   [`Error::WriteClosed`] ("these exceptions even propagate across
+//!   network connections", §3.4);
+//! * TCP flow control supplies the bounded-buffer backpressure that local
+//!   channels get from their ring buffer (§3.5);
+//! * a migrating writer sends `Redirect{token}`; the reader registers the
+//!   token with its own acceptor and splices in the replacement
+//!   connection, after which traffic flows directly between the new homes
+//!   (Figure 15 — no bytes transit the original server).
+
+use crate::acceptor::{connect_data, fresh_token, Acceptor, PendingConn};
+use crate::frame::{read_frame_header, write_frame, Frame, FrameHeader};
+use kpn_core::{
+    BlockKind, ChannelReader, ChannelWriter, Error, Monitor, Result, Sink, Source, SourceRead,
+};
+use std::io::{BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Arc;
+
+/// Maximum payload of one `Data` frame.
+const MAX_FRAME: usize = 64 * 1024;
+
+fn map_write_err(e: std::io::Error) -> Error {
+    use std::io::ErrorKind::*;
+    match e.kind() {
+        BrokenPipe | ConnectionReset | ConnectionAborted | NotConnected => Error::WriteClosed,
+        _ => Error::Io(e),
+    }
+}
+
+/// Out-of-band interruption for a remote endpoint: lets a network abort
+/// wake threads blocked inside transports the deadlock monitor cannot
+/// poison (a TCP read, or the wait for a pending connection). Shared
+/// between the endpoint (which keeps it pointed at its current transport,
+/// across redirects) and the abort hook that fires it.
+pub struct Interruptor {
+    state: parking_lot::Mutex<InterruptState>,
+}
+
+#[derive(Default)]
+struct InterruptState {
+    interrupted: bool,
+    /// A second handle to the endpoint's current socket.
+    socket: Option<TcpStream>,
+    /// A registration waiting at an acceptor (pending connection).
+    pending: Option<(std::sync::Weak<Acceptor>, u64)>,
+}
+
+impl Interruptor {
+    /// A fresh, un-fired interruptor.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Interruptor {
+            state: parking_lot::Mutex::new(InterruptState::default()),
+        })
+    }
+
+    /// Fires the interrupt: shuts the current socket (if any) and cancels
+    /// any pending registration. Threads blocked in the transport observe
+    /// a disconnect and unwind. Idempotent; also affects transports
+    /// attached later.
+    pub fn interrupt(&self) {
+        let (socket, pending) = {
+            let mut st = self.state.lock();
+            st.interrupted = true;
+            (st.socket.take(), st.pending.take())
+        };
+        if let Some(s) = socket {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        if let Some((acc, token)) = pending {
+            if let Some(acc) = acc.upgrade() {
+                // Dropping the waiting sender makes the blocked recv fail.
+                acc.unregister(token);
+            }
+        }
+    }
+
+    /// True once fired.
+    pub fn is_interrupted(&self) -> bool {
+        self.state.lock().interrupted
+    }
+
+    fn attach_socket(&self, stream: &TcpStream) {
+        let mut st = self.state.lock();
+        if st.interrupted {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        st.socket = stream.try_clone().ok();
+        st.pending = None;
+    }
+
+    fn attach_pending(&self, acceptor: &Arc<Acceptor>, token: u64) {
+        let mut st = self.state.lock();
+        if st.interrupted {
+            acceptor.unregister(token);
+            return;
+        }
+        st.socket = None;
+        st.pending = Some((Arc::downgrade(acceptor), token));
+    }
+}
+
+impl std::fmt::Debug for Interruptor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Interruptor(fired: {})", self.is_interrupted())
+    }
+}
+
+/// The write end of a channel whose reader lives on another server.
+pub struct RemoteSink {
+    stream: TcpStream,
+    closed: bool,
+}
+
+impl RemoteSink {
+    /// Connects to the reader's acceptor and presents `token`.
+    pub fn connect(addr: &str, token: u64) -> Result<Self> {
+        Ok(RemoteSink {
+            stream: connect_data(addr, token)?,
+            closed: false,
+        })
+    }
+
+    /// The peer (reader-side) address — the acceptor this sink connected
+    /// to, used when shipping the writer endpoint onward.
+    pub fn peer_addr(&self) -> Result<SocketAddr> {
+        Ok(self.stream.peer_addr()?)
+    }
+
+    /// Begins migrating this writer endpoint to another server (§4.3):
+    /// sends `Redirect{token}` so the reader splices in a connection that
+    /// the endpoint's new home will open directly, then retires this
+    /// connection. Returns `(reader_addr, token)` for the new home's
+    /// `RemoteSink::connect`.
+    pub fn begin_redirect(mut self) -> Result<(SocketAddr, u64)> {
+        let token = fresh_token();
+        let peer = self.peer_addr()?;
+        write_frame(&mut self.stream, &Frame::Redirect { token })
+            .map_err(|e| Error::Disconnected(format!("redirect failed: {e}")))?;
+        self.stream.flush().map_err(map_write_err)?;
+        self.closed = true; // redirect supersedes Close
+        let _ = self.stream.shutdown(Shutdown::Both);
+        Ok((peer, token))
+    }
+}
+
+impl Sink for RemoteSink {
+    fn write_all(&mut self, buf: &[u8]) -> Result<()> {
+        if self.closed {
+            return Err(Error::WriteClosed);
+        }
+        for chunk in buf.chunks(MAX_FRAME) {
+            write_frame(&mut self.stream, &Frame::Data(chunk.to_vec())).map_err(|e| match e {
+                Error::Io(io) => map_write_err(io),
+                other => other,
+            })?;
+        }
+        self.stream.flush().map_err(map_write_err)?;
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.stream.flush().map_err(map_write_err)
+    }
+
+    fn close(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        let _ = write_frame(&mut self.stream, &Frame::Close);
+        let _ = self.stream.flush();
+        let _ = self.stream.shutdown(Shutdown::Write);
+    }
+}
+
+impl Drop for RemoteSink {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// The read end of a channel whose writer lives on another server.
+pub struct RemoteSource {
+    stream: BufReader<TcpStream>,
+    /// The local acceptor, needed to honour `Redirect` frames.
+    acceptor: Option<Arc<Acceptor>>,
+    /// Abort-interruption handle, kept pointing at the live transport.
+    interruptor: Option<Arc<Interruptor>>,
+    /// Bytes left to stream from the current `Data` frame.
+    remaining: usize,
+}
+
+impl RemoteSource {
+    pub(crate) fn with_interruptor(
+        stream: TcpStream,
+        acceptor: Option<Arc<Acceptor>>,
+        interruptor: Option<Arc<Interruptor>>,
+    ) -> Self {
+        if let Some(i) = &interruptor {
+            i.attach_socket(&stream);
+        }
+        RemoteSource {
+            stream: BufReader::new(stream),
+            acceptor,
+            interruptor,
+            remaining: 0,
+        }
+    }
+}
+
+impl Source for RemoteSource {
+    fn read(&mut self, buf: &mut [u8]) -> Result<SourceRead> {
+        loop {
+            if self.remaining > 0 {
+                let n = buf.len().min(self.remaining);
+                let got = self.stream.read(&mut buf[..n])?;
+                if got == 0 {
+                    return Err(Error::Disconnected("peer vanished mid-frame".into()));
+                }
+                self.remaining -= got;
+                return Ok(SourceRead::Data(got));
+            }
+            match read_frame_header(&mut self.stream)? {
+                FrameHeader::Data(0) => continue,
+                FrameHeader::Data(len) => self.remaining = len,
+                FrameHeader::Close => return Ok(SourceRead::End),
+                FrameHeader::Redirect(token) => {
+                    let acceptor = self.acceptor.clone().ok_or_else(|| {
+                        Error::Graph("redirect received but node has no acceptor".into())
+                    })?;
+                    let pending = acceptor.register(token);
+                    if let Some(i) = &self.interruptor {
+                        i.attach_pending(&acceptor, token);
+                    }
+                    let source = PendingSource {
+                        pending,
+                        token,
+                        acceptor: acceptor.clone(),
+                        interruptor: self.interruptor.clone(),
+                    };
+                    return Ok(SourceRead::Splice(ChannelReader::from_source(Box::new(
+                        source,
+                    ))));
+                }
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        let _ = self.stream.get_ref().shutdown(Shutdown::Both);
+    }
+}
+
+/// A read endpoint whose data connection has not arrived yet — the
+/// listening state of the automatic connection establishment (§4.2) and of
+/// the `RedirectedInputStream` (§4.3). The first read blocks until the
+/// connection shows up, then splices in a [`RemoteSource`].
+pub struct PendingSource {
+    pending: PendingConn,
+    token: u64,
+    acceptor: Arc<Acceptor>,
+    interruptor: Option<Arc<Interruptor>>,
+}
+
+impl PendingSource {
+    /// Registers `token` at the node's acceptor and returns the endpoint.
+    pub fn listen(acceptor: &Arc<Acceptor>, token: u64) -> Self {
+        Self::listen_with(acceptor, token, None)
+    }
+
+    /// Like [`PendingSource::listen`], with an abort-interruption handle
+    /// that stays attached through connection arrival and redirects.
+    pub fn listen_with(
+        acceptor: &Arc<Acceptor>,
+        token: u64,
+        interruptor: Option<Arc<Interruptor>>,
+    ) -> Self {
+        if let Some(i) = &interruptor {
+            i.attach_pending(acceptor, token);
+        }
+        PendingSource {
+            pending: acceptor.register(token),
+            token,
+            acceptor: acceptor.clone(),
+            interruptor,
+        }
+    }
+}
+
+impl Source for PendingSource {
+    fn read(&mut self, _buf: &mut [u8]) -> Result<SourceRead> {
+        match self.pending.rx.recv() {
+            Ok(stream) => {
+                let source = RemoteSource::with_interruptor(
+                    stream,
+                    Some(self.acceptor.clone()),
+                    self.interruptor.clone(),
+                );
+                Ok(SourceRead::Splice(ChannelReader::from_source(Box::new(
+                    source,
+                ))))
+            }
+            Err(_) => Err(Error::Disconnected(
+                "acceptor closed before connection arrived".into(),
+            )),
+        }
+    }
+
+    fn close(&mut self) {
+        self.acceptor.unregister(self.token);
+    }
+}
+
+/// Wraps a remote read endpoint so blocking reads register with the
+/// network's deadlock monitor as *external* blocks (§6.2): they count
+/// toward all-blocked detection and cluster snapshots, but can never cause
+/// a local true-deadlock abort, because the monitor cannot see whether
+/// data is in flight on the wire.
+pub fn monitored_reader(inner: ChannelReader, monitor: Arc<Monitor>) -> ChannelReader {
+    ChannelReader::from_source(Box::new(MonitoredSource { inner, monitor }))
+}
+
+struct MonitoredSource {
+    inner: ChannelReader,
+    monitor: Arc<Monitor>,
+}
+
+impl Source for MonitoredSource {
+    fn read(&mut self, buf: &mut [u8]) -> Result<SourceRead> {
+        let _guard = self.monitor.external_block(BlockKind::Read)?;
+        match self.inner.read(buf)? {
+            0 => Ok(SourceRead::End),
+            n => Ok(SourceRead::Data(n)),
+        }
+    }
+
+    fn close(&mut self) {
+        self.inner.close();
+    }
+}
+
+/// Wraps a remote write endpoint so blocking writes (TCP backpressure)
+/// register with the deadlock monitor as external blocks; see
+/// [`monitored_reader`].
+pub fn monitored_writer(inner: ChannelWriter, monitor: Arc<Monitor>) -> ChannelWriter {
+    ChannelWriter::from_sink(Box::new(MonitoredSink { inner, monitor }))
+}
+
+struct MonitoredSink {
+    inner: ChannelWriter,
+    monitor: Arc<Monitor>,
+}
+
+impl Sink for MonitoredSink {
+    fn write_all(&mut self, buf: &[u8]) -> Result<()> {
+        let _guard = self.monitor.external_block(BlockKind::Write)?;
+        self.inner.write_all(buf)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.inner.flush()
+    }
+
+    fn close(&mut self) {
+        self.inner.close();
+    }
+}
+
+/// Creates the write end of a cross-server channel: connects to the
+/// reader's node and presents the endpoint token.
+pub fn remote_writer(addr: &str, token: u64) -> Result<ChannelWriter> {
+    Ok(ChannelWriter::from_sink(Box::new(RemoteSink::connect(
+        addr, token,
+    )?)))
+}
+
+/// Creates the read end of a cross-server channel: listens (via the node's
+/// acceptor) for the connection presenting `token`.
+pub fn remote_reader(acceptor: &Arc<Acceptor>, token: u64) -> ChannelReader {
+    ChannelReader::from_source(Box::new(PendingSource::listen(acceptor, token)))
+}
+
+/// Like [`remote_reader`], returning the [`Interruptor`] that can wake a
+/// blocked read from outside (used by network abort hooks).
+pub fn remote_reader_interruptible(
+    acceptor: &Arc<Acceptor>,
+    token: u64,
+) -> (ChannelReader, Arc<Interruptor>) {
+    let interruptor = Interruptor::new();
+    let source = PendingSource::listen_with(acceptor, token, Some(interruptor.clone()));
+    (ChannelReader::from_source(Box::new(source)), interruptor)
+}
+
+/// Like [`remote_writer`], returning the [`Interruptor`] that can wake a
+/// blocked write from outside.
+pub fn remote_writer_interruptible(
+    addr: &str,
+    token: u64,
+) -> Result<(ChannelWriter, Arc<Interruptor>)> {
+    let sink = RemoteSink::connect(addr, token)?;
+    let interruptor = Interruptor::new();
+    interruptor.attach_socket(&sink.stream);
+    Ok((ChannelWriter::from_sink(Box::new(sink)), interruptor))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpn_core::{DataReader, DataWriter};
+    use std::time::Duration;
+
+    fn node() -> Arc<Acceptor> {
+        Acceptor::bind("127.0.0.1:0").unwrap()
+    }
+
+    #[test]
+    fn bytes_flow_across_tcp() {
+        let b = node();
+        let token = fresh_token();
+        let mut reader = remote_reader(&b, token);
+        let mut writer = remote_writer(&b.local_addr().to_string(), token).unwrap();
+        writer.write_all(b"over the wire").unwrap();
+        let mut buf = [0u8; 13];
+        reader.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"over the wire");
+    }
+
+    #[test]
+    fn connect_before_register_is_parked() {
+        let b = node();
+        let token = fresh_token();
+        // Writer connects first; the reader registers afterwards.
+        let mut writer = remote_writer(&b.local_addr().to_string(), token).unwrap();
+        writer.write_all(b"early").unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        let mut reader = remote_reader(&b, token);
+        let mut buf = [0u8; 5];
+        reader.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"early");
+    }
+
+    #[test]
+    fn writer_close_gives_reader_eof_after_drain() {
+        let b = node();
+        let token = fresh_token();
+        let mut reader = remote_reader(&b, token);
+        let mut writer = remote_writer(&b.local_addr().to_string(), token).unwrap();
+        writer.write_all(b"tail").unwrap();
+        drop(writer);
+        let mut buf = [0u8; 4];
+        reader.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"tail");
+        assert_eq!(reader.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn reader_close_fails_writer_across_network() {
+        let b = node();
+        let token = fresh_token();
+        let reader = remote_reader(&b, token);
+        let mut writer = remote_writer(&b.local_addr().to_string(), token).unwrap();
+        writer.write_all(b"x").unwrap();
+        drop(reader);
+        // The shutdown needs a moment to reach the writer's kernel.
+        std::thread::sleep(Duration::from_millis(50));
+        let mut failed = false;
+        for _ in 0..100 {
+            if writer.write_all(b"yyyyyyyy").is_err() {
+                failed = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(failed, "writer never observed the closed reader");
+    }
+
+    #[test]
+    fn typed_streams_work_over_tcp() {
+        let b = node();
+        let token = fresh_token();
+        let reader = remote_reader(&b, token);
+        let writer = remote_writer(&b.local_addr().to_string(), token).unwrap();
+        let mut dw = DataWriter::new(writer);
+        let mut dr = DataReader::new(reader);
+        for i in 0..1000i64 {
+            dw.write_i64(i * 3).unwrap();
+        }
+        drop(dw);
+        for i in 0..1000i64 {
+            assert_eq!(dr.read_i64().unwrap(), i * 3);
+        }
+        assert!(dr.read_i64().is_err());
+    }
+
+    #[test]
+    fn large_transfer_chunks_into_frames() {
+        let b = node();
+        let token = fresh_token();
+        let mut reader = remote_reader(&b, token);
+        let mut writer = remote_writer(&b.local_addr().to_string(), token).unwrap();
+        let data: Vec<u8> = (0..300_000u32).map(|i| (i % 251) as u8).collect();
+        let expect = data.clone();
+        let h = std::thread::spawn(move || writer.write_all(&data));
+        let mut got = vec![0u8; expect.len()];
+        reader.read_exact(&mut got).unwrap();
+        h.join().unwrap().unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn redirect_moves_traffic_to_new_writer() {
+        // Figure 15: A→B traffic redirected so C→B talks directly.
+        let b = node();
+        let token = fresh_token();
+        let mut reader = remote_reader(&b, token); // "Print" on B
+        let mut sink_a = RemoteSink::connect(&b.local_addr().to_string(), token).unwrap();
+        sink_a.write_all(b"from A;").unwrap();
+        // A migrates the writer endpoint: redirect, then "ship" to C.
+        let (reader_addr, new_token) = sink_a.begin_redirect().unwrap();
+        // C connects directly to B; A is out of the path from here on.
+        let mut writer_c = remote_writer(&reader_addr.to_string(), new_token).unwrap();
+        writer_c.write_all(b"from C").unwrap();
+        drop(writer_c);
+        let mut buf = [0u8; 13];
+        reader.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"from A;from C");
+        assert_eq!(reader.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn chained_redirects() {
+        // An endpoint migrated twice (A→C→D) still delivers in order.
+        let b = node();
+        let token = fresh_token();
+        let mut reader = remote_reader(&b, token);
+        let mut sink_a = RemoteSink::connect(&b.local_addr().to_string(), token).unwrap();
+        sink_a.write_all(b"1").unwrap();
+        let (addr1, tok1) = sink_a.begin_redirect().unwrap();
+        let mut sink_c = RemoteSink::connect(&addr1.to_string(), tok1).unwrap();
+        sink_c.write_all(b"2").unwrap();
+        let (addr2, tok2) = sink_c.begin_redirect().unwrap();
+        let mut sink_d = RemoteSink::connect(&addr2.to_string(), tok2).unwrap();
+        sink_d.write_all(b"3").unwrap();
+        sink_d.close();
+        let mut buf = [0u8; 3];
+        reader.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"123");
+        assert_eq!(reader.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn pending_source_close_unregisters() {
+        let b = node();
+        let token = fresh_token();
+        let reader = remote_reader(&b, token);
+        drop(reader);
+        // A late connection for the abandoned endpoint is simply dropped;
+        // the connector then observes a closed socket on write.
+        let mut writer = remote_writer(&b.local_addr().to_string(), token).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let mut failed = false;
+        for _ in 0..100 {
+            if writer.write_all(b"zzzzzzzz").is_err() {
+                failed = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(failed, "writer to abandoned endpoint never failed");
+    }
+}

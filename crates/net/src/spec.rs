@@ -1,0 +1,116 @@
+//! Serializable graph descriptions — the unit of migration.
+//!
+//! Java ships live objects; Rust cannot ship code, so a subgraph travels as
+//! a [`GraphSpec`]: process *descriptions* (type name + constructor
+//! parameters) plus channel wiring. The receiving server reconstructs the
+//! processes through its [`crate::ProcessRegistry`] — the substitute for
+//! Java's dynamic class loading (`java.rmi.server.codebase`, §4.1). What
+//! is preserved exactly is the paper's *protocol*: endpoints that cross a
+//! partition boundary serialize as remote endpoint descriptors, and
+//! deserializing them triggers the automatic network-connection
+//! establishment of §4.2.
+
+use serde::{Deserialize, Serialize};
+
+/// A channel local to one partition.
+#[derive(Serialize, Deserialize, Debug, Clone)]
+pub struct ChannelSpec {
+    /// Buffer capacity in bytes.
+    pub capacity: usize,
+}
+
+/// Where a process input comes from.
+#[derive(Serialize, Deserialize, Debug, Clone)]
+pub enum InputSpec {
+    /// Reads the local channel at this index.
+    Local(usize),
+    /// The writer lives elsewhere: listen for the data connection
+    /// presenting `token` on this node's acceptor.
+    Remote {
+        /// Endpoint token the incoming connection will present.
+        token: u64,
+    },
+}
+
+/// Where a process output goes.
+#[derive(Serialize, Deserialize, Debug, Clone)]
+pub enum OutputSpec {
+    /// Writes the local channel at this index.
+    Local(usize),
+    /// The reader lives elsewhere: connect to its node and present
+    /// `token`.
+    Remote {
+        /// Address of the reader's acceptor.
+        addr: String,
+        /// Endpoint token registered (or to be registered) there.
+        token: u64,
+    },
+}
+
+/// One process to reconstruct.
+#[derive(Serialize, Deserialize, Debug, Clone)]
+pub struct ProcessSpec {
+    /// Registry key naming the process type.
+    pub type_name: String,
+    /// Constructor parameters, `kpn-codec` encoded (type-specific).
+    pub params: Vec<u8>,
+    /// Input endpoints, in the order the factory expects.
+    pub inputs: Vec<InputSpec>,
+    /// Output endpoints, in the order the factory expects.
+    pub outputs: Vec<OutputSpec>,
+}
+
+/// A partition of the program graph, ready to run on one server.
+#[derive(Serialize, Deserialize, Debug, Clone, Default)]
+pub struct GraphSpec {
+    /// Channels internal to this partition.
+    pub channels: Vec<ChannelSpec>,
+    /// Processes of this partition.
+    pub processes: Vec<ProcessSpec>,
+}
+
+impl GraphSpec {
+    /// True when the partition has nothing to run.
+    pub fn is_empty(&self) -> bool {
+        self.processes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_roundtrips_through_codec() {
+        let spec = GraphSpec {
+            channels: vec![ChannelSpec { capacity: 1024 }],
+            processes: vec![ProcessSpec {
+                type_name: "Sequence".into(),
+                params: kpn_codec::to_bytes(&(0i64, Some(10u64))).unwrap(),
+                inputs: vec![InputSpec::Remote { token: 7 }],
+                outputs: vec![
+                    OutputSpec::Local(0),
+                    OutputSpec::Remote {
+                        addr: "10.0.0.1:9000".into(),
+                        token: 8,
+                    },
+                ],
+            }],
+        };
+        let bytes = kpn_codec::to_bytes(&spec).unwrap();
+        let back: GraphSpec = kpn_codec::from_bytes(&bytes).unwrap();
+        assert_eq!(back.channels.len(), 1);
+        assert_eq!(back.processes[0].type_name, "Sequence");
+        assert!(matches!(
+            back.processes[0].inputs[0],
+            InputSpec::Remote { token: 7 }
+        ));
+        match &back.processes[0].outputs[1] {
+            OutputSpec::Remote { addr, token } => {
+                assert_eq!(addr, "10.0.0.1:9000");
+                assert_eq!(*token, 8);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

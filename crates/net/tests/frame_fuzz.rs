@@ -1,0 +1,45 @@
+//! Fuzz the network-facing parsers: arbitrary bytes from the wire must
+//! produce errors, never panics or unbounded allocations.
+
+use kpn_net::{ChannelSpec, ControlRequest, GraphSpec, ProcessSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte blobs decoded as control messages or graph specs
+    /// fail cleanly.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = kpn_codec::from_bytes::<ControlRequest>(&bytes);
+        let _ = kpn_codec::from_bytes::<GraphSpec>(&bytes);
+    }
+
+    /// Specs round-trip through the codec unchanged (structural equality
+    /// via re-encoding).
+    #[test]
+    fn specs_roundtrip(
+        capacities in proptest::collection::vec(1usize..100_000, 0..8),
+        names in proptest::collection::vec("[a-zA-Z]{1,12}", 0..8),
+    ) {
+        let spec = GraphSpec {
+            channels: capacities
+                .iter()
+                .map(|&c| ChannelSpec { capacity: c })
+                .collect(),
+            processes: names
+                .iter()
+                .map(|n| ProcessSpec {
+                    type_name: n.clone(),
+                    params: n.as_bytes().to_vec(),
+                    inputs: vec![],
+                    outputs: vec![],
+                })
+                .collect(),
+        };
+        let bytes = kpn_codec::to_bytes(&spec).unwrap();
+        let back: GraphSpec = kpn_codec::from_bytes(&bytes).unwrap();
+        let bytes2 = kpn_codec::to_bytes(&back).unwrap();
+        prop_assert_eq!(bytes, bytes2);
+    }
+}

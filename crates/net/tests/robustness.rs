@@ -1,0 +1,95 @@
+//! Robustness of the node's network surface: garbage on the wire,
+//! half-open control sessions, and late/duplicate connections must never
+//! take the server down.
+
+use kpn_core::DataReader;
+use kpn_net::{GraphBuilder, Node, ServerHandle};
+use std::io::Write;
+use std::net::TcpStream;
+
+fn server() -> (std::sync::Arc<Node>, ServerHandle) {
+    let n = Node::serve("127.0.0.1:0").unwrap();
+    let h = ServerHandle::new(n.addr().to_string());
+    (n, h)
+}
+
+#[test]
+fn garbage_connections_do_not_kill_the_server() {
+    let (node, handle) = server();
+    let addr = node.addr();
+
+    // 1. Connect and immediately hang up.
+    drop(TcpStream::connect(addr).unwrap());
+    // 2. Unknown connection tag.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(&[0xFFu8; 16]).unwrap();
+    drop(s);
+    // 3. Control tag followed by garbage framing.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(&[0x43]).unwrap(); // CONTROL
+    s.write_all(&[0xFF; 64]).unwrap();
+    drop(s);
+    // 4. Data tag with a truncated hello.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(&[0x48, 0x01]).unwrap(); // HELLO + 1 of 8 token bytes
+    drop(s);
+    // 5. Control message with an absurd length prefix (must not OOM).
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(&[0x43]).unwrap();
+    s.write_all(&u32::MAX.to_be_bytes()).unwrap();
+    drop(s);
+
+    // The server still works.
+    handle.ping().expect("server survived the garbage");
+    let mut g = GraphBuilder::new();
+    let a = g.channel();
+    let b = g.channel();
+    g.add(0, "Sequence", &(0i64, Some(5u64)), &[], &[a])
+        .unwrap();
+    g.add(0, "Scale", &2i64, &[a], &[b]).unwrap();
+    g.claim_reader(b).unwrap();
+    let client = Node::serve("127.0.0.1:0").unwrap();
+    let mut dep = g.deploy(&client, &[handle]).unwrap();
+    let mut r = DataReader::new(dep.readers.remove(&b).unwrap());
+    for i in 0..5 {
+        assert_eq!(r.read_i64().unwrap(), i * 2);
+    }
+    drop(r);
+    dep.join().unwrap();
+}
+
+#[test]
+fn duplicate_hello_token_is_parked_not_fatal() {
+    // Two writers presenting the same token: the first is routed, the
+    // second parks (and is dropped when the endpoint dies) — never a
+    // crash, and the legitimate stream is unaffected.
+    let (node, _h) = server();
+    let token: u64 = rand::random();
+    let mut reader = node.remote_reader(token);
+    let mut w1 = kpn_net::remote_writer(&node.addr().to_string(), token).unwrap();
+    let _w2 = kpn_net::remote_writer(&node.addr().to_string(), token).unwrap();
+    w1.write_all(b"legit").unwrap();
+    let mut buf = [0u8; 5];
+    reader.read_exact(&mut buf).unwrap();
+    assert_eq!(&buf, b"legit");
+}
+
+#[test]
+fn run_task_with_wrong_params_reports_error() {
+    use kpn_net::{ProcessRegistry, TaskRegistry};
+    let mut tasks = TaskRegistry::new();
+    tasks.register("double", |x: i64| Ok(x * 2));
+    let node = Node::serve_with("127.0.0.1:0", ProcessRegistry::with_defaults(), tasks).unwrap();
+    let handle = ServerHandle::new(node.addr().to_string());
+    // Right call works.
+    let ok: i64 = handle.run_task("double", &21i64).unwrap();
+    assert_eq!(ok, 42);
+    // Wrong parameter type: the server reports a decode error, then keeps
+    // serving.
+    let err = handle
+        .run_task::<_, i64>("double", &"not a number".to_string())
+        .unwrap_err();
+    assert!(err.to_string().contains("error"), "{err}");
+    let still: i64 = handle.run_task("double", &5i64).unwrap();
+    assert_eq!(still, 10);
+}

@@ -1,0 +1,324 @@
+//! Registers the parallel-framework processes with a `kpn-net`
+//! [`ProcessRegistry`], so Workers (and the routing stages) can be shipped
+//! to remote compute servers exactly like the stock processes.
+//!
+//! The Producer and Consumer stay on the deploying client (they hold
+//! application closures), matching the paper's deployments where the
+//! producer/consumer ran with the experimenter and only workers were
+//! distributed.
+
+use crate::generic::Worker;
+use crate::meta_dynamic::{Direct, Select, Turnstile};
+use crate::meta_static::{Gather, Scatter};
+use crate::task::TaskTypeRegistry;
+use kpn_core::Error;
+use kpn_net::{decode_params, ProcessRegistry};
+use std::sync::Arc;
+
+/// Registry names for the shippable parallel processes.
+pub mod names {
+    /// Generic worker (params: `f64` speed).
+    pub const WORKER: &str = "kpn.Worker";
+    /// Round-robin scatter (params: none).
+    pub const SCATTER: &str = "kpn.Scatter";
+    /// Round-robin gather (params: none).
+    pub const GATHER: &str = "kpn.Gather";
+    /// Index-driven dispatch (params: none; inputs `[tasks, index]`).
+    pub const DIRECT: &str = "kpn.Direct";
+    /// Arrival-order merge (params: none; outputs `[data, index]`).
+    pub const TURNSTILE: &str = "kpn.Turnstile";
+    /// Task-order restore (params: `u64` worker count; inputs `[data, index]`).
+    pub const SELECT: &str = "kpn.Select";
+}
+
+/// Registers Worker/Scatter/Gather/Direct/Turnstile/Select so partitions
+/// containing them can be shipped to servers whose nodes share the same
+/// `task_registry`.
+pub fn register_parallel_processes(
+    registry: &mut ProcessRegistry,
+    task_registry: Arc<TaskTypeRegistry>,
+) {
+    registry.register_iterative(names::WORKER, move |params, mut ins, mut outs| {
+        if ins.len() != 1 || outs.len() != 1 {
+            return Err(Error::Graph("Worker expects 1 input, 1 output".into()));
+        }
+        let speed: f64 = decode_params(names::WORKER, params)?;
+        Ok(Worker::new(task_registry.clone(), ins.remove(0), outs.remove(0)).with_speed(speed))
+    });
+    registry.register_iterative(names::SCATTER, |_params, mut ins, outs| {
+        if ins.len() != 1 || outs.is_empty() {
+            return Err(Error::Graph("Scatter expects 1 input, ≥1 output".into()));
+        }
+        Ok(Scatter::new(ins.remove(0), outs))
+    });
+    registry.register_iterative(names::GATHER, |_params, ins, mut outs| {
+        if ins.is_empty() || outs.len() != 1 {
+            return Err(Error::Graph("Gather expects ≥1 input, 1 output".into()));
+        }
+        Ok(Gather::new(ins, outs.remove(0)))
+    });
+    registry.register_iterative(names::DIRECT, |_params, mut ins, outs| {
+        if ins.len() != 2 || outs.is_empty() {
+            return Err(Error::Graph("Direct expects 2 inputs, ≥1 output".into()));
+        }
+        let index = ins.remove(1);
+        Ok(Direct::new(ins.remove(0), index, outs))
+    });
+    registry.register_iterative(names::TURNSTILE, |_params, ins, mut outs| {
+        if ins.is_empty() || outs.len() != 2 {
+            return Err(Error::Graph("Turnstile expects ≥1 input, 2 outputs".into()));
+        }
+        let index_out = outs.remove(1);
+        Ok(Turnstile::new(ins, outs.remove(0), index_out))
+    });
+    registry.register_iterative(names::SELECT, |params, mut ins, mut outs| {
+        if ins.len() != 2 || outs.len() != 1 {
+            return Err(Error::Graph("Select expects 2 inputs, 1 output".into()));
+        }
+        let n_workers: u64 = decode_params(names::SELECT, params)?;
+        let index = ins.remove(1);
+        Ok(Select::new(
+            ins.remove(0),
+            index,
+            outs.remove(0),
+            n_workers as usize,
+        ))
+    });
+}
+
+/// Wires the MetaDynamic composite (Figures 17/18) into a distributed
+/// [`kpn_net::GraphBuilder`]: the routing stages (Direct, Turnstile, Select, index
+/// plumbing) run on `routing_partition` and each worker on the partition
+/// given by `worker_partitions`. Returns `(task_in, result_out)` channel
+/// ids: connect your producer to the first and your consumer to the
+/// second (either as processes or as claimed endpoints).
+pub fn meta_dynamic_distributed(
+    g: &mut kpn_net::GraphBuilder,
+    routing_partition: usize,
+    worker_partitions: &[usize],
+    worker_speed: f64,
+) -> kpn_core::Result<(kpn_net::ChanId, kpn_net::ChanId)> {
+    let n = worker_partitions.len();
+    if n == 0 {
+        return Err(Error::Graph("need at least one worker".into()));
+    }
+    let task_in = g.channel();
+    let result_out = g.channel();
+    let mut to_w = Vec::with_capacity(n);
+    let mut from_w = Vec::with_capacity(n);
+    for &p in worker_partitions {
+        let t = g.channel();
+        let f = g.channel();
+        g.add(p, names::WORKER, &worker_speed, &[t], &[f])?;
+        to_w.push(t);
+        from_w.push(f);
+    }
+    let init = g.channel();
+    let t_idx = g.channel();
+    let idx_full = g.channel();
+    let idx_direct = g.channel();
+    let idx_select = g.channel();
+    let t_data = g.channel();
+    let r = routing_partition;
+    g.add(r, "Sequence", &(0i64, Some(n as u64)), &[], &[init])?;
+    g.add(r, "Cons", &false, &[init, t_idx], &[idx_full])?;
+    g.add(r, "Duplicate", &(), &[idx_full], &[idx_direct, idx_select])?;
+    g.add(r, names::DIRECT, &(), &[task_in, idx_direct], &to_w)?;
+    g.add(r, names::TURNSTILE, &(), &from_w, &[t_data, t_idx])?;
+    g.add(
+        r,
+        names::SELECT,
+        &(n as u64),
+        &[t_data, idx_select],
+        &[result_out],
+    )?;
+    Ok((task_in, result_out))
+}
+
+/// The MetaStatic analogue of [`meta_dynamic_distributed`]: Scatter and
+/// Gather on `routing_partition`, workers where assigned.
+pub fn meta_static_distributed(
+    g: &mut kpn_net::GraphBuilder,
+    routing_partition: usize,
+    worker_partitions: &[usize],
+    worker_speed: f64,
+) -> kpn_core::Result<(kpn_net::ChanId, kpn_net::ChanId)> {
+    let n = worker_partitions.len();
+    if n == 0 {
+        return Err(Error::Graph("need at least one worker".into()));
+    }
+    let task_in = g.channel();
+    let result_out = g.channel();
+    let mut to_w = Vec::with_capacity(n);
+    let mut from_w = Vec::with_capacity(n);
+    for &p in worker_partitions {
+        let t = g.channel();
+        let f = g.channel();
+        g.add(p, names::WORKER, &worker_speed, &[t], &[f])?;
+        to_w.push(t);
+        from_w.push(f);
+    }
+    g.add(routing_partition, names::SCATTER, &(), &[task_in], &to_w)?;
+    g.add(
+        routing_partition,
+        names::GATHER,
+        &(),
+        &from_w,
+        &[result_out],
+    )?;
+    Ok((task_in, result_out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskEnvelope;
+    use crate::tasks::{register_stock_tasks, synthetic_task_stream, RESULT};
+    use kpn_codec::{ObjectReader, ObjectWriter};
+    use kpn_net::{GraphBuilder, Node, ServerHandle, TaskRegistry};
+
+    fn parallel_node() -> (std::sync::Arc<Node>, ServerHandle) {
+        let mut tasks = TaskTypeRegistry::new();
+        register_stock_tasks(&mut tasks);
+        let tasks = tasks.into_shared();
+        let mut reg = ProcessRegistry::with_defaults();
+        register_parallel_processes(&mut reg, tasks);
+        let node = Node::serve_with("127.0.0.1:0", reg, TaskRegistry::new()).unwrap();
+        let handle = ServerHandle::new(node.addr().to_string());
+        (node, handle)
+    }
+
+    #[test]
+    fn remote_worker_processes_tasks() {
+        // Producer and consumer on the client; one Worker shipped to a
+        // remote server — the minimal distributed Figure 1.
+        let client = Node::serve("127.0.0.1:0").unwrap();
+        let (_server, handle) = parallel_node();
+        let mut b = GraphBuilder::new();
+        let tasks = b.channel();
+        let results = b.channel();
+        b.add(0, names::WORKER, &1.0f64, &[tasks], &[results])
+            .unwrap();
+        b.claim_writer(tasks).unwrap();
+        b.claim_reader(results).unwrap();
+        let mut dep = b.deploy(&client, &[handle]).unwrap();
+
+        let mut task_out = ObjectWriter::new(dep.writers.remove(&tasks).unwrap());
+        let mut result_in = ObjectReader::new(dep.readers.remove(&results).unwrap());
+        let mut stream = synthetic_task_stream(5, 0.0);
+        while let Some(env) = stream().unwrap() {
+            task_out.write(&env).unwrap();
+        }
+        drop(task_out);
+        for expect in 0..5u64 {
+            let env: TaskEnvelope = result_in.read().unwrap();
+            assert_eq!(env.type_name, RESULT);
+            assert_eq!(env.unpack::<u64>().unwrap(), expect);
+        }
+        assert!(result_in.read::<TaskEnvelope>().is_err());
+        drop(result_in);
+        dep.join().unwrap();
+    }
+
+    #[test]
+    fn distributed_meta_static_across_two_servers() {
+        // Scatter/Gather on server 0, two workers on server 1.
+        let client = Node::serve("127.0.0.1:0").unwrap();
+        let (_s0, h0) = parallel_node();
+        let (_s1, h1) = parallel_node();
+        let mut b = GraphBuilder::new();
+        let tasks = b.channel();
+        let results = b.channel();
+        let to_w0 = b.channel();
+        let to_w1 = b.channel();
+        let from_w0 = b.channel();
+        let from_w1 = b.channel();
+        b.add(0, names::SCATTER, &(), &[tasks], &[to_w0, to_w1])
+            .unwrap();
+        b.add(1, names::WORKER, &1.0f64, &[to_w0], &[from_w0])
+            .unwrap();
+        b.add(1, names::WORKER, &1.0f64, &[to_w1], &[from_w1])
+            .unwrap();
+        b.add(0, names::GATHER, &(), &[from_w0, from_w1], &[results])
+            .unwrap();
+        b.claim_writer(tasks).unwrap();
+        b.claim_reader(results).unwrap();
+        let mut dep = b.deploy(&client, &[h0, h1]).unwrap();
+
+        let mut task_out = ObjectWriter::new(dep.writers.remove(&tasks).unwrap());
+        let mut result_in = ObjectReader::new(dep.readers.remove(&results).unwrap());
+        let mut stream = synthetic_task_stream(8, 0.0);
+        while let Some(env) = stream().unwrap() {
+            task_out.write(&env).unwrap();
+        }
+        drop(task_out);
+        for expect in 0..8u64 {
+            let env: TaskEnvelope = result_in.read().unwrap();
+            assert_eq!(env.unpack::<u64>().unwrap(), expect, "task order preserved");
+        }
+        drop(result_in);
+        dep.join().unwrap();
+    }
+
+    #[test]
+    fn distributed_meta_dynamic_builder() {
+        use kpn_net::{GraphBuilder, Node, TaskRegistry, CLIENT};
+        let client_tasks = {
+            let mut t = TaskTypeRegistry::new();
+            crate::tasks::register_stock_tasks(&mut t);
+            t.into_shared()
+        };
+        let mut client_reg = ProcessRegistry::with_defaults();
+        register_parallel_processes(&mut client_reg, client_tasks);
+        let client = Node::serve_with("127.0.0.1:0", client_reg, TaskRegistry::new()).unwrap();
+        let (_s0, h0) = parallel_node();
+        let (_s1, h1) = parallel_node();
+        let mut g = GraphBuilder::new();
+        let (task_in, result_out) =
+            super::meta_dynamic_distributed(&mut g, CLIENT, &[0, 1, 0, 1], 1.0).unwrap();
+        g.claim_writer(task_in).unwrap();
+        g.claim_reader(result_out).unwrap();
+        let mut dep = g.deploy(&client, &[h0, h1]).unwrap();
+        let mut w = ObjectWriter::new(dep.writers.remove(&task_in).unwrap());
+        let mut r = ObjectReader::new(dep.readers.remove(&result_out).unwrap());
+        let mut stream = synthetic_task_stream(12, 1.0);
+        while let Ok(Some(env)) = stream() {
+            w.write(&env).unwrap();
+        }
+        drop(w);
+        for expect in 0..12u64 {
+            let env: TaskEnvelope = r.read().unwrap();
+            assert_eq!(env.unpack::<u64>().unwrap(), expect, "task order");
+        }
+        drop(r);
+        dep.join().unwrap();
+    }
+
+    #[test]
+    fn distributed_meta_static_builder() {
+        use kpn_net::{GraphBuilder, CLIENT};
+        // Scatter/Gather run on the client, so it needs the parallel
+        // registry too.
+        let (client, _hc) = parallel_node();
+        let (_s0, h0) = parallel_node();
+        let mut g = GraphBuilder::new();
+        let (task_in, result_out) =
+            super::meta_static_distributed(&mut g, CLIENT, &[0, 0], 1.0).unwrap();
+        g.claim_writer(task_in).unwrap();
+        g.claim_reader(result_out).unwrap();
+        let mut dep = g.deploy(&client, &[h0]).unwrap();
+        let mut w = ObjectWriter::new(dep.writers.remove(&task_in).unwrap());
+        let mut r = ObjectReader::new(dep.readers.remove(&result_out).unwrap());
+        let mut stream = synthetic_task_stream(6, 0.0);
+        while let Ok(Some(env)) = stream() {
+            w.write(&env).unwrap();
+        }
+        drop(w);
+        for expect in 0..6u64 {
+            let env: TaskEnvelope = r.read().unwrap();
+            assert_eq!(env.unpack::<u64>().unwrap(), expect);
+        }
+        drop(r);
+        dep.join().unwrap();
+    }
+}

@@ -1,0 +1,274 @@
+//! The generic Producer, Worker, and Consumer processes (§5.1).
+//!
+//! All application logic lives in tasks; these processes only move and run
+//! them, so "the creation of a new application simply requires the
+//! implementation of application-specific producer, worker, and consumer
+//! Tasks".
+
+use crate::task::{TaskEnv, TaskEnvelope, TaskTypeRegistry};
+use kpn_codec::{ObjectReader, ObjectWriter};
+use kpn_core::{ChannelReader, ChannelWriter, Error, Iterative, ProcessCtx, Result};
+use std::sync::Arc;
+
+/// Supplies the stream of work tasks — the producer-side `Task` whose
+/// repeated `run()` calls yield worker tasks.
+pub trait TaskSource: Send + 'static {
+    /// The next task, or `None` when the work is exhausted (the producer
+    /// then closes its output, starting the §3.4 termination cascade).
+    fn next(&mut self) -> Result<Option<TaskEnvelope>>;
+}
+
+impl<F> TaskSource for F
+where
+    F: FnMut() -> Result<Option<TaskEnvelope>> + Send + 'static,
+{
+    fn next(&mut self) -> Result<Option<TaskEnvelope>> {
+        self()
+    }
+}
+
+/// Receives result envelopes — the consumer-side `Task`.
+pub trait TaskSink: Send + 'static {
+    /// Consumes one result. Returning `false` stops the consumer early
+    /// (e.g. the factorization consumer stops once a factor is found),
+    /// triggering the termination cascade.
+    fn consume(&mut self, result: TaskEnvelope) -> Result<bool>;
+}
+
+impl<F> TaskSink for F
+where
+    F: FnMut(TaskEnvelope) -> Result<bool> + Send + 'static,
+{
+    fn consume(&mut self, result: TaskEnvelope) -> Result<bool> {
+        self(result)
+    }
+}
+
+/// Generic producer: writes task envelopes until its source is exhausted.
+pub struct Producer {
+    source: Box<dyn TaskSource>,
+    out: ObjectWriter,
+}
+
+impl Producer {
+    /// A producer draining `source` onto `out`.
+    pub fn new(source: impl TaskSource, out: ChannelWriter) -> Self {
+        Producer {
+            source: Box::new(source),
+            out: ObjectWriter::new(out),
+        }
+    }
+}
+
+impl Iterative for Producer {
+    fn name(&self) -> String {
+        "Producer".into()
+    }
+    fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
+        match self.source.next()? {
+            Some(envelope) => self.out.write(&envelope),
+            None => Err(Error::Eof), // graceful: close output, cascade
+        }
+    }
+}
+
+/// Generic worker: reads a task, runs it, writes the result
+/// ("repeatedly reads a Task from its input channel, runs it, and then
+/// writes the result to its output channel").
+pub struct Worker {
+    registry: Arc<TaskTypeRegistry>,
+    env: TaskEnv,
+    input: ObjectReader,
+    out: ObjectWriter,
+}
+
+impl Worker {
+    /// A worker at baseline speed.
+    pub fn new(registry: Arc<TaskTypeRegistry>, input: ChannelReader, out: ChannelWriter) -> Self {
+        Worker {
+            registry,
+            env: TaskEnv::default(),
+            input: ObjectReader::new(input),
+            out: ObjectWriter::new(out),
+        }
+    }
+
+    /// Sets the worker's simulated CPU speed (Table 1's classes).
+    pub fn with_speed(mut self, speed: f64) -> Self {
+        assert!(speed > 0.0, "speed must be positive");
+        self.env.speed = speed;
+        self
+    }
+}
+
+impl Iterative for Worker {
+    fn name(&self) -> String {
+        "Worker".into()
+    }
+    fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
+        let envelope: TaskEnvelope = self.input.read()?;
+        let task = self.registry.decode(&envelope)?;
+        let result = task.run(&self.env)?;
+        self.out.write(&result)
+    }
+}
+
+/// Generic consumer: reads result envelopes into its sink; stops early if
+/// the sink says so.
+pub struct Consumer {
+    sink: Box<dyn TaskSink>,
+    input: ObjectReader,
+}
+
+impl Consumer {
+    /// A consumer feeding `sink` from `input`.
+    pub fn new(input: ChannelReader, sink: impl TaskSink) -> Self {
+        Consumer {
+            sink: Box::new(sink),
+            input: ObjectReader::new(input),
+        }
+    }
+}
+
+impl Iterative for Consumer {
+    fn name(&self) -> String {
+        "Consumer".into()
+    }
+    fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
+        let envelope: TaskEnvelope = self.input.read()?;
+        if self.sink.consume(envelope)? {
+            Ok(())
+        } else {
+            Err(Error::Eof) // graceful early stop
+        }
+    }
+}
+
+/// Builds the Figure 1 pipeline: Producer → Worker → Consumer.
+pub fn pipeline(
+    net: &kpn_core::Network,
+    registry: Arc<TaskTypeRegistry>,
+    source: impl TaskSource,
+    sink: impl TaskSink,
+) {
+    let (tw, tr) = net.channel();
+    let (rw, rr) = net.channel();
+    net.add(Producer::new(source, tw));
+    net.add(Worker::new(registry, tr, rw));
+    net.add(Consumer::new(rr, sink));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::WorkTask;
+    use kpn_core::Network;
+    use serde::{Deserialize, Serialize};
+    use std::sync::Mutex;
+
+    #[derive(Serialize, Deserialize)]
+    pub struct Square(i64);
+
+    impl WorkTask for Square {
+        fn run(self: Box<Self>, _env: &TaskEnv) -> Result<TaskEnvelope> {
+            TaskEnvelope::pack("result", &(self.0 * self.0))
+        }
+    }
+
+    fn registry() -> Arc<TaskTypeRegistry> {
+        let mut reg = TaskTypeRegistry::new();
+        reg.register::<Square>("Square");
+        reg.into_shared()
+    }
+
+    fn counting_source(n: i64) -> impl TaskSource {
+        let mut i = 0;
+        move || {
+            if i < n {
+                i += 1;
+                Ok(Some(TaskEnvelope::pack("Square", &Square(i))?))
+            } else {
+                Ok(None)
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_squares_all_tasks() {
+        let net = Network::new();
+        let results = Arc::new(Mutex::new(Vec::new()));
+        let sink_results = results.clone();
+        pipeline(
+            &net,
+            registry(),
+            counting_source(10),
+            move |env: TaskEnvelope| {
+                sink_results.lock().unwrap().push(env.unpack::<i64>()?);
+                Ok(true)
+            },
+        );
+        net.run().unwrap();
+        assert_eq!(
+            *results.lock().unwrap(),
+            (1..=10).map(|i| i * i).collect::<Vec<i64>>()
+        );
+    }
+
+    #[test]
+    fn consumer_early_stop_cascades() {
+        let net = Network::new();
+        let results = Arc::new(Mutex::new(Vec::new()));
+        let sink_results = results.clone();
+        pipeline(
+            &net,
+            registry(),
+            counting_source(1_000_000), // would run forever otherwise
+            move |env: TaskEnvelope| {
+                let v = env.unpack::<i64>()?;
+                let mut r = sink_results.lock().unwrap();
+                r.push(v);
+                Ok(r.len() < 5)
+            },
+        );
+        net.run().unwrap();
+        assert_eq!(results.lock().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn worker_speed_must_be_positive() {
+        let net = Network::new();
+        let (_, r) = net.channel();
+        let (w, _) = net.channel();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Worker::new(registry(), r, w).with_speed(0.0)
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn unknown_task_type_fails_worker() {
+        let net = Network::new();
+        let results = Arc::new(Mutex::new(Vec::new()));
+        let sink_results = results.clone();
+        let mut sent = false;
+        pipeline(
+            &net,
+            registry(),
+            move || {
+                if sent {
+                    return Ok(None);
+                }
+                sent = true;
+                Ok(Some(TaskEnvelope::pack("Mystery", &1i64)?))
+            },
+            move |env: TaskEnvelope| {
+                sink_results.lock().unwrap().push(env.unpack::<i64>()?);
+                Ok(true)
+            },
+        );
+        // The worker fails (non-graceful) — the network reports it.
+        let err = net.run();
+        assert!(err.is_err());
+        assert!(results.lock().unwrap().is_empty());
+    }
+}

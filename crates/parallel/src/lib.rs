@@ -1,0 +1,88 @@
+//! # kpn-parallel — embarrassingly parallel computing on process networks
+//!
+//! Everything in §5 of the paper:
+//!
+//! * [`task`] — the `Task` active-object model: work travels as
+//!   [`TaskEnvelope`]s, decoded through a [`TaskTypeRegistry`];
+//! * [`generic`] — the generic [`Producer`], [`Worker`], [`Consumer`]
+//!   processes and the Figure 1 [`pipeline`];
+//! * [`mod@meta_static`] — Figure 16: [`Scatter`]/[`Gather`] with equal task
+//!   counts per worker (lock-step with the slowest worker);
+//! * [`mod@meta_dynamic`] — Figures 17/18: [`Direct`] + indexed merge
+//!   ([`Turnstile`] + [`Select`]) for on-demand load balancing, determinate
+//!   output despite the Turnstile's internal nondeterminism;
+//! * [`tasks`] — the §5.2 weak-RSA [`FactorTask`] and the calibrated
+//!   [`SyntheticTask`] used to emulate the paper's heterogeneous cluster;
+//! * [`distributed`] — registration glue to ship Workers and routing
+//!   stages to `kpn-net` compute servers.
+
+#![warn(missing_docs)]
+
+pub mod distributed;
+pub mod generic;
+pub mod meta_dynamic;
+pub mod meta_static;
+pub mod task;
+pub mod tasks;
+
+pub use distributed::register_parallel_processes;
+pub use generic::{pipeline, Consumer, Producer, TaskSink, TaskSource, Worker};
+pub use meta_dynamic::{meta_dynamic, meta_dynamic_with, Direct, Select, Turnstile};
+pub use meta_static::{meta_static, meta_static_with, Gather, Scatter};
+pub use task::{TaskEnv, TaskEnvelope, TaskTypeRegistry, WorkTask};
+pub use tasks::{
+    factor_task_stream, register_stock_tasks, synthetic_task_stream, FactorTask, SyntheticTask,
+};
+
+#[cfg(test)]
+mod determinacy_tests {
+    //! The §5 claim under test: static and dynamic schemas deliver results
+    //! to the consumer in identical order, equal to the single-worker
+    //! pipeline.
+
+    use super::*;
+    use kpn_core::Network;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn collect(schema: &str, n_workers: usize, n_tasks: u64) -> Vec<u64> {
+        let mut reg = TaskTypeRegistry::new();
+        register_stock_tasks(&mut reg);
+        let reg = reg.into_shared();
+        let net = Network::new();
+        let (task_w, task_r) = net.channel();
+        let (res_w, res_r) = net.channel();
+        net.add(Producer::new(synthetic_task_stream(n_tasks, 1.0), task_w));
+        let speeds: Vec<f64> = (0..n_workers).map(|i| 1.0 + (i % 3) as f64).collect();
+        match schema {
+            "static" => meta_static(&net, reg, &speeds, task_r, res_w),
+            "dynamic" => meta_dynamic(&net, reg, &speeds, task_r, res_w),
+            "pipeline" => net.add(Worker::new(reg, task_r, res_w)),
+            other => panic!("unknown schema {other}"),
+        }
+        let results = Arc::new(Mutex::new(Vec::new()));
+        let sink = results.clone();
+        net.add(Consumer::new(res_r, move |env: TaskEnvelope| {
+            sink.lock().push(env.unpack::<u64>()?);
+            Ok(true)
+        }));
+        net.run().unwrap();
+        let r = results.lock().clone();
+        r
+    }
+
+    #[test]
+    fn all_three_schemas_agree() {
+        let reference: Vec<u64> = (0..30).collect();
+        assert_eq!(collect("pipeline", 1, 30), reference);
+        assert_eq!(collect("static", 4, 30), reference);
+        assert_eq!(collect("dynamic", 4, 30), reference);
+    }
+
+    #[test]
+    fn schemas_agree_across_worker_counts() {
+        for n in [1usize, 2, 5, 9] {
+            assert_eq!(collect("static", n, 18), collect("dynamic", n, 18), "n={n}");
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! MetaStatic: parallel workers with static load balancing (Figure 16).
+//!
+//! `Scatter` hands one task to each of N workers in a fixed round-robin;
+//! `Gather` collects one result from each worker in the same order, so the
+//! composition is — from the producer's and consumer's point of view —
+//! equivalent to a single worker: identical results in identical order.
+//! The price (§5.2): every round advances in lock-step with its slowest
+//! worker.
+
+use crate::generic::Worker;
+use crate::task::TaskTypeRegistry;
+use kpn_codec::{ObjectReader, ObjectWriter};
+use kpn_core::{ChannelReader, ChannelWriter, Iterative, Network, ProcessCtx, Result};
+use std::sync::Arc;
+
+/// Distributes task envelopes round-robin, one per worker (Figure 16's
+/// `s`). Type-independent: forwards raw records.
+pub struct Scatter {
+    input: ObjectReader,
+    outputs: Vec<ObjectWriter>,
+    next: usize,
+}
+
+impl Scatter {
+    /// A scatter stage over `outputs.len()` workers.
+    pub fn new(input: ChannelReader, outputs: Vec<ChannelWriter>) -> Self {
+        assert!(!outputs.is_empty(), "Scatter needs at least one output");
+        Scatter {
+            input: ObjectReader::new(input),
+            outputs: outputs.into_iter().map(ObjectWriter::new).collect(),
+            next: 0,
+        }
+    }
+}
+
+impl Iterative for Scatter {
+    fn name(&self) -> String {
+        format!("Scatter(x{})", self.outputs.len())
+    }
+    fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
+        let record = self.input.read_raw()?;
+        self.outputs[self.next].write_raw(&record)?;
+        self.next = (self.next + 1) % self.outputs.len();
+        Ok(())
+    }
+}
+
+/// Collects result envelopes round-robin, one per worker (Figure 16's
+/// `g`) — "in the same order in which tasks are sent to the workers by the
+/// scatter process".
+pub struct Gather {
+    inputs: Vec<ObjectReader>,
+    output: ObjectWriter,
+    next: usize,
+}
+
+impl Gather {
+    /// A gather stage over `inputs.len()` workers.
+    pub fn new(inputs: Vec<ChannelReader>, output: ChannelWriter) -> Self {
+        assert!(!inputs.is_empty(), "Gather needs at least one input");
+        Gather {
+            inputs: inputs.into_iter().map(ObjectReader::new).collect(),
+            output: ObjectWriter::new(output),
+            next: 0,
+        }
+    }
+}
+
+impl Iterative for Gather {
+    fn name(&self) -> String {
+        format!("Gather(x{})", self.inputs.len())
+    }
+    fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
+        let record = self.inputs[self.next].read_raw()?;
+        self.output.write_raw(&record)?;
+        self.next = (self.next + 1) % self.inputs.len();
+        Ok(())
+    }
+}
+
+/// Builds the MetaStatic composite between `task_in` and `result_out`
+/// using a caller-supplied worker factory (index → worker process), so
+/// heterogeneous speeds can be modelled. Returns nothing: processes are
+/// added to `net`.
+pub fn meta_static_with<F>(
+    net: &Network,
+    n_workers: usize,
+    task_in: ChannelReader,
+    result_out: ChannelWriter,
+    mut worker: F,
+) where
+    F: FnMut(usize, ChannelReader, ChannelWriter) -> Box<dyn kpn_core::Process>,
+{
+    assert!(n_workers > 0);
+    let mut to_w = Vec::with_capacity(n_workers);
+    let mut from_w = Vec::with_capacity(n_workers);
+    for i in 0..n_workers {
+        let (tw, tr) = net.channel();
+        let (rw, rr) = net.channel();
+        net.add_process(worker(i, tr, rw));
+        to_w.push(tw);
+        from_w.push(rr);
+    }
+    net.add(Scatter::new(task_in, to_w));
+    net.add(Gather::new(from_w, result_out));
+}
+
+/// Builds MetaStatic with `n_workers` generic [`Worker`]s running at the
+/// given speeds (`speeds.len() == n_workers`).
+pub fn meta_static(
+    net: &Network,
+    registry: Arc<TaskTypeRegistry>,
+    speeds: &[f64],
+    task_in: ChannelReader,
+    result_out: ChannelWriter,
+) {
+    let speeds = speeds.to_vec();
+    meta_static_with(net, speeds.len(), task_in, result_out, move |i, r, w| {
+        Box::new(kpn_core::IterativeProcess::new(
+            Worker::new(registry.clone(), r, w).with_speed(speeds[i]),
+        ))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generic::{Consumer, Producer};
+    use crate::task::{TaskEnv, TaskEnvelope, WorkTask};
+    use serde::{Deserialize, Serialize};
+    use std::sync::Mutex;
+
+    #[derive(Serialize, Deserialize)]
+    struct AddOne(i64);
+
+    impl WorkTask for AddOne {
+        fn run(self: Box<Self>, _env: &TaskEnv) -> Result<TaskEnvelope> {
+            TaskEnvelope::pack("result", &(self.0 + 1))
+        }
+    }
+
+    fn registry() -> Arc<TaskTypeRegistry> {
+        let mut reg = TaskTypeRegistry::new();
+        reg.register::<AddOne>("AddOne");
+        reg.into_shared()
+    }
+
+    fn run_static(n_workers: usize, n_tasks: i64) -> Vec<i64> {
+        let net = Network::new();
+        let (task_w, task_r) = net.channel();
+        let (res_w, res_r) = net.channel();
+        let mut i = 0;
+        net.add(Producer::new(
+            move || {
+                if i < n_tasks {
+                    i += 1;
+                    Ok(Some(TaskEnvelope::pack("AddOne", &AddOne(i))?))
+                } else {
+                    Ok(None)
+                }
+            },
+            task_w,
+        ));
+        let speeds = vec![1.0; n_workers];
+        meta_static(&net, registry(), &speeds, task_r, res_w);
+        let results = Arc::new(Mutex::new(Vec::new()));
+        let sink_results = results.clone();
+        net.add(Consumer::new(res_r, move |env: TaskEnvelope| {
+            sink_results.lock().unwrap().push(env.unpack::<i64>()?);
+            Ok(true)
+        }));
+        net.run().unwrap();
+        let r = results.lock().unwrap().clone();
+        r
+    }
+
+    #[test]
+    fn results_arrive_in_task_order() {
+        // §5: "identical results are presented to the consumer in the same
+        // order as the single-worker computation".
+        for workers in [1, 2, 3, 8] {
+            let got = run_static(workers, 20);
+            assert_eq!(got, (2..=21).collect::<Vec<i64>>(), "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn task_count_not_divisible_by_workers() {
+        // 7 tasks across 3 workers: the tail round is partial; termination
+        // must still be clean (gather hits EOF on the next worker).
+        let got = run_static(3, 7);
+        assert_eq!(got, (2..=8).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn single_task() {
+        assert_eq!(run_static(4, 1), vec![2]);
+    }
+
+    #[test]
+    fn zero_tasks_terminate_cleanly() {
+        assert!(run_static(3, 0).is_empty());
+    }
+}

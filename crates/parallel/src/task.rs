@@ -1,0 +1,166 @@
+//! Tasks and active objects (§5.1).
+//!
+//! "The computation to be carried out on the data is defined not in the
+//! processes, but in the objects containing the data itself." A task
+//! travels on channels as a [`TaskEnvelope`] (type name + codec payload);
+//! the generic [`crate::Worker`] reconstructs it through a
+//! [`TaskTypeRegistry`] — the same registry pattern `kpn-net` uses for
+//! processes, substituting for Java's mobile code.
+
+use kpn_core::{Error, Result};
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Execution environment a worker gives its tasks. `speed` models the
+/// heterogeneous CPU classes of the paper's evaluation (Table 1): a task
+/// of cost `c` occupies a speed-`s` worker for `c / s` time units.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskEnv {
+    /// Relative CPU speed (1.0 = the paper's class-C baseline).
+    pub speed: f64,
+}
+
+impl Default for TaskEnv {
+    fn default() -> Self {
+        TaskEnv { speed: 1.0 }
+    }
+}
+
+/// A work task: decoded by the worker, run, producing the result envelope
+/// sent onward to the consumer (the paper's `Task.run()` returning another
+/// `Task`).
+pub trait WorkTask: Send {
+    /// Performs the work and returns the consumer-task envelope.
+    fn run(self: Box<Self>, env: &TaskEnv) -> Result<TaskEnvelope>;
+}
+
+/// A serialized task on a channel: the `ObjectOutputStream` record the
+/// generic processes forward without decoding.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct TaskEnvelope {
+    /// Task-registry key.
+    pub type_name: String,
+    /// Codec-encoded task payload.
+    pub payload: Vec<u8>,
+}
+
+impl TaskEnvelope {
+    /// Packs a serializable task value under a registered type name.
+    pub fn pack<T: Serialize>(type_name: &str, task: &T) -> Result<Self> {
+        Ok(TaskEnvelope {
+            type_name: type_name.into(),
+            payload: kpn_codec::to_bytes(task).map_err(Error::from)?,
+        })
+    }
+
+    /// Decodes the payload as `T`.
+    pub fn unpack<T: DeserializeOwned>(&self) -> Result<T> {
+        kpn_codec::from_bytes(&self.payload).map_err(Error::from)
+    }
+}
+
+type TaskFactory = Box<dyn Fn(&[u8]) -> Result<Box<dyn WorkTask>> + Send + Sync>;
+
+/// Maps task type names to decoders, shared by every worker.
+#[derive(Default)]
+pub struct TaskTypeRegistry {
+    factories: HashMap<String, TaskFactory>,
+}
+
+impl TaskTypeRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a decodable task type.
+    pub fn register<T>(&mut self, name: impl Into<String>)
+    where
+        T: WorkTask + DeserializeOwned + 'static,
+    {
+        let name = name.into();
+        let for_err = name.clone();
+        self.factories.insert(
+            name,
+            Box::new(move |payload| {
+                let task: T = kpn_codec::from_bytes(payload)
+                    .map_err(|e| Error::Codec(format!("task {for_err}: {e}")))?;
+                Ok(Box::new(task))
+            }),
+        );
+    }
+
+    /// Decodes one envelope into a runnable task.
+    pub fn decode(&self, envelope: &TaskEnvelope) -> Result<Box<dyn WorkTask>> {
+        let f = self
+            .factories
+            .get(&envelope.type_name)
+            .ok_or_else(|| Error::Graph(format!("unknown task type {:?}", envelope.type_name)))?;
+        f(&envelope.payload)
+    }
+
+    /// Wraps in the `Arc` workers share.
+    pub fn into_shared(self) -> Arc<Self> {
+        Arc::new(self)
+    }
+}
+
+impl std::fmt::Debug for TaskTypeRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TaskTypeRegistry({} types)", self.factories.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize, Deserialize)]
+    struct Doubler {
+        value: i64,
+    }
+
+    impl WorkTask for Doubler {
+        fn run(self: Box<Self>, _env: &TaskEnv) -> Result<TaskEnvelope> {
+            TaskEnvelope::pack("result", &(self.value * 2))
+        }
+    }
+
+    #[test]
+    fn envelope_roundtrip() {
+        let env = TaskEnvelope::pack("Doubler", &Doubler { value: 21 }).unwrap();
+        assert_eq!(env.type_name, "Doubler");
+        let d: Doubler = env.unpack().unwrap();
+        assert_eq!(d.value, 21);
+    }
+
+    #[test]
+    fn registry_decodes_and_runs() {
+        let mut reg = TaskTypeRegistry::new();
+        reg.register::<Doubler>("Doubler");
+        let envelope = TaskEnvelope::pack("Doubler", &Doubler { value: 5 }).unwrap();
+        let task = reg.decode(&envelope).unwrap();
+        let result = task.run(&TaskEnv::default()).unwrap();
+        assert_eq!(result.unpack::<i64>().unwrap(), 10);
+    }
+
+    #[test]
+    fn unknown_task_type_reported() {
+        let reg = TaskTypeRegistry::new();
+        let envelope = TaskEnvelope::pack("Nope", &1i64).unwrap();
+        assert!(reg.decode(&envelope).is_err());
+    }
+
+    #[test]
+    fn corrupt_payload_reported() {
+        let mut reg = TaskTypeRegistry::new();
+        reg.register::<Doubler>("Doubler");
+        let envelope = TaskEnvelope {
+            type_name: "Doubler".into(),
+            payload: vec![1, 2],
+        };
+        assert!(reg.decode(&envelope).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! Delay-and-sum sonar beamforming — the real-time application the paper
+//! cites for process networks (§1, reference [1]: "real-time sonar
+//! beamforming ... using process networks and POSIX threads").
+//!
+//! A line array of hydrophones receives a plane wave from some bearing;
+//! each element's stream is delayed and summed for a fan of steering
+//! angles, and the beam with the most output power points at the source.
+//!
+//! Topology (one process per box, one channel per arrow):
+//!
+//! ```text
+//! Hydrophone₀ ─┐
+//! Hydrophone₁ ─┼──► Beam(−60°) ─┐
+//!    ⋮          │      ⋮          ├──► PowerMeter ──► bearing estimate
+//! Hydrophone₇ ─┴──► Beam(+60°) ─┘
+//! ```
+//!
+//! Every hydrophone stream is fanned out to all beams with stock
+//! `Duplicate` processes; each `Beam` applies its per-element integer
+//! delays and sums. Everything is determinate: the bearing estimate is a
+//! pure function of the simulated wavefront.
+//!
+//! ```text
+//! cargo run --release --example beamformer [-- BEARING_DEGREES]
+//! ```
+
+use kpn::core::stdlib::Duplicate;
+use kpn::core::{
+    ChannelReader, ChannelWriter, DataReader, DataWriter, Error, Iterative, Network, ProcessCtx,
+    Result,
+};
+use std::sync::{Arc, Mutex};
+
+/// Shared slot the meter publishes `(bearing, per-beam powers)` into.
+type SharedEstimate = Arc<Mutex<Option<(f64, Vec<f64>)>>>;
+
+const ELEMENTS: usize = 8;
+const BEAMS: usize = 13; // -60° .. +60° in 10° steps
+const SAMPLES: u64 = 512;
+/// Element spacing over wave speed, in sample periods per sine of bearing.
+const MAX_DELAY_SAMPLES: f64 = 6.0;
+
+/// One hydrophone: emits the plane wave as seen at element `index`.
+struct Hydrophone {
+    out: DataWriter,
+    index: usize,
+    bearing_rad: f64,
+    t: u64,
+}
+
+impl Iterative for Hydrophone {
+    fn name(&self) -> String {
+        format!("Hydrophone({})", self.index)
+    }
+    fn limit(&self) -> Option<u64> {
+        Some(SAMPLES)
+    }
+    fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
+        // A plane wave from `bearing` reaches element i with a delay
+        // proportional to i * sin(bearing).
+        let delay =
+            self.index as f64 * MAX_DELAY_SAMPLES / (ELEMENTS - 1) as f64 * self.bearing_rad.sin();
+        let phase = (self.t as f64 - delay) * 0.35;
+        self.t += 1;
+        self.out.write_f64(phase.sin())
+    }
+}
+
+/// One steered beam: integer-delays each element stream and sums.
+struct Beam {
+    inputs: Vec<DataReader>,
+    out: DataWriter,
+    /// Per-element delay lines (already-read samples waiting to be used).
+    delay_lines: Vec<std::collections::VecDeque<f64>>,
+}
+
+impl Beam {
+    fn new(steer_rad: f64, inputs: Vec<ChannelReader>, out: ChannelWriter) -> Self {
+        let n = inputs.len();
+        let delay_lines = (0..n)
+            .map(|i| {
+                // Steering compensates the arrival delay: delay the *other*
+                // end of the array. Quantize to whole samples.
+                let d = (i as f64 * MAX_DELAY_SAMPLES / (n - 1) as f64 * steer_rad.sin()).round();
+                let lead = (MAX_DELAY_SAMPLES - d).max(0.0) as usize;
+                std::collections::VecDeque::from(vec![0.0f64; lead])
+            })
+            .collect();
+        Beam {
+            inputs: inputs.into_iter().map(DataReader::new).collect(),
+            out: DataWriter::new(out),
+            delay_lines,
+        }
+    }
+}
+
+impl Iterative for Beam {
+    fn name(&self) -> String {
+        "Beam".into()
+    }
+    fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
+        let mut sum = 0.0;
+        for (input, line) in self.inputs.iter_mut().zip(self.delay_lines.iter_mut()) {
+            line.push_back(input.read_f64()?);
+            sum += line.pop_front().expect("delay line primed");
+        }
+        self.out.write_f64(sum / self.inputs.len() as f64)
+    }
+}
+
+/// Integrates each beam's power and reports the strongest bearing.
+struct PowerMeter {
+    inputs: Vec<DataReader>,
+    bearings_deg: Vec<f64>,
+    result: SharedEstimate,
+    powers: Vec<f64>,
+    samples_seen: u64,
+}
+
+impl Iterative for PowerMeter {
+    fn name(&self) -> String {
+        "PowerMeter".into()
+    }
+    fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
+        for (input, p) in self.inputs.iter_mut().zip(self.powers.iter_mut()) {
+            match input.read_f64() {
+                Ok(v) => *p += v * v,
+                Err(Error::Eof) => {
+                    // Streams end together; publish the estimate.
+                    let (best, _) = self
+                        .powers
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                        .unwrap();
+                    *self.result.lock().unwrap() =
+                        Some((self.bearings_deg[best], self.powers.clone()));
+                    return Err(Error::Eof);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.samples_seen += 1;
+        Ok(())
+    }
+}
+
+fn main() -> Result<()> {
+    let true_bearing: f64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("bearing in degrees"))
+        .unwrap_or(30.0);
+    println!("simulating a source at {true_bearing:+.0}° across {ELEMENTS} hydrophones\n");
+
+    let net = Network::new();
+    // Hydrophones → per-beam fanout.
+    let mut element_to_beams: Vec<Vec<ChannelReader>> = (0..BEAMS).map(|_| Vec::new()).collect();
+    for e in 0..ELEMENTS {
+        let (hw, hr) = net.channel();
+        net.add(Hydrophone {
+            out: DataWriter::new(hw),
+            index: e,
+            bearing_rad: true_bearing.to_radians(),
+            t: 0,
+        });
+        let mut outs = Vec::with_capacity(BEAMS);
+        for beam_inputs in element_to_beams.iter_mut() {
+            let (w, r) = net.channel();
+            outs.push(w);
+            beam_inputs.push(r);
+        }
+        net.add(Duplicate::new(hr, outs));
+    }
+    // Beams → power meter.
+    let bearings_deg: Vec<f64> = (0..BEAMS).map(|b| -60.0 + 10.0 * b as f64).collect();
+    let mut beam_outs = Vec::with_capacity(BEAMS);
+    for (b, inputs) in element_to_beams.into_iter().enumerate() {
+        let (bw, br) = net.channel();
+        net.add(Beam::new(bearings_deg[b].to_radians(), inputs, bw));
+        beam_outs.push(DataReader::new(br));
+    }
+    let result = Arc::new(Mutex::new(None));
+    net.add(PowerMeter {
+        inputs: beam_outs,
+        bearings_deg: bearings_deg.clone(),
+        result: result.clone(),
+        powers: vec![0.0; BEAMS],
+        samples_seen: 0,
+    });
+
+    let report = net.run()?;
+    let guard = result.lock().unwrap();
+    let (estimate, powers) = guard.as_ref().expect("meter published a result");
+    for (deg, p) in bearings_deg.iter().zip(powers) {
+        let bar = "#".repeat((p / 8.0).min(60.0) as usize);
+        println!("{deg:>5.0}° | {bar}");
+    }
+    println!(
+        "\nestimated bearing: {estimate:+.0}°  (true: {true_bearing:+.0}°, {} processes)",
+        report.processes_run
+    );
+    assert!(
+        (estimate - true_bearing).abs() <= 10.0,
+        "estimate should land within one beam width"
+    );
+    Ok(())
+}

@@ -1,0 +1,172 @@
+//! The full §5.2 deployment: parallel weak-RSA factorization with the
+//! producer and consumer on the client and the **workers on remote compute
+//! servers**, under dynamic load balancing (Figure 17's schema with the
+//! routing stages on the client, exactly like the paper's runs where the
+//! experimenter's machine coordinated the lab cluster).
+//!
+//! The two servers here are in-process `Node`s on loopback TCP; replace
+//! their addresses with real `kpn-server` hosts for a genuine cluster (the
+//! protocol is identical — see `tests/multiprocess.rs` for the
+//! subprocess-based version).
+//!
+//! ```text
+//! cargo run --release --example distributed_factor [-- --bits 256 --tasks 64]
+//! ```
+
+use kpn::bignum::{make_weak_key, SearchOutcome};
+use kpn::codec::{ObjectReader, ObjectWriter};
+use kpn::core::Result;
+use kpn::net::{GraphBuilder, Node, ProcessRegistry, ServerHandle, TaskRegistry, CLIENT};
+use kpn::parallel::distributed::names;
+use kpn::parallel::{
+    factor_task_stream, register_parallel_processes, register_stock_tasks, TaskEnvelope,
+    TaskTypeRegistry,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const BATCH: u64 = 32;
+const WORKERS: usize = 4;
+
+fn parallel_node() -> Result<(std::sync::Arc<Node>, ServerHandle)> {
+    let mut tasks = TaskTypeRegistry::new();
+    register_stock_tasks(&mut tasks);
+    let tasks = tasks.into_shared();
+    let mut reg = ProcessRegistry::with_defaults();
+    register_parallel_processes(&mut reg, tasks);
+    let node = Node::serve_with("127.0.0.1:0", reg, TaskRegistry::new())?;
+    let handle = ServerHandle::new(node.addr().to_string());
+    Ok((node, handle))
+}
+
+fn main() -> Result<()> {
+    let mut bits = 256u64;
+    let mut tasks = 64u64;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--bits" => {
+                bits = argv[i + 1].parse().expect("--bits N");
+                i += 2;
+            }
+            "--tasks" => {
+                tasks = argv[i + 1].parse().expect("--tasks N");
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    // Plant the factor near the end so every worker stays busy.
+    let d = (tasks * 7 / 8) * 2 * BATCH + BATCH;
+    let mut rng = StdRng::seed_from_u64(0xD157);
+    let key = make_weak_key(bits, d - (d % 2), &mut rng);
+
+    // Client + two compute servers.
+    let client_tasks = {
+        let mut t = TaskTypeRegistry::new();
+        register_stock_tasks(&mut t);
+        t.into_shared()
+    };
+    let mut client_reg = ProcessRegistry::with_defaults();
+    register_parallel_processes(&mut client_reg, client_tasks);
+    let client = Node::serve_with("127.0.0.1:0", client_reg, TaskRegistry::new())?;
+    let (s0, h0) = parallel_node()?;
+    let (s1, h1) = parallel_node()?;
+    println!("client   at {}", client.addr());
+    println!("server 0 at {}", s0.addr());
+    println!("server 1 at {}", s1.addr());
+    println!(
+        "\nfactoring a {}-bit modulus: {} tasks x {BATCH} differences, {WORKERS} remote workers\n",
+        key.n.bits(),
+        tasks
+    );
+
+    // MetaDynamic with the routing stages on the client, workers remote.
+    let mut g = GraphBuilder::new();
+    let tasks_ch = g.channel();
+    let results_ch = g.channel();
+    let mut to_w = Vec::new();
+    let mut from_w = Vec::new();
+    for w in 0..WORKERS {
+        let t = g.channel();
+        let f = g.channel();
+        g.add(w % 2, names::WORKER, &1.0f64, &[t], &[f])?;
+        to_w.push(t);
+        from_w.push(f);
+    }
+    let init = g.channel();
+    let t_idx = g.channel();
+    let idx_full = g.channel();
+    let idx_direct = g.channel();
+    let idx_select = g.channel();
+    let t_data = g.channel();
+    g.add(
+        CLIENT,
+        "Sequence",
+        &(0i64, Some(WORKERS as u64)),
+        &[],
+        &[init],
+    )?;
+    g.add(CLIENT, "Cons", &false, &[init, t_idx], &[idx_full])?;
+    g.add(
+        CLIENT,
+        "Duplicate",
+        &(),
+        &[idx_full],
+        &[idx_direct, idx_select],
+    )?;
+    g.add(CLIENT, names::DIRECT, &(), &[tasks_ch, idx_direct], &to_w)?;
+    g.add(CLIENT, names::TURNSTILE, &(), &from_w, &[t_data, t_idx])?;
+    g.add(
+        CLIENT,
+        names::SELECT,
+        &(WORKERS as u64),
+        &[t_data, idx_select],
+        &[results_ch],
+    )?;
+    g.claim_writer(tasks_ch)?;
+    g.claim_reader(results_ch)?;
+
+    let mut dep = g.deploy(&client, &[h0, h1])?;
+    println!("partitions shipped; worker channels connected automatically\n");
+
+    let mut task_out = ObjectWriter::new(dep.writers.remove(&tasks_ch).expect("claimed"));
+    let mut result_in = ObjectReader::new(dep.readers.remove(&results_ch).expect("claimed"));
+
+    let n_for_feed = key.n.clone();
+    let feeder = std::thread::spawn(move || {
+        let mut stream = factor_task_stream(n_for_feed, tasks, BATCH);
+        while let Ok(Some(env)) = stream() {
+            if task_out.write(&env).is_err() {
+                break; // network tore down: factor already found
+            }
+        }
+    });
+
+    let start = Instant::now();
+    let mut checked = 0u64;
+    loop {
+        let env: TaskEnvelope = result_in.read()?;
+        match env.unpack::<SearchOutcome>()? {
+            SearchOutcome::Found { p, d } => {
+                let q = p.add_u64(d);
+                assert_eq!(p.mul(&q), key.n);
+                println!(
+                    "factor found after {checked} empty tasks, {:.2?} elapsed",
+                    start.elapsed()
+                );
+                println!("  D = {d}; verified P * (P+D) == N");
+                break;
+            }
+            SearchOutcome::NotFound => checked += 1,
+        }
+    }
+    drop(result_in); // termination cascade across both servers
+    feeder.join().expect("feeder");
+    dep.join()?;
+    println!("all partitions terminated cleanly");
+    Ok(())
+}

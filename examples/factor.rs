@@ -1,0 +1,138 @@
+//! The parallel factorization application of §5.2: brute-force search for
+//! the factor of a "weak" RSA modulus `N = P·(P+D)` using real bignum
+//! arithmetic, parallel workers, and dynamic (or static) load balancing.
+//!
+//! The producer splits the difference search space into tasks of 32 even
+//! values (the paper's batch size); each worker task tests its range; the
+//! consumer stops the whole network the moment a factor is found — the
+//! graceful termination cascade then unwinds every process.
+//!
+//! Defaults use a 192-bit prime so the demo finishes in seconds; the
+//! paper's experiment (512-bit P, 2048 tasks) is `--bits 512 --tasks 2048`.
+//!
+//! ```text
+//! cargo run --release --example factor [-- --bits 192 --tasks 64 --workers 4 --static]
+//! ```
+
+use kpn::bignum::{make_weak_key, BigUint, SearchOutcome};
+use kpn::core::{Network, Result};
+use kpn::parallel::{
+    factor_task_stream, meta_dynamic, meta_static, register_stock_tasks, Consumer, Producer,
+    TaskEnvelope, TaskTypeRegistry,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+struct Args {
+    bits: u64,
+    tasks: u64,
+    workers: usize,
+    dynamic: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        bits: 192,
+        tasks: 64,
+        workers: 4,
+        dynamic: true,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--bits" => {
+                args.bits = argv[i + 1].parse().expect("--bits N");
+                i += 2;
+            }
+            "--tasks" => {
+                args.tasks = argv[i + 1].parse().expect("--tasks N");
+                i += 2;
+            }
+            "--workers" => {
+                args.workers = argv[i + 1].parse().expect("--workers N");
+                i += 2;
+            }
+            "--static" => {
+                args.dynamic = false;
+                i += 1;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    args
+}
+
+const BATCH: u64 = 32; // differences per task, as in the paper
+
+fn main() -> Result<()> {
+    let args = parse_args();
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+
+    // Plant the factor so it is found in the last quarter of the task
+    // range — plenty of work for every worker first.
+    let target_task = args.tasks * 3 / 4;
+    let d = target_task * 2 * BATCH + 2 * (BATCH / 2);
+    let key = make_weak_key(args.bits, d, &mut rng);
+    println!("N = {} ({} bits)", abbreviate(&key.n), key.n.bits());
+    println!(
+        "searching {} tasks x {BATCH} even differences with {} workers ({} balancing)\n",
+        args.tasks,
+        args.workers,
+        if args.dynamic { "dynamic" } else { "static" }
+    );
+
+    let mut registry = TaskTypeRegistry::new();
+    register_stock_tasks(&mut registry);
+    let registry = registry.into_shared();
+
+    let net = Network::new();
+    let (task_w, task_r) = net.channel();
+    let (res_w, res_r) = net.channel();
+    net.add(Producer::new(
+        factor_task_stream(key.n.clone(), args.tasks, BATCH),
+        task_w,
+    ));
+    let speeds = vec![1.0; args.workers];
+    if args.dynamic {
+        meta_dynamic(&net, registry, &speeds, task_r, res_w);
+    } else {
+        meta_static(&net, registry, &speeds, task_r, res_w);
+    }
+    let found: Arc<Mutex<Option<(BigUint, u64)>>> = Arc::new(Mutex::new(None));
+    let found_in = found.clone();
+    net.add(Consumer::new(res_r, move |env: TaskEnvelope| {
+        match env.unpack::<SearchOutcome>()? {
+            SearchOutcome::Found { p, d } => {
+                *found_in.lock().unwrap() = Some((p, d));
+                Ok(false) // stop the network: factor located
+            }
+            SearchOutcome::NotFound => Ok(true),
+        }
+    }));
+
+    let start = Instant::now();
+    net.run()?;
+    let elapsed = start.elapsed();
+
+    let guard = found.lock().unwrap();
+    let (p, d) = guard.as_ref().expect("factor must be found");
+    let q = p.add_u64(*d);
+    println!("factor found in {elapsed:.2?}:");
+    println!("  P     = {}", abbreviate(p));
+    println!("  P + D = {}  (D = {d})", abbreviate(&q));
+    assert_eq!(p.mul(&q), key.n, "verification: P * (P+D) == N");
+    println!("  verified: P * (P+D) == N");
+    Ok(())
+}
+
+fn abbreviate(v: &BigUint) -> String {
+    let s = v.to_decimal();
+    if s.len() <= 40 {
+        s
+    } else {
+        format!("{}…{} ({} digits)", &s[..18], &s[s.len() - 18..], s.len())
+    }
+}

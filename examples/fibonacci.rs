@@ -1,0 +1,55 @@
+//! The Fibonacci network of Figures 2 and 6: Cons, Duplicate, Add and
+//! Print processes wired into two coupled feedback loops.
+//!
+//! This version builds the graph exactly as the paper's Figure 6 code
+//! does, channel names included, and prints the first 20 numbers. Run
+//! with `--self-removing` to use the reconfiguring Cons processes of
+//! Figure 9 (identical output, §3.3).
+//!
+//! ```text
+//! cargo run --example fibonacci [-- --self-removing]
+//! ```
+
+use kpn::core::stdlib::{Add, Cons, Constant, Duplicate, Print};
+use kpn::core::{Network, Result};
+
+fn main() -> Result<()> {
+    let self_removing = std::env::args().any(|a| a == "--self-removing");
+
+    let net = Network::new();
+    // Channel names follow Figure 6.
+    let (ab_w, ab_r) = net.channel();
+    let (be_w, be_r) = net.channel();
+    let (cd_w, cd_r) = net.channel();
+    let (df_w, df_r) = net.channel();
+    let (ed_w, ed_r) = net.channel();
+    let (eg_w, eg_r) = net.channel();
+    let (fg_w, fg_r) = net.channel();
+    let (fh_w, fh_r) = net.channel();
+    let (gb_w, gb_r) = net.channel();
+
+    let cons1 = Cons::new(ab_r, gb_r, be_w);
+    let cons2 = Cons::new(cd_r, ed_r, df_w);
+    let (cons1, cons2) = if self_removing {
+        println!("(using self-removing Cons processes — Figure 9)");
+        (cons1.removing_self(), cons2.removing_self())
+    } else {
+        (cons1, cons2)
+    };
+
+    net.add(Constant::new(1, ab_w).with_limit(1));
+    net.add(cons1);
+    net.add(Duplicate::two(be_r, ed_w, eg_w));
+    net.add(Add::new(eg_r, fg_r, gb_w));
+    net.add(Constant::new(1, cd_w).with_limit(1));
+    net.add(cons2);
+    net.add(Duplicate::two(df_r, fh_w, fg_w));
+    net.add(Print::new(fh_r).with_label("fib").with_limit(20));
+
+    let report = net.run()?;
+    println!(
+        "network terminated cleanly: {} process threads ran",
+        report.processes_run
+    );
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! Newton's method for square roots (Figure 11): data-dependent
+//! termination. The network iterates `r ← (x/r + r)/2`; when the estimate
+//! stops changing (floating-point fixpoint), the Equal process emits
+//! `true`, the Guard passes exactly one value, and the whole graph
+//! terminates through the §3.4 cascade.
+//!
+//! ```text
+//! cargo run --example newton_sqrt [-- 2.0 42.0 1e6]
+//! ```
+
+use kpn::core::graphs::{newton_sqrt, GraphOptions};
+use kpn::core::{Network, Result};
+
+fn main() -> Result<()> {
+    let args: Vec<f64> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("numeric argument"))
+        .collect();
+    let inputs = if args.is_empty() {
+        vec![2.0, 42.0, 1.0e6]
+    } else {
+        args
+    };
+
+    for x in inputs {
+        let net = Network::new();
+        let out = newton_sqrt(&net, x, &GraphOptions::default());
+        net.run()?;
+        let got = out.lock().expect("collector")[0];
+        println!(
+            "sqrt({x}) = {got}   (std: {}, delta: {:.3e})",
+            x.sqrt(),
+            (got - x.sqrt()).abs()
+        );
+    }
+    Ok(())
+}

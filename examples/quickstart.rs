@@ -1,0 +1,94 @@
+//! Quickstart: the Figure 1 pipeline — Producer, Worker, Consumer.
+//!
+//! A producer generates "image block" tasks, a worker "compresses" them
+//! (here: a toy run-length encoding), and a consumer collects the results
+//! in order. All application logic lives in the task types; the processes
+//! are the generic ones from `kpn-parallel`.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use kpn::core::Result;
+use kpn::parallel::{pipeline, TaskEnv, TaskEnvelope, TaskTypeRegistry, WorkTask};
+use serde::{Deserialize, Serialize};
+
+/// A block of "pixels" to compress.
+#[derive(Serialize, Deserialize)]
+struct BlockTask {
+    index: u32,
+    pixels: Vec<u8>,
+}
+
+/// A compressed block.
+#[derive(Serialize, Deserialize, Debug)]
+struct CompressedBlock {
+    index: u32,
+    original_len: usize,
+    rle: Vec<(u8, u8)>,
+}
+
+impl WorkTask for BlockTask {
+    fn run(self: Box<Self>, _env: &TaskEnv) -> Result<TaskEnvelope> {
+        let mut rle: Vec<(u8, u8)> = Vec::new();
+        for &p in &self.pixels {
+            match rle.last_mut() {
+                Some((v, n)) if *v == p && *n < u8::MAX => *n += 1,
+                _ => rle.push((p, 1)),
+            }
+        }
+        TaskEnvelope::pack(
+            "CompressedBlock",
+            &CompressedBlock {
+                index: self.index,
+                original_len: self.pixels.len(),
+                rle,
+            },
+        )
+    }
+}
+
+fn main() -> Result<()> {
+    let mut registry = TaskTypeRegistry::new();
+    registry.register::<BlockTask>("BlockTask");
+    let registry = registry.into_shared();
+
+    let net = kpn::core::Network::new();
+    let mut next_block = 0u32;
+    const BLOCKS: u32 = 16;
+
+    pipeline(
+        &net,
+        registry,
+        // Producer: split the "image" into 16x16 blocks.
+        move || {
+            if next_block >= BLOCKS {
+                return Ok(None); // done: closing the channel stops the pipeline
+            }
+            let index = next_block;
+            next_block += 1;
+            let pixels = (0..256u32)
+                .map(|i| ((i / 16 + index) % 7) as u8)
+                .collect();
+            Ok(Some(TaskEnvelope::pack(
+                "BlockTask",
+                &BlockTask { index, pixels },
+            )?))
+        },
+        // Consumer: results arrive in block order, guaranteed by the model.
+        move |result: TaskEnvelope| {
+            let block: CompressedBlock = result.unpack()?;
+            println!(
+                "block {:>2}: {} bytes -> {} runs",
+                block.index,
+                block.original_len,
+                block.rle.len()
+            );
+            Ok(true)
+        },
+    );
+
+    net.run()?;
+    println!("pipeline complete — all {BLOCKS} blocks processed in order");
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! The Sieve of Eratosthenes (Figures 7/8): a *self-modifying* process
+//! network. The Sift process inserts a new Modulo filter into the running
+//! graph for every prime it discovers.
+//!
+//! Demonstrates both §3.4 termination modes:
+//! * `primes below N` — limit the Sequence source; every datum produced is
+//!   consumed before the graph drains and stops;
+//! * `first K primes` — limit the Print sink; the WriteClosed cascade
+//!   stops all upstream processes "almost immediately".
+//!
+//! ```text
+//! cargo run --example sieve [-- below 100 | first 25]
+//! ```
+
+use kpn::core::stdlib::{Print, Sequence, Sift};
+use kpn::core::{Network, Result};
+
+fn main() -> Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mode, value) = match args.as_slice() {
+        [] => ("below".to_string(), 100i64),
+        [m, v] => (m.clone(), v.parse().expect("numeric argument")),
+        _ => panic!("usage: sieve [below N | first K]"),
+    };
+
+    let net = Network::new();
+    let (seq_w, seq_r) = net.channel();
+    let (out_w, out_r) = net.channel();
+
+    match mode.as_str() {
+        "below" => {
+            println!("primes below {value} (terminating via the source limit):");
+            net.add(Sequence::new(2, (value - 2).max(0) as u64, seq_w));
+            net.add(Sift::new(seq_r, out_w));
+            net.add(Print::new(out_r).with_label("prime"));
+        }
+        "first" => {
+            println!("first {value} primes (terminating via the sink limit):");
+            net.add(Sequence::unbounded(2, seq_w));
+            net.add(Sift::new(seq_r, out_w));
+            net.add(
+                Print::new(out_r)
+                    .with_label("prime")
+                    .with_limit(value as u64),
+            );
+        }
+        other => panic!("unknown mode {other}; use 'below' or 'first'"),
+    }
+
+    let report = net.run()?;
+    println!(
+        "graph grew to {} processes (one Modulo per prime) and terminated cleanly",
+        report.processes_run
+    );
+    Ok(())
+}

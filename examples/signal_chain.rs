@@ -1,0 +1,169 @@
+//! A signal-processing chain — the application domain the paper's
+//! introduction motivates ("process networks ... are well suited to a
+//! variety of signal processing and scientific computation applications").
+//!
+//! Custom `Iterative` processes on typed `f64` streams:
+//!
+//! ```text
+//! NoisySine ──► FirFilter (low-pass) ──► Decimate(4) ──► RmsMeter ──► print
+//! ```
+//!
+//! The graph is conceptually infinite (a live signal); it terminates via
+//! the §3.4 cascade when the RMS meter hits its window limit.
+//!
+//! ```text
+//! cargo run --example signal_chain
+//! ```
+
+use kpn::core::{
+    ChannelReader, ChannelWriter, DataReader, DataWriter, Iterative, Network, ProcessCtx, Result,
+};
+
+/// A sine wave with deterministic pseudo-noise (no RNG dependency: a tiny
+/// LCG keeps the run reproducible).
+struct NoisySine {
+    out: DataWriter,
+    t: u64,
+    lcg: u64,
+}
+
+impl NoisySine {
+    fn new(out: ChannelWriter) -> Self {
+        NoisySine {
+            out: DataWriter::new(out),
+            t: 0,
+            lcg: 0x2545F4914F6CDD1D,
+        }
+    }
+}
+
+impl Iterative for NoisySine {
+    fn name(&self) -> String {
+        "NoisySine".into()
+    }
+    fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
+        self.lcg = self
+            .lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let noise = ((self.lcg >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
+        let signal = (self.t as f64 * 0.05).sin();
+        self.t += 1;
+        self.out.write_f64(signal + 0.3 * noise)
+    }
+}
+
+/// A moving-average FIR low-pass filter of order `taps`.
+struct FirFilter {
+    input: DataReader,
+    out: DataWriter,
+    window: Vec<f64>,
+    pos: usize,
+    filled: usize,
+}
+
+impl FirFilter {
+    fn new(taps: usize, input: ChannelReader, out: ChannelWriter) -> Self {
+        FirFilter {
+            input: DataReader::new(input),
+            out: DataWriter::new(out),
+            window: vec![0.0; taps],
+            pos: 0,
+            filled: 0,
+        }
+    }
+}
+
+impl Iterative for FirFilter {
+    fn name(&self) -> String {
+        format!("FirFilter({})", self.window.len())
+    }
+    fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
+        let sample = self.input.read_f64()?;
+        self.window[self.pos] = sample;
+        self.pos = (self.pos + 1) % self.window.len();
+        self.filled = (self.filled + 1).min(self.window.len());
+        let sum: f64 = self.window[..self.filled].iter().sum();
+        self.out.write_f64(sum / self.filled as f64)
+    }
+}
+
+/// Keeps one sample in `factor`, discarding the rest.
+struct Decimate {
+    input: DataReader,
+    out: DataWriter,
+    factor: usize,
+}
+
+impl Decimate {
+    fn new(factor: usize, input: ChannelReader, out: ChannelWriter) -> Self {
+        assert!(factor >= 1);
+        Decimate {
+            input: DataReader::new(input),
+            out: DataWriter::new(out),
+            factor,
+        }
+    }
+}
+
+impl Iterative for Decimate {
+    fn name(&self) -> String {
+        format!("Decimate({})", self.factor)
+    }
+    fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
+        let keep = self.input.read_f64()?;
+        for _ in 1..self.factor {
+            self.input.read_f64()?;
+        }
+        self.out.write_f64(keep)
+    }
+}
+
+/// Prints the RMS of consecutive windows; stops after `windows` of them,
+/// which tears the whole (conceptually infinite) chain down gracefully.
+struct RmsMeter {
+    input: DataReader,
+    window: usize,
+    windows: u64,
+}
+
+impl Iterative for RmsMeter {
+    fn name(&self) -> String {
+        "RmsMeter".into()
+    }
+    fn limit(&self) -> Option<u64> {
+        Some(self.windows)
+    }
+    fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
+        let mut acc = 0.0;
+        for _ in 0..self.window {
+            let v = self.input.read_f64()?;
+            acc += v * v;
+        }
+        println!("rms: {:.4}", (acc / self.window as f64).sqrt());
+        Ok(())
+    }
+}
+
+fn main() -> Result<()> {
+    let net = Network::new();
+    let (raw_w, raw_r) = net.channel();
+    let (filt_w, filt_r) = net.channel();
+    let (dec_w, dec_r) = net.channel();
+
+    net.add(NoisySine::new(raw_w));
+    net.add(FirFilter::new(16, raw_r, filt_w));
+    net.add(Decimate::new(4, filt_r, dec_w));
+    net.add(RmsMeter {
+        input: DataReader::new(dec_r),
+        window: 64,
+        windows: 12,
+    });
+
+    let report = net.run()?;
+    println!(
+        "chain terminated after the meter's window limit ({} processes)",
+        report.processes_run
+    );
+    Ok(())
+}

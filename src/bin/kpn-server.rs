@@ -1,0 +1,49 @@
+//! `kpn-server` — the generic compute server of §4.1 as a standalone
+//! binary, the analogue of the paper's "single jar file that is less than
+//! 8K bytes in size, making it easy to install on a new host".
+//!
+//! Start it on any machine; clients locate it by address (our substitute
+//! for the RMI registry) and ship graph partitions to it with
+//! [`kpn::net::ServerHandle::run_graph`].
+//!
+//! ```text
+//! kpn-server [ADDR]           # default 0.0.0.0:7777
+//! ```
+//!
+//! The server registers the full `kpn-core` standard library plus the
+//! `kpn-parallel` processes (Worker, Scatter/Gather, Direct/Turnstile/
+//! Select) with the stock task types, so it can host any partition the
+//! examples and tests produce. It serves until it receives a `Shutdown`
+//! control request.
+
+use kpn::net::{Node, ProcessRegistry, TaskRegistry};
+use kpn::parallel::{register_parallel_processes, register_stock_tasks, TaskTypeRegistry};
+
+fn main() {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "0.0.0.0:7777".to_string());
+
+    let mut tasks = TaskTypeRegistry::new();
+    register_stock_tasks(&mut tasks);
+    let tasks = tasks.into_shared();
+    let mut registry = ProcessRegistry::with_defaults();
+    register_parallel_processes(&mut registry, tasks);
+
+    let node = Node::serve_with(&addr, registry, TaskRegistry::new())
+        .unwrap_or_else(|e| panic!("failed to bind {addr}: {e}"));
+    // The OS may have picked the port (":0"); print the resolved address
+    // so spawning harnesses can parse it.
+    println!("kpn-server listening on {}", node.addr());
+
+    // Serve until shut down: the control handler runs on acceptor threads;
+    // this thread just parks, waking periodically to check for shutdown.
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        if node.is_shut_down() {
+            // stderr: the launcher may have closed our stdout pipe already.
+            eprintln!("kpn-server on {} shutting down", node.addr());
+            return;
+        }
+    }
+}

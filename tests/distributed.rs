@@ -1,0 +1,341 @@
+//! Integration tests for the distributed layer (§4): multi-server
+//! deployments over real TCP loopback, automatic connection establishment,
+//! decentralized redirect, distributed termination, and the distributed
+//! factorization application.
+
+use kpn::bignum::{make_weak_key, SearchOutcome};
+use kpn::core::{DataReader, DataWriter};
+use kpn::net::{GraphBuilder, Node, ProcessRegistry, ServerHandle, TaskRegistry, CLIENT};
+use kpn::parallel::distributed::names;
+use kpn::parallel::{
+    factor_task_stream, register_parallel_processes, register_stock_tasks, TaskEnvelope,
+    TaskTypeRegistry,
+};
+use kpn_codec::{ObjectReader, ObjectWriter};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn parallel_node() -> (Arc<Node>, ServerHandle) {
+    let mut tasks = TaskTypeRegistry::new();
+    register_stock_tasks(&mut tasks);
+    let tasks = tasks.into_shared();
+    let mut reg = ProcessRegistry::with_defaults();
+    register_parallel_processes(&mut reg, tasks);
+    let node = Node::serve_with("127.0.0.1:0", reg, TaskRegistry::new()).unwrap();
+    let handle = ServerHandle::new(node.addr().to_string());
+    (node, handle)
+}
+
+#[test]
+fn fibonacci_partitioned_across_three_servers() {
+    // Figure 15's topology: the graph lives on servers A, B, C; the
+    // client only receives the printed stream.
+    let client = Node::serve("127.0.0.1:0").unwrap();
+    let (_a, ha) = parallel_node();
+    let (_b, hb) = parallel_node();
+    let (_c, hc) = parallel_node();
+    let mut g = GraphBuilder::new();
+    let ab = g.channel();
+    let be = g.channel();
+    let cd = g.channel();
+    let df = g.channel();
+    let ed = g.channel();
+    let eg = g.channel();
+    let fg = g.channel();
+    let fh = g.channel();
+    let gb = g.channel();
+    g.add(0, "Constant", &(1i64, Some(1u64)), &[], &[ab])
+        .unwrap();
+    g.add(0, "Cons", &false, &[ab, gb], &[be]).unwrap();
+    g.add(2, "Duplicate", &(), &[be], &[ed, eg]).unwrap();
+    g.add(0, "Add", &(), &[eg, fg], &[gb]).unwrap();
+    g.add(0, "Constant", &(1i64, Some(1u64)), &[], &[cd])
+        .unwrap();
+    g.add(0, "Cons", &false, &[cd, ed], &[df]).unwrap();
+    g.add(1, "Duplicate", &(), &[df], &[fh, fg]).unwrap();
+    g.claim_reader(fh).unwrap();
+    let mut dep = g.deploy(&client, &[ha, hb, hc]).unwrap();
+
+    let mut r = DataReader::new(dep.readers.remove(&fh).unwrap());
+    let expect = kpn::core::graphs::fibonacci_reference(25);
+    for (i, e) in expect.iter().enumerate() {
+        assert_eq!(r.read_i64().unwrap(), *e, "fib {i}");
+    }
+    // Close the client reader: the cascade must terminate every partition
+    // on every server ("no remote processes are left running", §3.4).
+    drop(r);
+    dep.join().unwrap();
+}
+
+#[test]
+fn distributed_factorization_with_remote_workers() {
+    // §5.2 at demo scale: producer/consumer on the client, four workers
+    // split across two servers under dynamic load balancing. The routing
+    // stages (Direct / Turnstile / Select) stay on the client.
+    let mut rng = StdRng::seed_from_u64(0xD15C0);
+    const BATCH: u64 = 32;
+    const TASKS: u64 = 24;
+    let d = (TASKS * 3 / 4) * 2 * BATCH + 10;
+    let key = make_weak_key(128, d - (d % 2), &mut rng);
+
+    let client_tasks = {
+        let mut t = TaskTypeRegistry::new();
+        register_stock_tasks(&mut t);
+        t.into_shared()
+    };
+    let mut client_reg = ProcessRegistry::with_defaults();
+    register_parallel_processes(&mut client_reg, client_tasks);
+    let client = Node::serve_with("127.0.0.1:0", client_reg, TaskRegistry::new()).unwrap();
+    let (_s0, h0) = parallel_node();
+    let (_s1, h1) = parallel_node();
+
+    let mut g = GraphBuilder::new();
+    let tasks_ch = g.channel();
+    let results_ch = g.channel();
+    let mut to_w = Vec::new();
+    let mut from_w = Vec::new();
+    for i in 0..4usize {
+        let t = g.channel();
+        let f = g.channel();
+        let server = i % 2;
+        g.add(server, names::WORKER, &1.0f64, &[t], &[f]).unwrap();
+        to_w.push(t);
+        from_w.push(f);
+    }
+    // Index plumbing on the client.
+    let init = g.channel();
+    let t_idx = g.channel();
+    let idx_full = g.channel();
+    let idx_direct = g.channel();
+    let idx_select = g.channel();
+    let t_data = g.channel();
+    g.add(CLIENT, "Sequence", &(0i64, Some(4u64)), &[], &[init])
+        .unwrap();
+    g.add(CLIENT, "Cons", &false, &[init, t_idx], &[idx_full])
+        .unwrap();
+    g.add(
+        CLIENT,
+        "Duplicate",
+        &(),
+        &[idx_full],
+        &[idx_direct, idx_select],
+    )
+    .unwrap();
+    g.add(CLIENT, names::DIRECT, &(), &[tasks_ch, idx_direct], &to_w)
+        .unwrap();
+    g.add(CLIENT, names::TURNSTILE, &(), &from_w, &[t_data, t_idx])
+        .unwrap();
+    g.add(
+        CLIENT,
+        names::SELECT,
+        &4u64,
+        &[t_data, idx_select],
+        &[results_ch],
+    )
+    .unwrap();
+    g.claim_writer(tasks_ch).unwrap();
+    g.claim_reader(results_ch).unwrap();
+
+    let mut dep = g.deploy(&client, &[h0, h1]).unwrap();
+    let mut task_out = ObjectWriter::new(dep.writers.remove(&tasks_ch).unwrap());
+    let mut result_in = ObjectReader::new(dep.readers.remove(&results_ch).unwrap());
+
+    // Feed tasks from the client.
+    let feeder = std::thread::spawn(move || {
+        let mut stream = factor_task_stream(key.n.clone(), TASKS, BATCH);
+        while let Ok(Some(env)) = stream() {
+            if task_out.write(&env).is_err() {
+                break; // network already terminated (factor found)
+            }
+        }
+    });
+
+    // Consume until the factor appears.
+    let found;
+    loop {
+        let env: TaskEnvelope = result_in.read().unwrap();
+        match env.unpack::<SearchOutcome>().unwrap() {
+            SearchOutcome::Found { p, d } => {
+                found = Some((p, d));
+                break;
+            }
+            SearchOutcome::NotFound => continue,
+        }
+    }
+    let (p, d_found) = found.unwrap();
+    let q = p.add_u64(d_found);
+    assert_eq!(p.mul(&q), make_weak_key_n(0xD15C0, TASKS, BATCH));
+    drop(result_in); // stop everything
+    feeder.join().unwrap();
+    dep.join().unwrap();
+}
+
+/// Recomputes the modulus deterministically (same seed path as the test).
+fn make_weak_key_n(seed: u64, tasks: u64, batch: u64) -> kpn::bignum::BigUint {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d = (tasks * 3 / 4) * 2 * batch + 10;
+    make_weak_key(128, d - (d % 2), &mut rng).n
+}
+
+#[test]
+fn rmi_style_task_execution() {
+    // §4.1's Server.run(Task): ship a one-shot factor task to a server
+    // and get the result back synchronously.
+    let mut tasks = TaskRegistry::new();
+    tasks.register(
+        "factor_range",
+        |(n, lo, hi): (kpn::bignum::BigUint, u64, u64)| Ok(kpn::bignum::search_range(&n, lo, hi)),
+    );
+    let node = Node::serve_with("127.0.0.1:0", ProcessRegistry::with_defaults(), tasks).unwrap();
+    let handle = ServerHandle::new(node.addr().to_string());
+    let mut rng = StdRng::seed_from_u64(3);
+    let key = make_weak_key(96, 100, &mut rng);
+    let hit: SearchOutcome = handle
+        .run_task("factor_range", &(key.n.clone(), 64u64, 128u64))
+        .unwrap();
+    assert!(matches!(hit, SearchOutcome::Found { .. }));
+    let miss: SearchOutcome = handle
+        .run_task("factor_range", &(key.n, 128u64, 256u64))
+        .unwrap();
+    assert_eq!(miss, SearchOutcome::NotFound);
+}
+
+#[test]
+fn client_feeds_and_drains_remote_pipeline() {
+    // Bidirectional client endpoints: client writer → remote Scale chain
+    // on two servers → client reader.
+    let client = Node::serve("127.0.0.1:0").unwrap();
+    let (_s0, h0) = parallel_node();
+    let (_s1, h1) = parallel_node();
+    let mut g = GraphBuilder::new();
+    let input = g.channel();
+    let mid = g.channel();
+    let output = g.channel();
+    g.add(0, "Scale", &3i64, &[input], &[mid]).unwrap();
+    g.add(1, "Scale", &5i64, &[mid], &[output]).unwrap();
+    g.claim_writer(input).unwrap();
+    g.claim_reader(output).unwrap();
+    let mut dep = g.deploy(&client, &[h0, h1]).unwrap();
+    let mut w = DataWriter::new(dep.writers.remove(&input).unwrap());
+    let mut r = DataReader::new(dep.readers.remove(&output).unwrap());
+    for i in 0..100 {
+        w.write_i64(i).unwrap();
+    }
+    drop(w);
+    for i in 0..100 {
+        assert_eq!(r.read_i64().unwrap(), i * 15);
+    }
+    assert!(r.read_i64().is_err());
+    drop(r);
+    dep.join().unwrap();
+}
+
+#[test]
+fn sieve_with_remote_sift() {
+    // Dynamic reconfiguration on a REMOTE server: the Sift process spawns
+    // Modulo processes into the server's network at run time (§3.3 + §4).
+    let client = Node::serve("127.0.0.1:0").unwrap();
+    let (_s0, h0) = parallel_node();
+    let mut g = GraphBuilder::new();
+    let seq = g.channel();
+    let primes = g.channel();
+    g.add(0, "Sequence", &(2i64, Some(98u64)), &[], &[seq])
+        .unwrap();
+    g.add(0, "Sift", &(), &[seq], &[primes]).unwrap();
+    g.claim_reader(primes).unwrap();
+    let mut dep = g.deploy(&client, &[h0]).unwrap();
+    let mut r = DataReader::new(dep.readers.remove(&primes).unwrap());
+    let expect = kpn::core::graphs::primes_reference(100);
+    for e in &expect {
+        assert_eq!(r.read_i64().unwrap(), *e);
+    }
+    assert!(r.read_i64().is_err());
+    drop(r);
+    dep.join().unwrap();
+}
+
+#[test]
+fn server_decomposes_and_redistributes_composite() {
+    // §4: the client ships the WHOLE Fibonacci graph to server A with two
+    // helper servers; A decomposes it, keeps a share, and redistributes
+    // the rest — while the result channel still flows back to the client.
+    use kpn::net::{ChannelSpec, GraphSpec, InputSpec, OutputSpec, ProcessSpec};
+
+    let client = Node::serve("127.0.0.1:0").unwrap();
+    let (_a, ha) = parallel_node();
+    let (_b, hb) = parallel_node();
+    let (_c, hc) = parallel_node();
+
+    // Build the raw GraphSpec for Figure 6 (channels 0..=8, result via a
+    // remote endpoint back to the client; channel 7 is left unused).
+    let token: u64 = rand::random();
+
+    fn enc<T: serde::Serialize>(v: &T) -> Vec<u8> {
+        kpn_codec::to_bytes(v).unwrap()
+    }
+    let spec = GraphSpec {
+        channels: (0..9).map(|_| ChannelSpec { capacity: 8192 }).collect(),
+        processes: vec![
+            ProcessSpec {
+                type_name: "Constant".into(),
+                params: enc(&(1i64, Some(1u64))),
+                inputs: vec![],
+                outputs: vec![OutputSpec::Local(0)], // ab
+            },
+            ProcessSpec {
+                type_name: "Cons".into(),
+                params: enc(&false),
+                inputs: vec![InputSpec::Local(0), InputSpec::Local(8)], // ab, gb
+                outputs: vec![OutputSpec::Local(1)],                    // be
+            },
+            ProcessSpec {
+                type_name: "Duplicate".into(),
+                params: enc(&()),
+                inputs: vec![InputSpec::Local(1)], // be
+                outputs: vec![OutputSpec::Local(4), OutputSpec::Local(5)], // ed, eg
+            },
+            ProcessSpec {
+                type_name: "Add".into(),
+                params: enc(&()),
+                inputs: vec![InputSpec::Local(5), InputSpec::Local(6)], // eg, fg
+                outputs: vec![OutputSpec::Local(8)],                    // gb
+            },
+            ProcessSpec {
+                type_name: "Constant".into(),
+                params: enc(&(1i64, Some(1u64))),
+                inputs: vec![],
+                outputs: vec![OutputSpec::Local(2)], // cd
+            },
+            ProcessSpec {
+                type_name: "Cons".into(),
+                params: enc(&false),
+                inputs: vec![InputSpec::Local(2), InputSpec::Local(4)], // cd, ed
+                outputs: vec![OutputSpec::Local(3)],                    // df
+            },
+            ProcessSpec {
+                type_name: "Duplicate".into(),
+                params: enc(&()),
+                inputs: vec![InputSpec::Local(3)], // df
+                outputs: vec![
+                    OutputSpec::Remote {
+                        addr: client.addr().to_string(),
+                        token,
+                    }, // fh → client
+                    OutputSpec::Local(6), // fg
+                ],
+            },
+        ],
+    };
+    let mut results = DataReader::new(client.remote_reader(token));
+    ha.run_graph_redistributed(spec, &[hb.addr(), hc.addr()])
+        .unwrap();
+    let expect = kpn::core::graphs::fibonacci_reference(20);
+    for (i, e) in expect.iter().enumerate() {
+        assert_eq!(results.read_i64().unwrap(), *e, "fib {i}");
+    }
+    drop(results);
+    for h in [&ha, &hb, &hc] {
+        h.wait_idle().unwrap();
+    }
+}

@@ -1,0 +1,94 @@
+//! Randomized-graph property test: build arbitrary acyclic pipelines from
+//! stock processes (Scale / Modulo filters with random fan-out) with
+//! random channel capacities, run them, and compare against a direct
+//! sequential evaluation of the same dataflow. Every run must agree —
+//! the determinacy theorem exercised over graph *structure*, not just
+//! parameters.
+
+use kpn::core::stdlib::{Collect, Duplicate, Modulo, Scale, Sequence};
+use kpn::core::Network;
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+
+/// One stage of a random pipeline.
+#[derive(Debug, Clone)]
+enum Stage {
+    /// Multiply by a constant.
+    Scale(i64),
+    /// Drop multiples of a divisor.
+    Filter(i64),
+}
+
+fn stage_strategy() -> impl Strategy<Value = Stage> {
+    prop_oneof![
+        (-7i64..8)
+            .prop_filter("nonzero", |v| *v != 0)
+            .prop_map(Stage::Scale),
+        (2i64..9).prop_map(Stage::Filter),
+    ]
+}
+
+/// Reference evaluation of a branch.
+fn eval(stages: &[Stage], input: &[i64]) -> Vec<i64> {
+    let mut values = input.to_vec();
+    for s in stages {
+        values = match s {
+            Stage::Scale(k) => values.iter().map(|v| v * k).collect(),
+            Stage::Filter(d) => values.iter().copied().filter(|v| v % d != 0).collect(),
+        };
+    }
+    values
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A random linear pipeline (possibly with a fan-out in the middle)
+    /// produces exactly the reference result on every branch.
+    #[test]
+    fn random_pipelines_match_reference(
+        head in proptest::collection::vec(stage_strategy(), 0..4),
+        left in proptest::collection::vec(stage_strategy(), 0..4),
+        right in proptest::collection::vec(stage_strategy(), 0..4),
+        count in 1u64..200,
+        capacity in 8usize..512,
+    ) {
+        let input: Vec<i64> = (1..=count as i64).collect();
+        let net = Network::new();
+        // source → head stages → duplicate → (left stages, right stages)
+        let (src_w, src_r) = net.channel_with_capacity(capacity);
+        net.add(Sequence::new(1, count, src_w));
+        let mut cursor = src_r;
+        for s in &head {
+            let (w, r) = net.channel_with_capacity(capacity);
+            match s {
+                Stage::Scale(k) => net.add(Scale::new(*k, cursor, w)),
+                Stage::Filter(d) => net.add(Modulo::new(*d, cursor, w)),
+            }
+            cursor = r;
+        }
+        let (lw, lr) = net.channel_with_capacity(capacity);
+        let (rw, rr) = net.channel_with_capacity(capacity);
+        net.add(Duplicate::two(cursor, lw, rw));
+        let wire_branch = |stages: &[Stage], mut cursor: kpn::core::ChannelReader| {
+            for s in stages {
+                let (w, r) = net.channel_with_capacity(capacity);
+                match s {
+                    Stage::Scale(k) => net.add(Scale::new(*k, cursor, w)),
+                    Stage::Filter(d) => net.add(Modulo::new(*d, cursor, w)),
+                }
+                cursor = r;
+            }
+            let out = Arc::new(Mutex::new(Vec::new()));
+            net.add(Collect::new(cursor, out.clone()));
+            out
+        };
+        let left_out = wire_branch(&left, lr);
+        let right_out = wire_branch(&right, rr);
+        net.run().unwrap();
+
+        let after_head = eval(&head, &input);
+        prop_assert_eq!(&*left_out.lock().unwrap(), &eval(&left, &after_head));
+        prop_assert_eq!(&*right_out.lock().unwrap(), &eval(&right, &after_head));
+    }
+}

@@ -1,0 +1,149 @@
+//! True multi-process distribution: spawns real `kpn-server` OS processes
+//! (the §4.1 compute-server binary) and deploys graphs to them over TCP —
+//! the closest a single machine comes to the paper's cluster deployment.
+
+use kpn::core::DataReader;
+use kpn::net::{GraphBuilder, Node, ServerHandle};
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+struct ServerProcess {
+    child: Child,
+    addr: String,
+}
+
+impl ServerProcess {
+    fn spawn() -> Self {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_kpn-server"))
+            .arg("127.0.0.1:0")
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn kpn-server");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut lines = BufReader::new(stdout).lines();
+        let first = lines
+            .next()
+            .expect("server prints its address")
+            .expect("readable stdout");
+        let addr = first
+            .rsplit(' ')
+            .next()
+            .expect("address at end of line")
+            .to_string();
+        ServerProcess { child, addr }
+    }
+
+    fn handle(&self) -> ServerHandle {
+        ServerHandle::new(self.addr.clone())
+    }
+}
+
+impl Drop for ServerProcess {
+    fn drop(&mut self) {
+        // Belt and braces: ask nicely first, then reap.
+        let _ = self.handle().shutdown();
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn graph_runs_across_real_server_processes() {
+    let s0 = ServerProcess::spawn();
+    let s1 = ServerProcess::spawn();
+    let client = Node::serve("127.0.0.1:0").unwrap();
+
+    s0.handle().ping().expect("server 0 alive");
+    s1.handle().ping().expect("server 1 alive");
+
+    // Sequence on server 0 → Scale on server 1 → client.
+    let mut g = GraphBuilder::new();
+    let a = g.channel();
+    let b = g.channel();
+    g.add(0, "Sequence", &(1i64, Some(50u64)), &[], &[a])
+        .unwrap();
+    g.add(1, "Scale", &11i64, &[a], &[b]).unwrap();
+    g.claim_reader(b).unwrap();
+    let mut dep = g.deploy(&client, &[s0.handle(), s1.handle()]).unwrap();
+
+    let mut r = DataReader::new(dep.readers.remove(&b).unwrap());
+    for i in 1..=50 {
+        assert_eq!(r.read_i64().unwrap(), i * 11);
+    }
+    assert!(r.read_i64().is_err());
+    drop(r);
+    dep.join().unwrap();
+}
+
+#[test]
+fn self_reconfiguring_sieve_on_real_server_process() {
+    // The Sift process dynamically grows the graph inside the *server
+    // process* — dynamic reconfiguration entirely on the remote side.
+    let s0 = ServerProcess::spawn();
+    let client = Node::serve("127.0.0.1:0").unwrap();
+    let mut g = GraphBuilder::new();
+    let seq = g.channel();
+    let primes = g.channel();
+    g.add(0, "Sequence", &(2i64, Some(48u64)), &[], &[seq])
+        .unwrap();
+    g.add(0, "Sift", &(), &[seq], &[primes]).unwrap();
+    g.claim_reader(primes).unwrap();
+    let mut dep = g.deploy(&client, &[s0.handle()]).unwrap();
+    let mut r = DataReader::new(dep.readers.remove(&primes).unwrap());
+    let expect = kpn::core::graphs::primes_reference(50);
+    for e in &expect {
+        assert_eq!(r.read_i64().unwrap(), *e);
+    }
+    assert!(r.read_i64().is_err());
+    drop(r);
+    dep.join().unwrap();
+}
+
+#[test]
+fn shutdown_request_stops_server_process() {
+    let mut s = ServerProcess::spawn();
+    s.handle().ping().unwrap();
+    s.handle().shutdown().unwrap();
+    // The server's main loop polls every 100 ms; it must exit on its own.
+    let status = s.child.wait().expect("server exits after shutdown");
+    assert!(status.success());
+}
+
+#[test]
+fn killed_server_surfaces_as_disconnect() {
+    // Failure injection: the server process dies (kill -9 semantics) while
+    // streaming; the client's read must fail with a transport error — the
+    // paper's exception model ("these exceptions even propagate across
+    // network connections") applied to a crash instead of a graceful close.
+    use kpn::core::DataReader;
+
+    let mut s = ServerProcess::spawn();
+    let client = Node::serve("127.0.0.1:0").unwrap();
+    let mut g = GraphBuilder::new();
+    let a = g.channel();
+    let b = g.channel();
+    // Unbounded stream so the channel is alive when we kill the server.
+    g.add(0, "Sequence", &(0i64, Option::<u64>::None), &[], &[a])
+        .unwrap();
+    g.add(0, "Scale", &1i64, &[a], &[b]).unwrap();
+    g.claim_reader(b).unwrap();
+    let mut dep = g.deploy(&client, &[s.handle()]).unwrap();
+    let mut r = DataReader::new(dep.readers.remove(&b).unwrap());
+    // Confirm data is flowing...
+    for i in 0..100 {
+        assert_eq!(r.read_i64().unwrap(), i);
+    }
+    // ...then murder the server.
+    s.child.kill().unwrap();
+    s.child.wait().unwrap();
+    // The client may consume bytes already buffered in the socket, but
+    // must hit an error (not hang, not silently EOF-loop) soon after.
+    let mut failed = false;
+    for _ in 0..1_000_000 {
+        if r.read_i64().is_err() {
+            failed = true;
+            break;
+        }
+    }
+    assert!(failed, "client never observed the server crash");
+}

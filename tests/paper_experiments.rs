@@ -1,0 +1,116 @@
+//! Fast-scale validation that the measured evaluation reproduces the
+//! *shape* of the paper's results (Table 2, Figures 19/20). The full-scale
+//! regeneration lives in the `kpn-bench` binaries; these tests run the
+//! same harness at a reduced scale so `cargo test` stays quick.
+
+use kpn_bench::{measure, HarnessConfig, Schema};
+use kpn_cluster::{
+    dynamic_makespan_minutes, ideal_time_minutes, static_makespan_minutes, Inventory, TimeScale,
+};
+
+fn cfg() -> HarnessConfig {
+    HarnessConfig {
+        tasks: 128,
+        scale: TimeScale {
+            millis_per_minute: 30.0,
+        },
+        inventory: Inventory::paper(),
+    }
+}
+
+#[test]
+fn table2_shape_static_stalls_at_worker_8() {
+    // §5.2: adding the first class-C CPU makes static load balancing
+    // *worse*, because every round moves in lock-step with the slowest
+    // worker.
+    let cfg = cfg();
+    let t7 = measure(&cfg, Schema::Static, 7).minutes;
+    let t8 = measure(&cfg, Schema::Static, 8).minutes;
+    assert!(
+        t8 > t7 * 1.1,
+        "static time must rise when the slow CPU joins: {t7:.2} → {t8:.2}"
+    );
+}
+
+#[test]
+fn table2_shape_dynamic_does_not_stall() {
+    let cfg = cfg();
+    let t7 = measure(&cfg, Schema::Dynamic, 7).minutes;
+    let t8 = measure(&cfg, Schema::Dynamic, 8).minutes;
+    assert!(
+        t8 < t7 * 1.1,
+        "dynamic must keep improving (or hold) at worker 8: {t7:.2} → {t8:.2}"
+    );
+}
+
+#[test]
+fn table2_shape_dynamic_beats_static_in_heterogeneous_pool() {
+    let cfg = cfg();
+    for n in [8usize, 16] {
+        let st = measure(&cfg, Schema::Static, n).minutes;
+        let dy = measure(&cfg, Schema::Dynamic, n).minutes;
+        assert!(
+            dy < st,
+            "dynamic ({dy:.2}) must beat static ({st:.2}) at {n} workers"
+        );
+    }
+}
+
+#[test]
+fn measured_times_track_analytic_models() {
+    // The measured harness should land close to the analytic makespans
+    // (within scheduling overhead and sleep granularity).
+    let cfg = cfg();
+    let task_minutes = cfg.task_minutes();
+    for n in [2usize, 8] {
+        let st_measured = measure(&cfg, Schema::Static, n).minutes;
+        let st_model = static_makespan_minutes(&cfg.inventory, n, cfg.tasks, task_minutes);
+        assert!(
+            st_measured >= st_model * 0.9,
+            "static at {n}: measured {st_measured:.2} below model {st_model:.2}?"
+        );
+        assert!(
+            st_measured <= st_model * 1.6 + 1.0,
+            "static at {n}: measured {st_measured:.2} way above model {st_model:.2}"
+        );
+        let dy_measured = measure(&cfg, Schema::Dynamic, n).minutes;
+        let dy_model = dynamic_makespan_minutes(&cfg.inventory, n, cfg.tasks, task_minutes);
+        assert!(
+            dy_measured <= dy_model * 1.6 + 1.0,
+            "dynamic at {n}: measured {dy_measured:.2} way above model {dy_model:.2}"
+        );
+    }
+}
+
+#[test]
+fn speedup_is_monotone_for_dynamic() {
+    // Figure 20: the dynamic speedup curve rises (within noise) across
+    // the sweep.
+    let cfg = cfg();
+    let s2 = measure(&cfg, Schema::Dynamic, 2).speed;
+    let s8 = measure(&cfg, Schema::Dynamic, 8).speed;
+    let s16 = measure(&cfg, Schema::Dynamic, 16).speed;
+    assert!(s8 > s2, "{s8:.2} > {s2:.2}");
+    assert!(s16 > s8, "{s16:.2} > {s8:.2}");
+}
+
+#[test]
+fn ideal_curve_has_paper_inflections() {
+    let inv = Inventory::paper();
+    // Marginal speed gained by each added worker.
+    let marginal: Vec<f64> = (1..=32)
+        .map(|n| {
+            ideal_time_minutes(&inv, n); // exercise
+            kpn_cluster::ideal_speed(&inv, n)
+                - if n == 1 {
+                    0.0
+                } else {
+                    kpn_cluster::ideal_speed(&inv, n - 1)
+                }
+        })
+        .collect();
+    // Worker 8 adds a class-C CPU (speed 1.0) after class-B (1.71).
+    assert!(marginal[7] < marginal[6]);
+    // Worker 27 adds the first class-E CPU (0.80) after class-D (0.99).
+    assert!(marginal[26] < marginal[25]);
+}

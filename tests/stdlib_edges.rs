@@ -1,0 +1,150 @@
+//! Edge cases of the stock process library that the unit tests don't
+//! reach: zero-length streams, mid-pair EOFs, and degenerate limits.
+
+use kpn::core::stdlib::{Collect, Cons, Constant, Guard, OrderedMerge, Scale, Sequence};
+use kpn::core::{DataWriter, Network};
+use std::sync::{Arc, Mutex};
+
+#[test]
+fn zero_length_sequence_is_immediate_eof() {
+    let net = Network::new();
+    let (w, r) = net.channel();
+    let out = Arc::new(Mutex::new(Vec::new()));
+    net.add(Sequence::new(5, 0, w));
+    net.add(Collect::new(r, out.clone()));
+    net.run().unwrap();
+    assert!(out.lock().unwrap().is_empty());
+}
+
+#[test]
+fn collect_with_zero_limit_closes_instantly() {
+    let net = Network::new();
+    let (w, r) = net.channel_with_capacity(64);
+    let out = Arc::new(Mutex::new(Vec::new()));
+    net.add(Sequence::unbounded(0, w));
+    net.add(Collect::new(r, out.clone()).with_limit(0));
+    net.run().unwrap();
+    assert!(out.lock().unwrap().is_empty());
+}
+
+#[test]
+fn cons_with_empty_prefix_is_identity() {
+    let net = Network::new();
+    let (fw, fr) = net.channel();
+    let (rw, rr) = net.channel();
+    let (ow, or) = net.channel();
+    let out = Arc::new(Mutex::new(Vec::new()));
+    drop(fw); // empty prefix stream
+    net.add(Sequence::new(1, 5, rw));
+    net.add(Cons::new(fr, rr, ow));
+    net.add(Collect::new(or, out.clone()));
+    net.run().unwrap();
+    assert_eq!(*out.lock().unwrap(), vec![1, 2, 3, 4, 5]);
+}
+
+#[test]
+fn cons_removing_self_with_empty_prefix() {
+    let net = Network::new();
+    let (fw, fr) = net.channel();
+    let (rw, rr) = net.channel();
+    let (ow, or) = net.channel();
+    let out = Arc::new(Mutex::new(Vec::new()));
+    drop(fw);
+    net.add(Sequence::new(1, 5, rw));
+    net.add(Cons::new(fr, rr, ow).removing_self());
+    net.add(Collect::new(or, out.clone()));
+    net.run().unwrap();
+    assert_eq!(*out.lock().unwrap(), vec![1, 2, 3, 4, 5]);
+}
+
+#[test]
+fn guard_control_eof_mid_pair_terminates_gracefully() {
+    // Data stream longer than the control stream: the Guard stops when
+    // the control runs dry, cascading cleanly.
+    let net = Network::new();
+    let (dw, dr) = net.channel();
+    let (cw, cr) = net.channel();
+    let (ow, or) = net.channel();
+    let out = Arc::new(Mutex::new(Vec::new()));
+    net.add_fn("data", move |_| {
+        let mut w = DataWriter::new(dw);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            w.write_f64(v)?;
+        }
+        Ok(())
+    });
+    net.add_fn("ctrl", move |_| {
+        let mut w = DataWriter::new(cw);
+        w.write_bool(true)?; // only one control value
+        Ok(())
+    });
+    net.add(Guard::new(dr, cr, ow));
+    net.add(kpn::core::stdlib::CollectF64::new(or, out.clone()));
+    net.run().unwrap();
+    assert_eq!(*out.lock().unwrap(), vec![1.0]);
+}
+
+#[test]
+fn merge_single_value_streams() {
+    let net = Network::new();
+    let (aw, ar) = net.channel();
+    let (bw, br) = net.channel();
+    let (ow, or) = net.channel();
+    let out = Arc::new(Mutex::new(Vec::new()));
+    net.add(Constant::new(5, aw).with_limit(1));
+    net.add(Constant::new(3, bw).with_limit(1));
+    net.add(OrderedMerge::new(vec![ar, br], ow));
+    net.add(Collect::new(or, out.clone()));
+    net.run().unwrap();
+    assert_eq!(*out.lock().unwrap(), vec![3, 5]);
+}
+
+#[test]
+fn merge_with_one_empty_input() {
+    let net = Network::new();
+    let (aw, ar) = net.channel();
+    let (bw, br) = net.channel();
+    let (ow, or) = net.channel();
+    let out = Arc::new(Mutex::new(Vec::new()));
+    drop(aw); // first input empty from the start
+    net.add(Sequence::new(1, 3, bw));
+    net.add(OrderedMerge::new(vec![ar, br], ow));
+    net.add(Collect::new(or, out.clone()));
+    net.run().unwrap();
+    assert_eq!(*out.lock().unwrap(), vec![1, 2, 3]);
+}
+
+#[test]
+fn scale_by_negative_and_zero() {
+    let net = Network::new();
+    let (iw, ir) = net.channel();
+    let (mw, mr) = net.channel();
+    let (ow, or) = net.channel();
+    let out = Arc::new(Mutex::new(Vec::new()));
+    net.add(Sequence::new(1, 4, iw));
+    net.add(Scale::new(-2, ir, mw));
+    net.add(Scale::new(0, mr, ow));
+    net.add(Collect::new(or, out.clone()));
+    net.run().unwrap();
+    assert_eq!(*out.lock().unwrap(), vec![0, 0, 0, 0]);
+}
+
+#[test]
+fn newton_sqrt_of_one_converges_immediately() {
+    // r0 = 1 is already the fixpoint: the Equal fires on the first pair.
+    use kpn::core::graphs::{newton_sqrt, GraphOptions};
+    let net = Network::new();
+    let out = newton_sqrt(&net, 1.0, &GraphOptions::default());
+    net.run().unwrap();
+    assert_eq!(*out.lock().unwrap(), vec![1.0]);
+}
+
+#[test]
+fn newton_sqrt_of_small_fraction() {
+    use kpn::core::graphs::{newton_sqrt, GraphOptions};
+    let net = Network::new();
+    let out = newton_sqrt(&net, 0.25, &GraphOptions::default());
+    net.run().unwrap();
+    let got = out.lock().unwrap()[0];
+    assert!((got - 0.5).abs() < 1e-12, "{got}");
+}
