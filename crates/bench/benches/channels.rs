@@ -115,5 +115,48 @@ fn typed_vs_raw(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, throughput, latency, typed_vs_raw);
+fn buffered_vs_unbuffered(c: &mut Criterion) {
+    // The batching fast path: buffered typed streams (default since the
+    // buffered-streams change) vs the old one-syscall-per-token behaviour.
+    // Results are summarized in BENCH_channels.json at the repo root.
+    let mut group = c.benchmark_group("typed_buffering");
+    group.sample_size(20);
+    const COUNT: usize = 200_000;
+    group.throughput(Throughput::Elements(COUNT as u64));
+    group.bench_function("write_read_i64_buffered", |b| {
+        b.iter(|| {
+            let (w, r) = channel_with_capacity(8192);
+            let writer = thread::spawn(move || {
+                let mut dw = DataWriter::new(w);
+                for i in 0..COUNT {
+                    dw.write_i64(i as i64).unwrap();
+                }
+            });
+            let mut dr = DataReader::new(r);
+            for _ in 0..COUNT {
+                dr.read_i64().unwrap();
+            }
+            writer.join().unwrap();
+        });
+    });
+    group.bench_function("write_read_i64_unbuffered", |b| {
+        b.iter(|| {
+            let (w, r) = channel_with_capacity(8192);
+            let writer = thread::spawn(move || {
+                let mut dw = DataWriter::unbuffered(w);
+                for i in 0..COUNT {
+                    dw.write_i64(i as i64).unwrap();
+                }
+            });
+            let mut dr = DataReader::unbuffered(r);
+            for _ in 0..COUNT {
+                dr.read_i64().unwrap();
+            }
+            writer.join().unwrap();
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, throughput, latency, typed_vs_raw, buffered_vs_unbuffered);
 criterion_main!(benches);

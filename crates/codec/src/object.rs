@@ -9,21 +9,33 @@
 //! embarrassingly-parallel framework uses to route task envelopes.
 
 use crate::de::from_bytes;
-use crate::ser::to_bytes;
-use kpn_core::{ChannelReader, ChannelWriter, Error as KpnError};
+use crate::ser::to_writer;
+use kpn_core::{ChannelReader, ChannelWriter, Error as KpnError, DEFAULT_STREAM_BUFFER};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
 /// Writes serialized objects onto a channel as length-prefixed records.
+///
+/// The underlying channel endpoint is buffered ([`DEFAULT_STREAM_BUFFER`]),
+/// so small objects batch into chunk-sized channel transfers; the runtime's
+/// flush-before-block rule keeps the batching invisible to consumers. Each
+/// object is encoded into a scratch buffer that is reused across `write`
+/// calls — no per-object allocation once the scratch has grown to the
+/// working-set record size.
 #[derive(Debug)]
 pub struct ObjectWriter {
     inner: ChannelWriter,
+    scratch: Vec<u8>,
 }
 
 impl ObjectWriter {
-    /// Wraps a channel writer.
-    pub fn new(inner: ChannelWriter) -> Self {
-        ObjectWriter { inner }
+    /// Wraps a channel writer, buffering it if it is not already.
+    pub fn new(mut inner: ChannelWriter) -> Self {
+        inner.ensure_buffered(DEFAULT_STREAM_BUFFER);
+        ObjectWriter {
+            inner,
+            scratch: Vec::new(),
+        }
     }
 
     /// Recovers the underlying byte endpoint.
@@ -33,8 +45,15 @@ impl ObjectWriter {
 
     /// Serializes and writes one object.
     pub fn write<T: Serialize>(&mut self, value: &T) -> kpn_core::Result<()> {
-        let bytes = to_bytes(value).map_err(KpnError::from)?;
-        self.write_raw(&bytes)
+        // Destructure so the serializer can borrow `scratch` while the
+        // record goes out through `inner`.
+        let Self { inner, scratch } = self;
+        scratch.clear();
+        to_writer(&mut *scratch, value).map_err(KpnError::from)?;
+        let len = u32::try_from(scratch.len())
+            .map_err(|_| KpnError::Codec("object larger than 4 GiB".into()))?;
+        inner.write_all(&len.to_be_bytes())?;
+        inner.write_all(scratch)
     }
 
     /// Writes an already-encoded record (forwarding without decode).
@@ -43,6 +62,11 @@ impl ObjectWriter {
             .map_err(|_| KpnError::Codec("object larger than 4 GiB".into()))?;
         self.inner.write_all(&len.to_be_bytes())?;
         self.inner.write_all(bytes)
+    }
+
+    /// Flushes buffered records through to the channel immediately.
+    pub fn flush(&mut self) -> kpn_core::Result<()> {
+        self.inner.flush()
     }
 
     /// Gracefully closes the stream.

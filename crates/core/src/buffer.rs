@@ -64,21 +64,78 @@ impl RingBuffer {
         self.data.len() - self.len
     }
 
+    /// The buffered bytes as up to two contiguous spans in FIFO order.
+    /// Consumers may copy straight out of these and then [`consume`] what
+    /// they took — the batch read half of the span API.
+    ///
+    /// [`consume`]: RingBuffer::consume
+    pub fn as_slices(&self) -> (&[u8], &[u8]) {
+        let cap = self.data.len();
+        let first = self.len.min(cap - self.head);
+        (
+            &self.data[self.head..self.head + first],
+            &self.data[..self.len - first],
+        )
+    }
+
+    /// Discards the oldest `n` buffered bytes (they were copied out via
+    /// [`as_slices`]). `n` must not exceed [`len`].
+    ///
+    /// [`as_slices`]: RingBuffer::as_slices
+    /// [`len`]: RingBuffer::len
+    pub fn consume(&mut self, n: usize) {
+        debug_assert!(n <= self.len);
+        self.head = (self.head + n) % self.data.len();
+        self.len -= n;
+        if self.len == 0 {
+            self.head = 0; // keep future transfers contiguous
+        }
+    }
+
+    /// The free space as up to two contiguous writable spans, in the order
+    /// bytes must be written. Producers copy straight into these and then
+    /// [`commit`] what they wrote — the batch write half of the span API.
+    ///
+    /// [`commit`]: RingBuffer::commit
+    pub fn free_slices(&mut self) -> (&mut [u8], &mut [u8]) {
+        let cap = self.data.len();
+        let tail = (self.head + self.len) % cap;
+        let free = cap - self.len;
+        if tail + free <= cap {
+            let (_, rest) = self.data.split_at_mut(tail);
+            (&mut rest[..free], &mut [])
+        } else {
+            let wrapped = free - (cap - tail);
+            let (lo, hi) = self.data.split_at_mut(tail);
+            (hi, &mut lo[..wrapped])
+        }
+    }
+
+    /// Marks `n` bytes (written via [`free_slices`]) as buffered. `n` must
+    /// not exceed [`free`].
+    ///
+    /// [`free_slices`]: RingBuffer::free_slices
+    /// [`free`]: RingBuffer::free
+    pub fn commit(&mut self, n: usize) {
+        debug_assert!(n <= self.free());
+        self.len += n;
+    }
+
     /// Appends as many bytes from `src` as fit; returns how many were taken.
+    /// One or two `memcpy`s via the span API — never byte-at-a-time.
     pub fn push(&mut self, src: &[u8]) -> usize {
         let n = src.len().min(self.free());
         if n == 0 {
             return 0;
         }
-        let cap = self.data.len();
-        let tail = (self.head + self.len) % cap;
-        let first = n.min(cap - tail);
-        self.data[tail..tail + first].copy_from_slice(&src[..first]);
+        let (a, b) = self.free_slices();
+        let first = n.min(a.len());
+        a[..first].copy_from_slice(&src[..first]);
         let rest = n - first;
         if rest > 0 {
-            self.data[..rest].copy_from_slice(&src[first..n]);
+            b[..rest].copy_from_slice(&src[first..n]);
         }
-        self.len += n;
+        self.commit(n);
         n
     }
 
@@ -88,15 +145,14 @@ impl RingBuffer {
         if n == 0 {
             return 0;
         }
-        let cap = self.data.len();
-        let first = n.min(cap - self.head);
-        dst[..first].copy_from_slice(&self.data[self.head..self.head + first]);
+        let (a, b) = self.as_slices();
+        let first = n.min(a.len());
+        dst[..first].copy_from_slice(&a[..first]);
         let rest = n - first;
         if rest > 0 {
-            dst[first..n].copy_from_slice(&self.data[..rest]);
+            dst[first..n].copy_from_slice(&b[..rest]);
         }
-        self.head = (self.head + n) % cap;
-        self.len -= n;
+        self.consume(n);
         n
     }
 
@@ -209,6 +265,49 @@ mod tests {
         rb.grow(4);
         assert_eq!(rb.capacity(), 8);
         assert_eq!(rb.len(), 3);
+    }
+
+    #[test]
+    fn span_api_round_trips_across_wrap() {
+        let mut rb = RingBuffer::with_capacity(4);
+        // Fill via free_slices/commit.
+        {
+            let (a, b) = rb.free_slices();
+            assert_eq!(a.len() + b.len(), 4);
+            a[..2].copy_from_slice(b"ab");
+        }
+        rb.commit(2);
+        // Drain one byte to move head, then wrap the tail.
+        let mut one = [0u8; 1];
+        rb.pop(&mut one);
+        assert_eq!(&one, b"a");
+        {
+            let (a, b) = rb.free_slices();
+            assert_eq!(a.len() + b.len(), 3);
+            let n = a.len().min(3);
+            a.copy_from_slice(&b"cde"[..n]);
+            b[..3 - n].copy_from_slice(&b"cde"[n..]);
+        }
+        rb.commit(3);
+        assert!(rb.is_full());
+        let (x, y) = rb.as_slices();
+        let mut got = x.to_vec();
+        got.extend_from_slice(y);
+        assert_eq!(got, b"bcde");
+        rb.consume(4);
+        assert!(rb.is_empty());
+    }
+
+    #[test]
+    fn consume_on_empty_resets_head_for_contiguity() {
+        let mut rb = RingBuffer::with_capacity(4);
+        rb.push(b"abc");
+        let mut out = [0u8; 3];
+        rb.pop(&mut out);
+        // After full drain the next fill should be one contiguous span.
+        let (a, b) = rb.free_slices();
+        assert_eq!(a.len(), 4);
+        assert!(b.is_empty());
     }
 
     #[test]

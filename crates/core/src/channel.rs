@@ -25,6 +25,7 @@
 
 use crate::buffer::RingBuffer;
 use crate::error::{Error, Result};
+use crate::flush::{self, Flushable};
 use crate::monitor::{
     BlockGuard, BlockKind, ChannelIoStats, Monitor, MonitoredChannel, MONITOR_TICK,
 };
@@ -95,6 +96,12 @@ struct BufState {
     read_closed: bool,
     poisoned: bool,
     continuation: Option<ChannelReader>,
+    // Condvar waiter counts: notifies are skipped entirely when nobody is
+    // parked, which removes a syscall-bound wakeup from the uncontended
+    // fast path. Sound because waiters re-check their predicate under this
+    // same mutex before (and after) every wait.
+    read_waiters: u32,
+    write_waiters: u32,
     // I/O counters (ChannelIoStats).
     bytes_written: u64,
     write_blocks: u64,
@@ -122,6 +129,8 @@ impl Shared {
                 read_closed: false,
                 poisoned: false,
                 continuation: None,
+                read_waiters: 0,
+                write_waiters: 0,
                 bytes_written: 0,
                 write_blocks: 0,
                 read_blocks: 0,
@@ -185,17 +194,28 @@ impl MonitoredChannel for Shared {
             return None;
         }
         st.buf.grow(new);
+        let wake = st.write_waiters > 0;
         drop(st);
-        self.writable.notify_all();
+        if wake {
+            self.writable.notify_all();
+        }
         Some((old, new))
     }
 
     fn poison(&self) {
         let mut st = self.state.lock();
         st.poisoned = true;
+        // Wake only the sides that actually have parked threads: poisoning
+        // an idle channel (the common case when a whole network aborts)
+        // costs two flag reads instead of two broadcast syscalls.
+        let (wake_readers, wake_writers) = (st.read_waiters > 0, st.write_waiters > 0);
         drop(st);
-        self.readable.notify_all();
-        self.writable.notify_all();
+        if wake_readers {
+            self.readable.notify_all();
+        }
+        if wake_writers {
+            self.writable.notify_all();
+        }
     }
 
     fn io_stats(&self) -> ChannelIoStats {
@@ -238,6 +258,7 @@ impl LocalSink {
                 Some(m) => {
                     let guard = BlockGuard::enter(m, BlockKind::Write, sh.id)?;
                     let mut st = sh.state.lock();
+                    st.write_waiters += 1;
                     while st.buf.is_full() && !st.read_closed && !st.poisoned {
                         let timed_out = sh.writable.wait_for(&mut st, MONITOR_TICK).timed_out();
                         if timed_out {
@@ -246,14 +267,17 @@ impl LocalSink {
                             st = sh.state.lock();
                         }
                     }
+                    st.write_waiters -= 1;
                     drop(st);
                     drop(guard);
                 }
                 None => {
                     let mut st = sh.state.lock();
+                    st.write_waiters += 1;
                     while st.buf.is_full() && !st.read_closed && !st.poisoned {
                         sh.writable.wait(&mut st);
                     }
+                    st.write_waiters -= 1;
                 }
             }
         }
@@ -287,8 +311,9 @@ impl Sink for LocalSink {
             buf = &buf[n..];
             st.bytes_written += n as u64;
             st.peak_occupancy = st.peak_occupancy.max(st.buf.len());
+            let wake = n > 0 && st.read_waiters > 0;
             drop(st);
-            if n > 0 {
+            if wake {
                 sh.readable.notify_one();
             }
         }
@@ -302,8 +327,13 @@ impl Sink for LocalSink {
         self.closed = true;
         let mut st = self.shared.state.lock();
         st.write_closed = true;
+        // Close only wakes the side that can act on it: blocked *readers*
+        // must observe EOF. Writers on this channel are us — nothing to wake.
+        let wake = st.read_waiters > 0;
         drop(st);
-        self.shared.readable.notify_all();
+        if wake {
+            self.shared.readable.notify_all();
+        }
     }
 
     fn retire(mut self: Box<Self>, upstream: ChannelReader) -> Result<()> {
@@ -317,8 +347,11 @@ impl Sink for LocalSink {
         }
         st.continuation = Some(upstream);
         st.write_closed = true;
+        let wake = st.read_waiters > 0;
         drop(st);
-        self.shared.readable.notify_all();
+        if wake {
+            self.shared.readable.notify_all();
+        }
         Ok(())
     }
 }
@@ -346,8 +379,11 @@ impl Source for LocalSource {
             }
             if !st.buf.is_empty() {
                 let n = st.buf.pop(out);
+                let wake = st.write_waiters > 0;
                 drop(st);
-                sh.writable.notify_one();
+                if wake {
+                    sh.writable.notify_one();
+                }
                 return Ok(SourceRead::Data(n));
             }
             if st.write_closed {
@@ -358,10 +394,18 @@ impl Source for LocalSource {
             }
             st.read_blocks += 1;
             drop(st);
+            // Deadlock-safe flush (see `crate::flush`): before parking, make
+            // every buffered byte this thread has written visible. A token
+            // stranded in a private buffer here could be exactly the one the
+            // producer of *this* channel is waiting for, and the monitor
+            // cannot see it either — without this hook, buffering would turn
+            // live networks into falsely "true" deadlocks.
+            flush::flush_before_block();
             match &sh.monitor {
                 Some(m) => {
                     let guard = BlockGuard::enter(m, BlockKind::Read, sh.id)?;
                     let mut st = sh.state.lock();
+                    st.read_waiters += 1;
                     while st.buf.is_empty() && !st.write_closed && !st.poisoned {
                         let timed_out = sh.readable.wait_for(&mut st, MONITOR_TICK).timed_out();
                         if timed_out {
@@ -370,14 +414,17 @@ impl Source for LocalSource {
                             st = sh.state.lock();
                         }
                     }
+                    st.read_waiters -= 1;
                     drop(st);
                     drop(guard);
                 }
                 None => {
                     let mut st = sh.state.lock();
+                    st.read_waiters += 1;
                     while st.buf.is_empty() && !st.write_closed && !st.poisoned {
                         sh.readable.wait(&mut st);
                     }
+                    st.read_waiters -= 1;
                 }
             }
         }
@@ -388,12 +435,14 @@ impl Source for LocalSource {
             return;
         }
         self.closed = true;
-        let cont = {
+        let (cont, wake) = {
             let mut st = self.shared.state.lock();
             st.read_closed = true;
-            st.continuation.take()
+            (st.continuation.take(), st.write_waiters > 0)
         };
-        self.shared.writable.notify_all();
+        if wake {
+            self.shared.writable.notify_all();
+        }
         // Dropping a pending continuation closes it, cancelling upstream.
         drop(cont);
         if let Some(m) = &self.shared.monitor {
@@ -409,6 +458,226 @@ impl Drop for LocalSource {
 }
 
 // ---------------------------------------------------------------------------
+// Buffered sink (batching fast path)
+// ---------------------------------------------------------------------------
+
+/// Default size of the private write buffer installed by
+/// [`ChannelWriter::ensure_buffered`] and the typed streams — the
+/// `BufferedOutputStream` default Java gave the paper's implementation for
+/// free.
+pub const DEFAULT_STREAM_BUFFER: usize = 4 * 1024;
+
+/// Replays a stashed error for re-delivery on a later call. `io::Error` is
+/// not `Clone`, so transport errors are reconstructed from kind + message.
+fn replay(e: &Error) -> Error {
+    match e {
+        Error::Eof => Error::Eof,
+        Error::WriteClosed => Error::WriteClosed,
+        Error::Deadlocked => Error::Deadlocked,
+        Error::Disconnected(s) => Error::Disconnected(s.clone()),
+        Error::Io(io) => Error::Io(std::io::Error::new(io.kind(), io.to_string())),
+        Error::Codec(s) => Error::Codec(s.clone()),
+        Error::Graph(s) => Error::Graph(s.clone()),
+    }
+}
+
+struct BufCore {
+    buf: Vec<u8>,
+    cap: usize,
+    inner: Option<Box<dyn Sink>>,
+    /// Flush-registry token of the thread that last wrote (the owner).
+    owner: u64,
+    /// First error seen by a flush whose caller could not consume it (a
+    /// read-path auto-flush). Sticky: surfaced on every later operation,
+    /// reproducing §3.4's "exception on the next write".
+    stashed: Option<Error>,
+}
+
+/// Shared state of a [`BufferedSink`], also reachable (weakly) from the
+/// per-thread flush registries.
+struct BufferedShared {
+    state: Mutex<BufCore>,
+}
+
+impl BufferedShared {
+    /// Drains the private buffer into the inner sink and flushes the inner
+    /// sink (so remote transports push to the socket too). Caller holds the
+    /// lock. Clears the buffer even on error — the bytes are lost exactly as
+    /// they would be on an unbuffered failed write to a closed channel.
+    fn flush_locked(st: &mut BufCore) -> Result<()> {
+        if let Some(e) = &st.stashed {
+            return Err(replay(e));
+        }
+        let Some(inner) = st.inner.as_mut() else {
+            return if st.buf.is_empty() {
+                Ok(())
+            } else {
+                Err(Error::WriteClosed)
+            };
+        };
+        if st.buf.is_empty() {
+            return Ok(());
+        }
+        let res = inner.write_all(&st.buf).and_then(|()| inner.flush());
+        st.buf.clear();
+        if let Err(e) = res {
+            st.stashed = Some(replay(&e));
+            return Err(e);
+        }
+        Ok(())
+    }
+}
+
+impl Flushable for BufferedShared {
+    fn flush_owned(&self, owner: u64) -> Result<()> {
+        // try_lock, not lock: a sink busy on another thread is by definition
+        // not ours to flush (its registry entry here is stale), and blocking
+        // on it from a read path could deadlock two flushing threads.
+        let Some(mut st) = self.state.try_lock() else {
+            return Ok(());
+        };
+        if st.owner != owner || st.buf.is_empty() {
+            return Ok(());
+        }
+        // On error the stash has recorded it for the owner's next write;
+        // read-path callers swallow the return value while
+        // `ProcessCtx::flush_sinks` propagates it.
+        BufferedShared::flush_locked(&mut st)
+    }
+}
+
+/// A [`Sink`] adapter that batches small writes into one inner transfer per
+/// [`DEFAULT_STREAM_BUFFER`]-sized chunk. Installed by
+/// [`ChannelWriter::ensure_buffered`]; typed tokens then cost a `Vec` append
+/// instead of a channel mutex round-trip each.
+///
+/// Deadlock safety: the sink registers with the owning thread's flush
+/// registry (re-registering lazily when written from a new thread, since
+/// processes are built on the main thread and run on their own), and every
+/// blocking read path calls [`flush::flush_before_block`] so buffered bytes
+/// are never invisible to a blocked consumer or to the deadlock monitor.
+struct BufferedSink {
+    shared: Arc<BufferedShared>,
+    /// Thread token this sink last registered under (0 = never).
+    registered_for: u64,
+}
+
+impl BufferedSink {
+    fn new(inner: Box<dyn Sink>, capacity: usize) -> Self {
+        BufferedSink {
+            shared: Arc::new(BufferedShared {
+                state: Mutex::new(BufCore {
+                    buf: Vec::with_capacity(capacity),
+                    cap: capacity.max(1),
+                    inner: Some(inner),
+                    owner: 0,
+                    stashed: None,
+                }),
+            }),
+            registered_for: 0,
+        }
+    }
+
+    /// Registers with the calling thread's flush registry and takes
+    /// ownership, once per thread the sink is written from.
+    fn adopt(&mut self) -> u64 {
+        let tok = flush::thread_token();
+        if self.registered_for != tok {
+            self.registered_for = tok;
+            flush::register(Arc::downgrade(&self.shared) as std::sync::Weak<dyn Flushable>);
+        }
+        tok
+    }
+}
+
+impl Sink for BufferedSink {
+    fn write_all(&mut self, buf: &[u8]) -> Result<()> {
+        let tok = self.adopt();
+        let mut st = self.shared.state.lock();
+        if let Some(e) = &st.stashed {
+            return Err(replay(e));
+        }
+        st.owner = tok;
+        if st.buf.len() + buf.len() <= st.cap {
+            st.buf.extend_from_slice(buf);
+            return Ok(());
+        }
+        BufferedShared::flush_locked(&mut st)?;
+        if buf.len() >= st.cap {
+            // Oversized writes bypass the buffer: one inner transfer, no copy.
+            let inner = st.inner.as_mut().expect("flush_locked verified inner");
+            let res = inner.write_all(buf);
+            if let Err(e) = res {
+                st.stashed = Some(replay(&e));
+                return Err(e);
+            }
+            Ok(())
+        } else {
+            st.buf.extend_from_slice(buf);
+            Ok(())
+        }
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        let tok = self.adopt();
+        let mut st = self.shared.state.lock();
+        st.owner = tok;
+        BufferedShared::flush_locked(&mut st)
+    }
+
+    fn close(&mut self) {
+        let mut st = self.shared.state.lock();
+        let _ = BufferedShared::flush_locked(&mut st);
+        if let Some(mut inner) = st.inner.take() {
+            inner.close();
+        }
+    }
+
+    fn retire(self: Box<Self>, upstream: ChannelReader) -> Result<()> {
+        let mut st = self.shared.state.lock();
+        BufferedShared::flush_locked(&mut st)?;
+        match st.inner.take() {
+            Some(inner) => inner.retire(upstream),
+            None => {
+                drop(upstream);
+                Err(Error::WriteClosed)
+            }
+        }
+    }
+}
+
+impl Drop for BufferedSink {
+    fn drop(&mut self) {
+        // A dropped-but-unclosed sink must still publish its buffer before
+        // the inner sink's own drop closes the stream.
+        self.close();
+    }
+}
+
+/// An in-memory source holding bytes pushed back by a buffered reader
+/// ([`ChannelReader::unread`]). Serves its bytes, then ends.
+struct MemSource {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Source for MemSource {
+    fn read(&mut self, buf: &mut [u8]) -> Result<SourceRead> {
+        if self.pos == self.data.len() {
+            return Ok(SourceRead::End);
+        }
+        let n = buf.len().min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(SourceRead::Data(n))
+    }
+
+    fn close(&mut self) {
+        self.pos = self.data.len();
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Public endpoints
 // ---------------------------------------------------------------------------
 
@@ -417,12 +686,41 @@ impl Drop for LocalSource {
 /// behaviour of the paper's `IterativeProcess` (§3.2, §3.4).
 pub struct ChannelWriter {
     sink: Option<Box<dyn Sink>>,
+    /// True when `sink` is a [`BufferedSink`]; prevents double-wrapping.
+    buffered: bool,
 }
 
 impl ChannelWriter {
     /// Wraps an arbitrary transport sink.
     pub fn from_sink(sink: Box<dyn Sink>) -> Self {
-        ChannelWriter { sink: Some(sink) }
+        ChannelWriter {
+            sink: Some(sink),
+            buffered: false,
+        }
+    }
+
+    /// Installs a private write buffer of `capacity` bytes in front of the
+    /// transport, so small writes batch into one transfer per chunk. No-op
+    /// if the writer is already buffered (wrapping a `DataWriter`'s inner
+    /// writer again must not stack buffers) or if `capacity` is zero.
+    ///
+    /// Buffered bytes become visible on `flush`/`close`/drop, when the
+    /// buffer fills, and — crucially for deadlock safety — automatically
+    /// before any blocking read performed by the owning thread (see
+    /// [`crate::flush`]).
+    pub fn ensure_buffered(&mut self, capacity: usize) {
+        if self.buffered || capacity == 0 {
+            return;
+        }
+        if let Some(inner) = self.sink.take() {
+            self.sink = Some(Box::new(BufferedSink::new(inner, capacity)));
+            self.buffered = true;
+        }
+    }
+
+    /// True when a private write buffer is installed.
+    pub fn is_buffered(&self) -> bool {
+        self.buffered
     }
 
     fn sink(&mut self) -> &mut dyn Sink {
@@ -459,8 +757,14 @@ impl ChannelWriter {
     }
 
     /// Replaces the underlying transport, returning the previous one.
-    /// Used when a channel endpoint migrates between servers (§4.2).
+    /// Used when a channel endpoint migrates between servers (§4.2). The
+    /// replacement is assumed unbuffered; call [`ensure_buffered`] again if
+    /// batching is wanted on the new transport. (Dropping the returned sink
+    /// flushes and closes it.)
+    ///
+    /// [`ensure_buffered`]: ChannelWriter::ensure_buffered
     pub fn replace_sink(&mut self, sink: Box<dyn Sink>) -> Option<Box<dyn Sink>> {
+        self.buffered = false;
         self.sink.replace(sink)
     }
 }
@@ -562,6 +866,19 @@ impl ChannelReader {
     /// reaches the end of its current data, it continues with `tail`.
     pub fn append(&mut self, tail: ChannelReader) {
         self.sources.extend(tail.into_sources());
+    }
+
+    /// Pushes bytes back to the *front* of the stream: the next read returns
+    /// them before anything else. Used by buffered readers
+    /// ([`crate::DataReader`]) to hand unconsumed read-ahead back when they
+    /// release the underlying reader, so wrap/unwrap round-trips (the
+    /// sieve's per-step re-wrapping, §3.3) never lose a byte.
+    pub fn unread(&mut self, bytes: Vec<u8>) {
+        if bytes.is_empty() {
+            return;
+        }
+        self.sources
+            .push_front(Box::new(MemSource { data: bytes, pos: 0 }));
     }
 
     /// Closes the stream; pending and future writes upstream fail.
@@ -958,5 +1275,162 @@ mod tests {
             Err(Error::WriteClosed)
         }
         fn close(&mut self) {}
+    }
+
+    #[test]
+    fn ensure_buffered_is_idempotent() {
+        let (mut w, _r) = channel();
+        assert!(!w.is_buffered());
+        w.ensure_buffered(64);
+        assert!(w.is_buffered());
+        w.ensure_buffered(1024); // must not stack a second buffer
+        assert!(w.is_buffered());
+        w.ensure_buffered(0);
+        assert!(w.is_buffered());
+    }
+
+    #[test]
+    fn buffered_writes_batch_until_flush() {
+        let (mut w, mut r) = channel();
+        w.ensure_buffered(64);
+        w.write_all(b"abc").unwrap();
+        w.write_all(b"def").unwrap();
+        w.flush().unwrap();
+        let mut buf = [0u8; 6];
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"abcdef");
+    }
+
+    #[test]
+    fn buffered_writes_flush_on_capacity_boundary() {
+        let (mut w, mut r) = channel();
+        w.ensure_buffered(4);
+        w.write_all(b"ab").unwrap();
+        w.write_all(b"cd").unwrap(); // exactly fills the buffer: still private
+        w.write_all(b"e").unwrap(); // overflow forces the batch out
+        let mut buf = [0u8; 4];
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"abcd");
+        w.flush().unwrap();
+        let mut one = [0u8; 1];
+        r.read_exact(&mut one).unwrap();
+        assert_eq!(&one, b"e");
+    }
+
+    #[test]
+    fn buffered_oversized_write_bypasses_buffer() {
+        let (mut w, mut r) = channel();
+        w.ensure_buffered(4);
+        w.write_all(b"x").unwrap();
+        w.write_all(b"0123456789").unwrap(); // >= cap: flush then direct
+        let mut buf = [0u8; 11];
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"x0123456789");
+    }
+
+    #[test]
+    fn buffered_drop_flushes_then_closes() {
+        let (mut w, mut r) = channel();
+        w.ensure_buffered(1024);
+        w.write_all(b"tail").unwrap();
+        drop(w);
+        let mut buf = [0u8; 4];
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"tail");
+        assert_eq!(r.read(&mut buf).unwrap(), 0, "EOF after drain");
+    }
+
+    #[test]
+    fn buffered_flush_before_blocking_read_prevents_deadlock() {
+        // A requires B's reply to its own (buffered, unflushed) request.
+        // Without the flush-before-block hook both threads would park
+        // forever on an unmonitored channel pair.
+        let (mut aw, mut ar) = channel();
+        let (mut bw, mut br) = channel();
+        aw.ensure_buffered(1024);
+        bw.ensure_buffered(1024);
+        let a = thread::spawn(move || {
+            aw.write_all(b"ping").unwrap();
+            let mut buf = [0u8; 4];
+            br.read_exact(&mut buf).unwrap(); // must auto-flush `aw`
+            buf
+        });
+        let mut buf = [0u8; 4];
+        ar.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        bw.write_all(b"pong").unwrap();
+        bw.flush().unwrap();
+        assert_eq!(&a.join().unwrap(), b"pong");
+    }
+
+    #[test]
+    fn buffered_stashed_error_surfaces_on_next_write() {
+        let (mut w, r) = channel();
+        w.ensure_buffered(1024);
+        w.write_all(b"doomed").unwrap();
+        drop(r);
+        assert!(matches!(w.flush(), Err(Error::WriteClosed)));
+        // The failure is sticky, like §3.4's exception-on-next-write.
+        assert!(matches!(w.write_all(b"more"), Err(Error::WriteClosed)));
+    }
+
+    #[test]
+    fn buffered_retire_flushes_before_splicing() {
+        let (mut up_w, up_r) = channel();
+        let (mut down_w, mut down_r) = channel();
+        down_w.ensure_buffered(1024);
+        up_w.write_all(b"XY").unwrap();
+        down_w.write_all(b"ab").unwrap(); // still private
+        down_w.retire(up_r).unwrap(); // must flush, then splice
+        drop(up_w);
+        let mut buf = [0u8; 4];
+        down_r.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"abXY");
+        assert_eq!(down_r.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn unread_bytes_come_back_first() {
+        let (mut w, mut r) = channel();
+        w.write_all(b"later").unwrap();
+        r.unread(b"first".to_vec());
+        let mut buf = [0u8; 10];
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"firstlater");
+    }
+
+    #[test]
+    fn unread_empty_is_noop() {
+        let mut r = ChannelReader::empty();
+        r.unread(Vec::new());
+        let mut buf = [0u8; 1];
+        assert_eq!(r.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn buffered_sink_moved_across_threads_reflushes() {
+        // A writer used on the main thread, then moved into a spawned
+        // thread (the Network::spawn pattern): the flush hook must follow
+        // the new owner.
+        let (mut w, mut r) = channel();
+        let (mut sig_w, mut sig_r) = channel();
+        w.ensure_buffered(1024);
+        w.write_all(b"main").unwrap();
+        w.flush().unwrap();
+        let h = thread::spawn(move || {
+            w.write_all(b"spwn").unwrap();
+            let mut one = [0u8; 1];
+            sig_r.read_exact(&mut one).unwrap(); // auto-flush on new thread
+            drop(w);
+        });
+        let mut buf = [0u8; 8];
+        r.read_exact(&mut buf[..4]).unwrap();
+        assert_eq!(&buf[..4], b"main");
+        sig_w.write_all(b"!").unwrap();
+        // The spawned thread's bytes become visible via its auto-flush (or
+        // its drop, if the signal raced ahead of the blocking read).
+        r.read_exact(&mut buf[4..]).unwrap();
+        assert_eq!(&buf[4..], b"spwn");
+        h.join().unwrap();
     }
 }

@@ -1,0 +1,184 @@
+//! Deadlock-safe auto-flush for privately buffered sinks.
+//!
+//! Buffered typed streams ([`crate::DataWriter`], and the buffered sink it
+//! installs via [`crate::ChannelWriter::ensure_buffered`]) hold written bytes
+//! in a private buffer so that a burst of small typed tokens costs one
+//! channel transfer instead of one mutex round-trip each. That private buffer
+//! creates a correctness hazard unique to process networks: a token sitting
+//! in an unflushed buffer while its producer blocks on a *read* is invisible
+//! both to the consumer (who may need exactly that token to make progress)
+//! and to the deadlock monitor (§3.5), which would then misclassify a live
+//! network as truly deadlocked — or simply hang under `DeadlockPolicy::Ignore`.
+//!
+//! The rule that restores Kahn semantics is simple: **a process must make all
+//! of its buffered output visible before it parks on a blocking read**. With
+//! that rule, the externally observable channel histories are identical to
+//! the unbuffered execution — per-channel token order is unchanged (buffering
+//! only delays writes, never reorders them within a channel), and at every
+//! blocking read the process has published everything it would have published
+//! unbuffered. Determinacy (Kahn) and artificial-deadlock accounting (Parks)
+//! are therefore preserved.
+//!
+//! Mechanically, every buffered sink registers itself with a thread-local
+//! registry keyed by a per-thread token. The blocking paths of the local
+//! channel transport (and the remote transports in `kpn-net`) call
+//! [`flush_before_block`] just before parking, which walks the current
+//! thread's registry and flushes every sink the thread owns. Ownership
+//! follows the *last writer thread*: processes are typically constructed on
+//! the main thread and moved to their spawn thread, so a sink re-registers
+//! lazily whenever it is written from a new thread. Stale registrations on
+//! the old thread are skipped by an owner-token check and pruned as their
+//! weak references die.
+
+use crate::error::Result;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Weak;
+
+/// A sink with a private buffer that can be flushed by the flush registry.
+///
+/// Implementations must be cheap to probe when clean and must *never* block
+/// on a lock that another thread's flush could hold (use `try_lock` and skip:
+/// a sink mid-write on another thread is by definition not owned by us).
+pub trait Flushable: Send + Sync {
+    /// Flushes the private buffer toward the consumer *if* the sink is
+    /// currently owned by the thread with token `owner`. Non-owners and
+    /// clean sinks return `Ok(())` without side effects.
+    fn flush_owned(&self, owner: u64) -> Result<()>;
+}
+
+static NEXT_THREAD_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_TOKEN: u64 = NEXT_THREAD_TOKEN.fetch_add(1, Ordering::Relaxed);
+    static SINKS: RefCell<Vec<Weak<dyn Flushable>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A small, unique, never-reused identifier for the calling thread.
+pub fn thread_token() -> u64 {
+    THREAD_TOKEN.with(|t| *t)
+}
+
+/// Registers a buffered sink with the *calling* thread's flush registry.
+/// Dead entries are pruned opportunistically on each registration.
+pub fn register(sink: Weak<dyn Flushable>) {
+    SINKS.with(|s| {
+        let mut v = s.borrow_mut();
+        v.retain(|w| w.strong_count() > 0);
+        v.push(sink);
+    });
+}
+
+/// Flushes every live buffered sink owned by the calling thread, returning
+/// the first error encountered (all sinks are still attempted). This is what
+/// [`crate::ProcessCtx::flush_sinks`] calls after each `Iterative::step`.
+pub fn flush_thread_sinks() -> Result<()> {
+    let me = thread_token();
+    // Snapshot strong handles first: flushing can block (a full channel), and
+    // we must not hold the registry borrow across that (a write performed by
+    // a woken process on this thread would re-enter `register`).
+    let handles: Vec<_> = SINKS.with(|s| {
+        let mut v = s.borrow_mut();
+        v.retain(|w| w.strong_count() > 0);
+        v.iter().filter_map(Weak::upgrade).collect()
+    });
+    let mut first_err = None;
+    for h in handles {
+        if let Err(e) = h.flush_owned(me) {
+            if first_err.is_none() {
+                first_err = Some(e);
+            }
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Best-effort flush used by blocking read paths. Errors are swallowed here:
+/// the failing sink stashes its error and surfaces it on the owner's next
+/// write (§3.4's "exception on the next write" semantics); the *read* that
+/// triggered the flush must still be allowed to proceed and drain data.
+pub fn flush_before_block() {
+    let _ = flush_thread_sinks();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    struct Probe {
+        owner: u64,
+        flushes: AtomicUsize,
+        fail: bool,
+    }
+
+    impl Flushable for Probe {
+        fn flush_owned(&self, owner: u64) -> Result<()> {
+            if owner != self.owner {
+                return Ok(());
+            }
+            self.flushes.fetch_add(1, Ordering::SeqCst);
+            if self.fail {
+                return Err(crate::Error::WriteClosed);
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn tokens_are_unique_per_thread() {
+        let mine = thread_token();
+        let theirs = std::thread::spawn(thread_token).join().unwrap();
+        assert_ne!(mine, theirs);
+        assert_eq!(mine, thread_token(), "stable within a thread");
+    }
+
+    #[test]
+    fn flush_skips_foreign_owners_and_drops_dead_entries() {
+        let mine = Arc::new(Probe {
+            owner: thread_token(),
+            flushes: AtomicUsize::new(0),
+            fail: false,
+        });
+        let foreign = Arc::new(Probe {
+            owner: thread_token() + 1_000_000,
+            flushes: AtomicUsize::new(0),
+            fail: false,
+        });
+        let dead = Arc::new(Probe {
+            owner: thread_token(),
+            flushes: AtomicUsize::new(0),
+            fail: false,
+        });
+        register(Arc::downgrade(&mine) as Weak<dyn Flushable>);
+        register(Arc::downgrade(&foreign) as Weak<dyn Flushable>);
+        register(Arc::downgrade(&dead) as Weak<dyn Flushable>);
+        drop(dead);
+        flush_thread_sinks().unwrap();
+        assert_eq!(mine.flushes.load(Ordering::SeqCst), 1);
+        assert_eq!(foreign.flushes.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn first_error_wins_but_all_sinks_run() {
+        let a = Arc::new(Probe {
+            owner: thread_token(),
+            flushes: AtomicUsize::new(0),
+            fail: true,
+        });
+        let b = Arc::new(Probe {
+            owner: thread_token(),
+            flushes: AtomicUsize::new(0),
+            fail: false,
+        });
+        register(Arc::downgrade(&a) as Weak<dyn Flushable>);
+        register(Arc::downgrade(&b) as Weak<dyn Flushable>);
+        assert!(flush_thread_sinks().is_err());
+        assert_eq!(a.flushes.load(Ordering::SeqCst), 1);
+        assert_eq!(b.flushes.load(Ordering::SeqCst), 1, "error does not halt the sweep");
+    }
+}

@@ -17,12 +17,48 @@
 //! Determinacy in practice: the history of values on every channel depends
 //! only on the graph, never on scheduling — the property tests in
 //! `tests/determinacy.rs` (workspace root) exercise exactly this.
+//!
+//! ## Buffering and flush semantics
+//!
+//! The typed streams ([`stream::DataWriter`]/[`stream::DataReader`]) and the
+//! codec layer batch small tokens through private buffers (default 4 KiB,
+//! [`channel::DEFAULT_STREAM_BUFFER`]) — the `BufferedOutputStream` layer
+//! Java's implementation got for free. Batching is invisible to program
+//! semantics because of one rule, enforced by the runtime (see [`flush`]):
+//! **all of a thread's buffered sinks are flushed automatically before the
+//! thread parks on a blocking read**, and again at the end of every
+//! [`process::Iterative::step`].
+//!
+//! Why this preserves the paper's guarantees:
+//!
+//! * **Kahn determinacy (§2).** Buffering delays writes but never reorders
+//!   them within a channel, so each channel's history is a prefix of the
+//!   unbuffered history at all times — and whenever a process blocks on a
+//!   read (the only point where another process's progress depends on it),
+//!   the auto-flush makes the histories equal. The fixed-point the network
+//!   computes is unchanged.
+//! * **Parks' deadlock detection (§3.5).** The monitor classifies a
+//!   stalled network by inspecting channel occupancy: an artificial
+//!   deadlock has some full channel to grow; a true deadlock has every
+//!   process read-blocked on an *empty* channel. A token hiding in a
+//!   private buffer while its owner read-blocks would make a live network
+//!   look truly deadlocked. Flush-before-block makes private buffers empty
+//!   whenever their owner is read-blocked, so the monitor's view — and its
+//!   [`monitor::ChannelIoStats`] accounting — is exactly as accurate as in
+//!   the unbuffered implementation. Write-blocks need no flush: a
+//!   write-blocked process already has its data visible in the full
+//!   channel, which is precisely what growth resolves.
+//!
+//! Explicit control remains available: [`stream::DataWriter::flush`],
+//! [`process::ProcessCtx::flush_sinks`], and the `unbuffered` constructors
+//! opt out per endpoint.
 
 #![warn(missing_docs)]
 
 mod buffer;
 pub mod channel;
 pub mod error;
+pub mod flush;
 pub mod graphs;
 pub mod monitor;
 pub mod network;
@@ -32,7 +68,7 @@ pub mod stream;
 
 pub use channel::{
     channel, channel_with_capacity, Channel, ChannelReader, ChannelWriter, Sink, Source,
-    SourceRead, DEFAULT_CAPACITY,
+    SourceRead, DEFAULT_CAPACITY, DEFAULT_STREAM_BUFFER,
 };
 pub use error::{Error, Result};
 pub use monitor::{

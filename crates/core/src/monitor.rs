@@ -71,6 +71,14 @@ pub enum BlockKind {
 /// the observability layer behind the buffer-management analysis —
 /// `peak_occupancy` is the buffer demand bounded scheduling discovered,
 /// and the block counters show where backpressure (or starvation) lives.
+///
+/// Counters account for bytes at the *channel* boundary. Buffered typed
+/// streams batch tokens privately before they cross it, but the auto-flush
+/// rule (see [`crate::flush`]) empties those private buffers whenever the
+/// owning process blocks or finishes a step, so at every point where the
+/// monitor inspects a stalled network these counters describe all data in
+/// flight — which is what keeps bounded-capacity scheduling decisions
+/// correct under buffering.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ChannelIoStats {
     /// Total bytes pushed through the channel.

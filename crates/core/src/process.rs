@@ -56,6 +56,23 @@ impl ProcessCtx {
     pub fn network(&self) -> &NetworkHandle {
         &self.net
     }
+
+    /// Flushes every buffered sink owned by the calling thread (see
+    /// [`crate::flush`]): buffered typed tokens become visible to their
+    /// consumers immediately instead of waiting for a chunk boundary.
+    ///
+    /// The run loop of [`IterativeProcess`] calls this after `on_start` and
+    /// after every `step`, so a conventional one-token-per-step process
+    /// behaves exactly as it did unbuffered. Long-running [`Process`] bodies
+    /// that batch many writes between reads may call it at their own
+    /// batch boundaries; blocking reads also trigger it automatically.
+    ///
+    /// Errors are the first failure among the flushed sinks
+    /// ([`crate::Error::WriteClosed`] once a consumer has stopped — the
+    /// normal termination cascade of §3.4).
+    pub fn flush_sinks(&self) -> Result<()> {
+        crate::flush::flush_thread_sinks()
+    }
 }
 
 /// A process in a Kahn network. Owns its channel endpoints; communicates
@@ -119,14 +136,22 @@ impl<T: Iterative> Process for IterativeProcess<T> {
     fn run(mut self: Box<Self>, ctx: &ProcessCtx) -> Result<()> {
         let result: Result<()> = (|| {
             self.inner.on_start(ctx)?;
+            // Flushing at every step boundary keeps buffered typed streams
+            // semantically identical to the unbuffered implementation for
+            // the common one-token-per-step process: each step's output is
+            // visible before the next step begins (§3.2's run loop), and
+            // the monitor's per-channel stats stay in step with execution.
+            ctx.flush_sinks()?;
             match self.inner.limit() {
                 Some(n) => {
                     for _ in 0..n {
                         self.inner.step(ctx)?;
+                        ctx.flush_sinks()?;
                     }
                 }
                 None => loop {
                     self.inner.step(ctx)?;
+                    ctx.flush_sinks()?;
                 },
             }
             Ok(())

@@ -8,6 +8,19 @@
 //! `Cons` that copies raw bytes composes transparently with typed producers
 //! and consumers.
 //!
+//! Both typed endpoints are **buffered** (default [`DEFAULT_STREAM_BUFFER`]
+//! bytes), the `Buffered{Output,Input}Stream` layer Java gave the paper for
+//! free: a burst of small typed tokens costs one channel transfer per chunk
+//! instead of one mutex round-trip each. Write-side buffering lives in the
+//! [`ChannelWriter`] itself (via [`ChannelWriter::ensure_buffered`]), so
+//! `into_inner` round-trips are lossless; buffered bytes become visible on
+//! flush/close/drop, when the chunk fills, and automatically before the
+//! owning thread parks on any blocking read — the flush rule that keeps
+//! buffering invisible to Kahn determinacy and to the deadlock monitor (see
+//! [`crate::flush`]). Read-side buffering is plain read-ahead inside
+//! [`DataReader`]; unconsumed read-ahead is pushed back with
+//! [`ChannelReader::unread`] when the reader is unwrapped.
+//!
 //! For full object graphs (`ObjectOutputStream` analogue) see `kpn-codec`,
 //! which provides a serde-based binary format over any `io::Write`/`Read` —
 //! including these channel endpoints.
@@ -15,20 +28,42 @@
 use crate::channel::{ChannelReader, ChannelWriter};
 use crate::error::Result;
 
+pub use crate::channel::DEFAULT_STREAM_BUFFER;
+
 /// Writes primitive values big-endian onto a channel
-/// (`java.io.DataOutputStream` analogue).
+/// (`java.io.DataOutputStream` analogue). Buffered by default; see the
+/// module docs for visibility and flush rules.
 #[derive(Debug)]
 pub struct DataWriter {
     inner: ChannelWriter,
 }
 
 impl DataWriter {
-    /// Wraps a channel writer.
+    /// Wraps a channel writer, installing a [`DEFAULT_STREAM_BUFFER`]-sized
+    /// write buffer (no-op if the writer is already buffered).
     pub fn new(inner: ChannelWriter) -> Self {
+        Self::with_buffer_capacity(inner, DEFAULT_STREAM_BUFFER)
+    }
+
+    /// Wraps a channel writer with an explicit buffer capacity. A capacity
+    /// of zero leaves the writer unbuffered (every token is a channel
+    /// transfer, the pre-buffering behaviour).
+    pub fn with_buffer_capacity(mut inner: ChannelWriter, capacity: usize) -> Self {
+        inner.ensure_buffered(capacity);
         DataWriter { inner }
     }
 
-    /// Recovers the underlying byte endpoint.
+    /// Wraps a channel writer without installing a buffer. Equivalent to
+    /// `with_buffer_capacity(inner, 0)`; useful for latency-critical single
+    /// tokens and for benchmarking the unbatched path.
+    pub fn unbuffered(inner: ChannelWriter) -> Self {
+        DataWriter { inner }
+    }
+
+    /// Recovers the underlying byte endpoint. Any installed buffer stays
+    /// with the returned [`ChannelWriter`] (buffering lives in the sink),
+    /// so no bytes are lost or reordered; call [`DataWriter::flush`] first
+    /// if pending bytes must be visible immediately.
     pub fn into_inner(self) -> ChannelWriter {
         self.inner
     }
@@ -68,10 +103,21 @@ impl DataWriter {
         self.inner.write_all(&v.to_be_bytes())
     }
 
-    /// Writes a length-prefixed byte block (u32 length, then bytes).
+    /// Writes a length-prefixed byte block (u32 length, then bytes). Small
+    /// blocks are assembled on the stack and issued as a *single* buffered
+    /// write; larger ones write prefix and payload back-to-back into the
+    /// same buffer chunk.
     pub fn write_block(&mut self, bytes: &[u8]) -> Result<()> {
-        self.inner.write_all(&(bytes.len() as u32).to_be_bytes())?;
-        self.inner.write_all(bytes)
+        let len = (bytes.len() as u32).to_be_bytes();
+        if bytes.len() <= 124 {
+            let mut frame = [0u8; 128];
+            frame[..4].copy_from_slice(&len);
+            frame[4..4 + bytes.len()].copy_from_slice(bytes);
+            self.inner.write_all(&frame[..4 + bytes.len()])
+        } else {
+            self.inner.write_all(&len)?;
+            self.inner.write_all(bytes)
+        }
     }
 
     /// Writes a UTF-8 string with a u16 byte-length prefix — the wire
@@ -100,31 +146,109 @@ impl DataWriter {
 /// Reads primitive values big-endian from a channel
 /// (`java.io.DataInputStream` analogue). Every read blocks until the value
 /// is complete and fails with [`crate::Error::Eof`] at end of stream.
-#[derive(Debug)]
+///
+/// Buffered by default: each refill drains whatever the channel currently
+/// holds (up to the buffer size) in one transfer, and subsequent token reads
+/// are served from the private buffer lock-free. Unwrapping the reader via
+/// [`DataReader::into_inner`]/[`DataReader::inner_mut`] pushes unconsumed
+/// read-ahead back onto the stream ([`ChannelReader::unread`]), so the
+/// wrap/unwrap cycles of dynamic graphs (the sieve, §3.3) stay lossless.
 pub struct DataReader {
     inner: ChannelReader,
+    /// Read-ahead storage; empty when the reader is unbuffered.
+    buf: Box<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl std::fmt::Debug for DataReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DataReader")
+            .field("inner", &self.inner)
+            .field("buffered", &(self.end - self.start))
+            .field("capacity", &self.buf.len())
+            .finish()
+    }
 }
 
 impl DataReader {
-    /// Wraps a channel reader.
+    /// Wraps a channel reader with [`DEFAULT_STREAM_BUFFER`] bytes of
+    /// read-ahead.
     pub fn new(inner: ChannelReader) -> Self {
-        DataReader { inner }
+        Self::with_buffer_capacity(inner, DEFAULT_STREAM_BUFFER)
     }
 
-    /// Recovers the underlying byte endpoint.
-    pub fn into_inner(self) -> ChannelReader {
+    /// Wraps a channel reader with an explicit read-ahead capacity. Zero
+    /// disables read-ahead (every token is a channel transfer).
+    pub fn with_buffer_capacity(inner: ChannelReader, capacity: usize) -> Self {
+        DataReader {
+            inner,
+            buf: vec![0u8; capacity].into_boxed_slice(),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Wraps a channel reader without read-ahead. Equivalent to
+    /// `with_buffer_capacity(inner, 0)`.
+    pub fn unbuffered(inner: ChannelReader) -> Self {
+        Self::with_buffer_capacity(inner, 0)
+    }
+
+    /// Recovers the underlying byte endpoint. Unconsumed read-ahead is
+    /// pushed back to the front of the stream first, so no byte is lost.
+    pub fn into_inner(mut self) -> ChannelReader {
+        self.push_back_readahead();
         self.inner
     }
 
-    /// Mutable access to the underlying endpoint.
+    /// Mutable access to the underlying endpoint. Unconsumed read-ahead is
+    /// pushed back first so byte-level access observes the true stream
+    /// position.
     pub fn inner_mut(&mut self) -> &mut ChannelReader {
+        self.push_back_readahead();
         &mut self.inner
+    }
+
+    fn push_back_readahead(&mut self) {
+        if self.start != self.end {
+            let pending = self.buf[self.start..self.end].to_vec();
+            self.inner.unread(pending);
+            self.start = 0;
+            self.end = 0;
+        }
+    }
+
+    /// `read_exact` through the read-ahead buffer. Requests at least as
+    /// large as the buffer bypass it once it has drained.
+    fn fill_exact(&mut self, out: &mut [u8]) -> Result<()> {
+        let mut filled = 0;
+        while filled < out.len() {
+            if self.start == self.end {
+                let want = out.len() - filled;
+                if want >= self.buf.len() {
+                    // Unbuffered reader, or an oversized request: go direct.
+                    return self.inner.read_exact(&mut out[filled..]);
+                }
+                let n = self.inner.read(&mut self.buf)?;
+                if n == 0 {
+                    return Err(crate::error::Error::Eof);
+                }
+                self.start = 0;
+                self.end = n;
+            }
+            let take = (self.end - self.start).min(out.len() - filled);
+            out[filled..filled + take].copy_from_slice(&self.buf[self.start..self.start + take]);
+            self.start += take;
+            filled += take;
+        }
+        Ok(())
     }
 
     /// Reads a single byte.
     pub fn read_u8(&mut self) -> Result<u8> {
         let mut b = [0u8; 1];
-        self.inner.read_exact(&mut b)?;
+        self.fill_exact(&mut b)?;
         Ok(b[0])
     }
 
@@ -136,28 +260,28 @@ impl DataReader {
     /// Reads a big-endian `i32`.
     pub fn read_i32(&mut self) -> Result<i32> {
         let mut b = [0u8; 4];
-        self.inner.read_exact(&mut b)?;
+        self.fill_exact(&mut b)?;
         Ok(i32::from_be_bytes(b))
     }
 
     /// Reads a big-endian `i64` (`readLong`).
     pub fn read_i64(&mut self) -> Result<i64> {
         let mut b = [0u8; 8];
-        self.inner.read_exact(&mut b)?;
+        self.fill_exact(&mut b)?;
         Ok(i64::from_be_bytes(b))
     }
 
     /// Reads a big-endian `u64`.
     pub fn read_u64(&mut self) -> Result<u64> {
         let mut b = [0u8; 8];
-        self.inner.read_exact(&mut b)?;
+        self.fill_exact(&mut b)?;
         Ok(u64::from_be_bytes(b))
     }
 
     /// Reads a big-endian IEEE-754 `f64` (`readDouble`).
     pub fn read_f64(&mut self) -> Result<f64> {
         let mut b = [0u8; 8];
-        self.inner.read_exact(&mut b)?;
+        self.fill_exact(&mut b)?;
         Ok(f64::from_be_bytes(b))
     }
 
@@ -165,26 +289,28 @@ impl DataReader {
     /// [`DataWriter::write_block`].
     pub fn read_block(&mut self) -> Result<Vec<u8>> {
         let mut lb = [0u8; 4];
-        self.inner.read_exact(&mut lb)?;
+        self.fill_exact(&mut lb)?;
         let len = u32::from_be_bytes(lb) as usize;
         let mut out = vec![0u8; len];
-        self.inner.read_exact(&mut out)?;
+        self.fill_exact(&mut out)?;
         Ok(out)
     }
 
     /// Reads a string written by [`DataWriter::write_utf`].
     pub fn read_utf(&mut self) -> Result<String> {
         let mut lb = [0u8; 2];
-        self.inner.read_exact(&mut lb)?;
+        self.fill_exact(&mut lb)?;
         let len = u16::from_be_bytes(lb) as usize;
         let mut bytes = vec![0u8; len];
-        self.inner.read_exact(&mut bytes)?;
+        self.fill_exact(&mut bytes)?;
         String::from_utf8(bytes)
             .map_err(|e| crate::error::Error::Codec(format!("invalid utf-8: {e}")))
     }
 
-    /// Closes the stream (writers fail on next write).
+    /// Closes the stream (writers fail on next write). Discards read-ahead.
     pub fn close(&mut self) {
+        self.start = 0;
+        self.end = 0;
         self.inner.close()
     }
 }
@@ -277,6 +403,76 @@ mod tests {
         drop(w);
         let mut dr = DataReader::new(r);
         assert!(matches!(dr.read_i64(), Err(Error::Eof)));
+    }
+
+    #[test]
+    fn writer_buffers_until_flush() {
+        let (w, mut r) = channel();
+        let mut dw = DataWriter::new(w);
+        dw.write_i64(7).unwrap();
+        dw.flush().unwrap();
+        let mut buf = [0u8; 8];
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(i64::from_be_bytes(buf), 7);
+    }
+
+    #[test]
+    fn reader_into_inner_returns_readahead() {
+        // The sieve's pattern: wrap, read one token, unwrap — the bytes the
+        // read-ahead pulled in beyond that token must come back.
+        let (w, r) = channel();
+        let mut dw = DataWriter::new(w);
+        for v in 0..10i64 {
+            dw.write_i64(v).unwrap();
+        }
+        drop(dw);
+        let mut dr = DataReader::new(r);
+        assert_eq!(dr.read_i64().unwrap(), 0);
+        let inner = dr.into_inner(); // 9 tokens of read-ahead pushed back
+        let mut dr2 = DataReader::new(inner);
+        for v in 1..10i64 {
+            assert_eq!(dr2.read_i64().unwrap(), v);
+        }
+        assert!(matches!(dr2.read_i64(), Err(Error::Eof)));
+    }
+
+    #[test]
+    fn reader_inner_mut_observes_true_position() {
+        let (w, r) = channel();
+        let mut dw = DataWriter::new(w);
+        dw.write_i64(1).unwrap();
+        dw.write_i64(2).unwrap();
+        drop(dw);
+        let mut dr = DataReader::new(r);
+        assert_eq!(dr.read_i64().unwrap(), 1);
+        let mut raw = [0u8; 8];
+        dr.inner_mut().read_exact(&mut raw).unwrap();
+        assert_eq!(i64::from_be_bytes(raw), 2);
+    }
+
+    #[test]
+    fn unbuffered_endpoints_are_immediate() {
+        let (w, r) = channel();
+        let mut dw = DataWriter::unbuffered(w);
+        let mut dr = DataReader::unbuffered(r);
+        dw.write_i64(99).unwrap(); // visible without any flush
+        assert_eq!(dr.read_i64().unwrap(), 99);
+    }
+
+    #[test]
+    fn large_block_roundtrip_through_buffered_streams() {
+        // Payload far beyond the stream buffer: exercises the bypass path
+        // on both sides.
+        let (w, r) = channel();
+        let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let expect = payload.clone();
+        let h = std::thread::spawn(move || {
+            let mut dw = DataWriter::new(w);
+            dw.write_block(&payload).unwrap();
+        });
+        let mut dr = DataReader::new(r);
+        assert_eq!(dr.read_block().unwrap(), expect);
+        h.join().unwrap();
     }
 
     #[test]

@@ -50,14 +50,23 @@ pub(crate) fn read_hello_token<R: Read>(r: &mut R) -> Result<u64> {
     Ok(u64::from_be_bytes(buf))
 }
 
+/// Writes a `Data` frame directly from a borrowed payload — the hot path.
+/// No per-frame `Vec`: the 5-byte header is assembled on the stack, and a
+/// buffered writer underneath coalesces header and payload into one
+/// transfer.
+pub(crate) fn write_data_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<()> {
+    let mut hdr = [0u8; 5];
+    hdr[0] = TAG_DATA;
+    hdr[1..].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+    w.write_all(&hdr)?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
 /// Writes one frame.
 pub(crate) fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<()> {
     match frame {
-        Frame::Data(bytes) => {
-            w.write_all(&[TAG_DATA])?;
-            w.write_all(&(bytes.len() as u32).to_be_bytes())?;
-            w.write_all(bytes)?;
-        }
+        Frame::Data(bytes) => write_data_frame(w, bytes)?,
         Frame::Close => {
             w.write_all(&[TAG_CLOSE])?;
         }

@@ -18,16 +18,21 @@
 //!   (Figure 15 — no bytes transit the original server).
 
 use crate::acceptor::{connect_data, fresh_token, Acceptor, PendingConn};
-use crate::frame::{read_frame_header, write_frame, Frame, FrameHeader};
+use crate::frame::{read_frame_header, write_data_frame, write_frame, Frame, FrameHeader};
 use kpn_core::{
     BlockKind, ChannelReader, ChannelWriter, Error, Monitor, Result, Sink, Source, SourceRead,
 };
-use std::io::{BufReader, Read, Write};
+use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::Arc;
 
 /// Maximum payload of one `Data` frame.
 const MAX_FRAME: usize = 64 * 1024;
+
+/// Size of the socket-side write coalescing buffer: big enough to merge a
+/// frame header with a typical stream-buffer-sized payload into one
+/// syscall, small enough per connection to stay cheap.
+const SINK_BUFFER: usize = 16 * 1024;
 
 fn map_write_err(e: std::io::Error) -> Error {
     use std::io::ErrorKind::*;
@@ -117,24 +122,36 @@ impl std::fmt::Debug for Interruptor {
 }
 
 /// The write end of a channel whose reader lives on another server.
+///
+/// Frames are staged behind a [`BufWriter`] so a header and its payload
+/// (and any adjacent small frames) coalesce into one syscall, and the
+/// socket runs with `TCP_NODELAY`: batching is decided by our explicit
+/// flush-on-frame-boundary, not by Nagle's timer. Payload bytes are
+/// framed in place — no per-frame allocation.
 pub struct RemoteSink {
-    stream: TcpStream,
+    stream: BufWriter<TcpStream>,
     closed: bool,
 }
 
 impl RemoteSink {
     /// Connects to the reader's acceptor and presents `token`.
     pub fn connect(addr: &str, token: u64) -> Result<Self> {
+        let stream = connect_data(addr, token)?;
+        let _ = stream.set_nodelay(true);
         Ok(RemoteSink {
-            stream: connect_data(addr, token)?,
+            stream: BufWriter::with_capacity(SINK_BUFFER, stream),
             closed: false,
         })
+    }
+
+    fn socket(&self) -> &TcpStream {
+        self.stream.get_ref()
     }
 
     /// The peer (reader-side) address — the acceptor this sink connected
     /// to, used when shipping the writer endpoint onward.
     pub fn peer_addr(&self) -> Result<SocketAddr> {
-        Ok(self.stream.peer_addr()?)
+        Ok(self.socket().peer_addr()?)
     }
 
     /// Begins migrating this writer endpoint to another server (§4.3):
@@ -149,7 +166,7 @@ impl RemoteSink {
             .map_err(|e| Error::Disconnected(format!("redirect failed: {e}")))?;
         self.stream.flush().map_err(map_write_err)?;
         self.closed = true; // redirect supersedes Close
-        let _ = self.stream.shutdown(Shutdown::Both);
+        let _ = self.socket().shutdown(Shutdown::Both);
         Ok((peer, token))
     }
 }
@@ -160,11 +177,16 @@ impl Sink for RemoteSink {
             return Err(Error::WriteClosed);
         }
         for chunk in buf.chunks(MAX_FRAME) {
-            write_frame(&mut self.stream, &Frame::Data(chunk.to_vec())).map_err(|e| match e {
+            write_data_frame(&mut self.stream, chunk).map_err(|e| match e {
                 Error::Io(io) => map_write_err(io),
                 other => other,
             })?;
         }
+        // Flush on the frame boundary: every `write_all` a raw (unwrapped)
+        // writer performs is immediately visible to the remote reader, so
+        // deadlock safety never depends on socket-side buffering. Batched
+        // callers sit behind a stream-layer buffer that already delivers
+        // chunk-sized `write_all`s here.
         self.stream.flush().map_err(map_write_err)?;
         Ok(())
     }
@@ -180,7 +202,7 @@ impl Sink for RemoteSink {
         self.closed = true;
         let _ = write_frame(&mut self.stream, &Frame::Close);
         let _ = self.stream.flush();
-        let _ = self.stream.shutdown(Shutdown::Write);
+        let _ = self.socket().shutdown(Shutdown::Write);
     }
 }
 
@@ -221,6 +243,10 @@ impl RemoteSource {
 
 impl Source for RemoteSource {
     fn read(&mut self, buf: &mut [u8]) -> Result<SourceRead> {
+        // A socket read can block indefinitely: publish this thread's
+        // buffered output first (same deadlock-safety rule as local
+        // channels — see `kpn_core::flush`).
+        kpn_core::flush::flush_before_block();
         loop {
             if self.remaining > 0 {
                 let n = buf.len().min(self.remaining);
@@ -300,6 +326,10 @@ impl PendingSource {
 
 impl Source for PendingSource {
     fn read(&mut self, _buf: &mut [u8]) -> Result<SourceRead> {
+        // Waiting for a connection is a blocking read: flush first so the
+        // peer (who may need our buffered output to make progress before
+        // connecting back) can proceed.
+        kpn_core::flush::flush_before_block();
         match self.pending.rx.recv() {
             Ok(stream) => {
                 let source = RemoteSource::with_interruptor(
@@ -410,7 +440,7 @@ pub fn remote_writer_interruptible(
 ) -> Result<(ChannelWriter, Arc<Interruptor>)> {
     let sink = RemoteSink::connect(addr, token)?;
     let interruptor = Interruptor::new();
-    interruptor.attach_socket(&sink.stream);
+    interruptor.attach_socket(sink.socket());
     Ok((ChannelWriter::from_sink(Box::new(sink)), interruptor))
 }
 

@@ -1,0 +1,178 @@
+//! Regression tests for buffered typed streams and the deadlock-safe
+//! flush rule (see `kpn-core`'s crate docs, "Buffering and flush
+//! semantics").
+//!
+//! The invariant under test: batching writes through a private buffer must
+//! never change what a network computes or how the deadlock monitor
+//! classifies a stall. The dangerous case is a token sitting in an
+//! unflushed buffer while its owner parks on a blocking read — without
+//! the auto-flush, the consumer starves and the monitor sees a false true
+//! deadlock. These tests pin that behaviour at capacities small enough
+//! (≤ 64 bytes) to force constant blocking and channel growth.
+
+use kpn::core::graphs::{
+    first_primes, hamming, hamming_reference, primes_reference, GraphOptions,
+};
+use kpn::core::{DataReader, DataWriter, Error, Network};
+use std::time::{Duration, Instant};
+
+fn opts(capacity: usize) -> GraphOptions {
+    GraphOptions {
+        channel_capacity: capacity,
+        self_removing_cons: false,
+    }
+}
+
+/// Hamming at tiny capacities: the feedback loops block on nearly every
+/// write, so every blocking read must see the producer's flushed bytes.
+#[test]
+fn hamming_terminates_with_buffered_streams_at_tiny_capacities() {
+    for capacity in [16, 32, 64] {
+        let net = Network::new();
+        let out = hamming(&net, 60, &opts(capacity));
+        net.run().unwrap();
+        assert_eq!(
+            &*out.lock().unwrap(),
+            &hamming_reference(60),
+            "capacity {capacity}"
+        );
+    }
+}
+
+/// The self-reconfiguring sieve spawns new filter stages mid-run; each new
+/// stage's `DataWriter` buffer must register with its own thread's flush
+/// set, not its creator's.
+#[test]
+fn sieve_terminates_with_buffered_streams_at_tiny_capacities() {
+    for capacity in [16, 64] {
+        let net = Network::new();
+        let out = first_primes(&net, 30, &opts(capacity));
+        net.run().unwrap();
+        let reference: Vec<i64> = primes_reference(200).into_iter().take(30).collect();
+        assert_eq!(&*out.lock().unwrap(), &reference, "capacity {capacity}");
+    }
+}
+
+/// A two-process ping-pong where each token is far smaller than the 4 KiB
+/// stream buffer. Without flush-before-block, the first `write_i64` stays
+/// private, both processes park on reads, and the network hangs (or is
+/// misreported as truly deadlocked). With it, the exchange completes.
+#[test]
+fn buffered_ping_pong_does_not_false_deadlock() {
+    let net = Network::new();
+    let (aw, ar) = net.channel_with_capacity(64);
+    let (bw, br) = net.channel_with_capacity(64);
+    net.add_fn("ping", move |_| {
+        let mut w = DataWriter::new(aw);
+        let mut r = DataReader::new(br);
+        for i in 0..1000i64 {
+            w.write_i64(i)?; // buffered: invisible until a flush
+            assert_eq!(r.read_i64()?, i * 2); // read must flush first
+        }
+        Ok(())
+    });
+    net.add_fn("pong", move |_| {
+        let mut r = DataReader::new(ar);
+        let mut w = DataWriter::new(bw);
+        loop {
+            let v = r.read_i64()?;
+            w.write_i64(v * 2)?;
+        }
+    });
+    net.run().unwrap();
+}
+
+/// Buffering must not mask a *genuine* deadlock: two processes each
+/// read-waiting on the other still abort promptly, with all buffers empty
+/// at the point the monitor inspects the network.
+#[test]
+fn true_deadlock_still_detected_under_buffered_streams() {
+    let net = Network::new();
+    let (aw, ar) = net.channel_with_capacity(64);
+    let (bw, br) = net.channel_with_capacity(64);
+    net.add_fn("p1", move |_| {
+        let mut r = DataReader::new(br);
+        let mut w = DataWriter::new(aw);
+        loop {
+            let v = r.read_i64()?;
+            w.write_i64(v)?;
+        }
+    });
+    net.add_fn("p2", move |_| {
+        let mut r = DataReader::new(ar);
+        let mut w = DataWriter::new(bw);
+        loop {
+            let v = r.read_i64()?;
+            w.write_i64(v)?;
+        }
+    });
+    let start = Instant::now();
+    assert!(matches!(net.run(), Err(Error::Deadlocked)));
+    assert!(start.elapsed() < Duration::from_secs(5));
+}
+
+/// Buffered and unbuffered endpoints produce byte-identical histories —
+/// the Kahn determinacy argument for the batching layer, checked directly.
+#[test]
+fn buffered_and_unbuffered_histories_agree() {
+    fn run(buffered: bool) -> Vec<i64> {
+        let net = Network::new();
+        let (w, r) = net.channel_with_capacity(32);
+        net.add_fn("src", move |_| {
+            let mut dw = if buffered {
+                DataWriter::new(w)
+            } else {
+                DataWriter::unbuffered(w)
+            };
+            for i in 0..500i64 {
+                dw.write_i64(i * 3)?;
+            }
+            Ok(())
+        });
+        let out = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = out.clone();
+        net.add_fn("dst", move |_| {
+            let mut dr = if buffered {
+                DataReader::new(r)
+            } else {
+                DataReader::unbuffered(r)
+            };
+            while let Ok(v) = dr.read_i64() {
+                sink.lock().unwrap().push(v);
+            }
+            Ok(())
+        });
+        net.run().unwrap();
+        let v = out.lock().unwrap().clone();
+        v
+    }
+    assert_eq!(run(true), run(false));
+}
+
+/// Mixed-size payloads across the buffer boundary: blocks larger than the
+/// stream buffer bypass it, interleaved with small typed tokens, and the
+/// reader reassembles everything in order.
+#[test]
+fn large_blocks_interleave_with_small_tokens() {
+    let net = Network::new();
+    let (w, r) = net.channel_with_capacity(64);
+    let big: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+    let big_w = big.clone();
+    net.add_fn("src", move |_| {
+        let mut dw = DataWriter::new(w);
+        for round in 0..5i64 {
+            dw.write_i64(round)?;
+            dw.write_block(&big_w)?;
+        }
+        Ok(())
+    });
+    net.add_fn("dst", move |_| {
+        let mut dr = DataReader::new(r);
+        for round in 0..5i64 {
+            assert_eq!(dr.read_i64()?, round);
+            assert_eq!(dr.read_block()?, big);
+        }
+        Ok(())
+    });
+    net.run().unwrap();
+}
