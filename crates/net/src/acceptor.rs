@@ -10,30 +10,40 @@
 //! arrive before the graph spec that registers its endpoint has been
 //! processed (partitions are shipped one after another, §4.2), so
 //! unclaimed arrivals are parked until `register` claims them.
+//!
+//! Accepted data connections are wrapped by the acceptor's
+//! [`NetProfile`]'s transport factory, so a chaos profile injects faults
+//! on the accept side as well as the connect side. A connection that
+//! presents a *dead* token (deliberately closed endpoint) is answered
+//! with a single `Stop` byte before being dropped: a reconnecting writer
+//! uses it to tell "reader closed on purpose" (terminate, §3.4 cascade)
+//! apart from "link is flaky" (keep retrying).
 
-use crate::frame::{read_hello_token, CONN_CONTROL, CONN_HELLO};
+use crate::frame::{read_hello_token, CONN_CONTROL, CONN_HELLO, TAG_STOP};
+use crate::transport::{NetProfile, Transport};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use kpn_core::{Error, Result};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
-use std::io::Read;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 
 type ControlHandler = Arc<dyn Fn(TcpStream) + Send + Sync>;
 
-/// Receives the TCP stream for one registered endpoint token.
+/// Receives the transport for one registered endpoint token.
 pub(crate) struct PendingConn {
-    pub(crate) rx: Receiver<TcpStream>,
+    pub(crate) rx: Receiver<Box<dyn Transport>>,
 }
 
 struct AcceptorState {
     /// Endpoints waiting for their connection.
-    waiting: HashMap<u64, Sender<TcpStream>>,
+    waiting: HashMap<u64, Sender<Box<dyn Transport>>>,
     /// Connections that arrived before their endpoint registered.
-    parked: HashMap<u64, TcpStream>,
-    /// Tokens whose endpoint was abandoned: late connections are dropped
-    /// so the connector observes a closed socket (termination cascade).
+    parked: HashMap<u64, Box<dyn Transport>>,
+    /// Tokens whose endpoint was abandoned: late connections get a `Stop`
+    /// notice and are dropped, so the connector terminates instead of
+    /// retrying (termination cascade).
     dead: HashSet<u64>,
     control: Option<ControlHandler>,
     closed: bool,
@@ -42,17 +52,25 @@ struct AcceptorState {
 /// A node's connection acceptor (one TCP port for data and control).
 pub struct Acceptor {
     addr: SocketAddr,
+    profile: NetProfile,
     state: Mutex<AcceptorState>,
 }
 
 impl Acceptor {
     /// Binds to `addr` (use port 0 for an ephemeral port) and starts the
-    /// accept loop.
+    /// accept loop, with the default (plain TCP, fail-fast) profile.
     pub fn bind(addr: &str) -> Result<Arc<Self>> {
+        Self::bind_with(addr, NetProfile::default())
+    }
+
+    /// Binds with an explicit [`NetProfile`]: accepted data connections
+    /// are wrapped by the profile's transport factory.
+    pub fn bind_with(addr: &str, profile: NetProfile) -> Result<Arc<Self>> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let acceptor = Arc::new(Acceptor {
             addr: local,
+            profile,
             state: Mutex::new(AcceptorState {
                 waiting: HashMap::new(),
                 parked: HashMap::new(),
@@ -87,6 +105,11 @@ impl Acceptor {
         self.addr
     }
 
+    /// The acceptor's reconnect policy (shared by endpoints it hosts).
+    pub(crate) fn profile(&self) -> &NetProfile {
+        &self.profile
+    }
+
     /// Installs the control-session handler (compute server).
     pub(crate) fn set_control_handler(&self, handler: ControlHandler) {
         self.state.lock().control = Some(handler);
@@ -105,10 +128,13 @@ impl Acceptor {
     }
 
     /// Registers an endpoint token; the returned receiver yields the data
-    /// connection when (or if it already has) arrived.
+    /// connection when (or if it already has) arrived. Re-registering a
+    /// token (reader-side reconnect) revives it even if it was marked
+    /// dead.
     pub(crate) fn register(&self, token: u64) -> PendingConn {
         let (tx, rx) = bounded(1);
         let mut st = self.state.lock();
+        st.dead.remove(&token);
         if let Some(stream) = st.parked.remove(&token) {
             let _ = tx.send(stream);
         } else {
@@ -117,9 +143,10 @@ impl Acceptor {
         PendingConn { rx }
     }
 
-    /// Removes a registration (endpoint abandoned before connecting).
-    /// A connection that later presents this token is dropped, which the
-    /// connector observes as a closed reader.
+    /// Removes a registration (endpoint abandoned or deliberately closed).
+    /// A connection that later presents this token receives a `Stop`
+    /// notice, which the connector treats as a closed reader rather than a
+    /// transient fault.
     pub(crate) fn unregister(&self, token: u64) {
         let mut st = self.state.lock();
         st.waiting.remove(&token);
@@ -143,16 +170,20 @@ impl Acceptor {
                     return;
                 }
                 if st.dead.contains(&token) {
-                    return; // abandoned endpoint: drop the connection
+                    // Deliberately closed endpoint: tell the connector to
+                    // stop retrying, then drop the connection.
+                    let _ = stream.write_all(&[TAG_STOP]);
+                    return;
                 }
+                let transport = self.profile.factory.wrap_accepted(stream, token);
                 match st.waiting.remove(&token) {
                     Some(tx) => {
-                        // Endpoint dropped meanwhile → stream drops → the
+                        // Endpoint dropped meanwhile → transport drops → the
                         // connector sees a closed socket (WriteClosed).
-                        let _ = tx.send(stream);
+                        let _ = tx.send(transport);
                     }
                     None => {
-                        st.parked.insert(token, stream);
+                        st.parked.insert(token, transport);
                     }
                 }
             }

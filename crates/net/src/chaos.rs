@@ -1,0 +1,416 @@
+//! Deterministic chaos harness: paper graphs under seeded fault schedules.
+//!
+//! Kahn process networks have a built-in test oracle: the history of every
+//! channel is **determined by the graph alone**, independent of scheduling,
+//! buffering, or — with the reconnection protocol of `remote.rs` — link
+//! failures. This module turns that property into a harness:
+//!
+//! 1. [`ChaosCluster::with_faults`] stands up a client and `n` compute
+//!    servers whose transports all run through a [`FaultyFactory`] driven
+//!    by one seeded [`FaultPlan`], with a [`ReconnectPolicy`] tuned for
+//!    tests (fast backoff, short op timeout);
+//! 2. the graph runners ([`sieve_history`], [`hamming_history`],
+//!    [`relay_history`]) deploy the paper's example networks across the
+//!    cluster and collect the observable output channel's history;
+//! 3. [`check_determinacy`] runs the same graph on a fault-free cluster
+//!    and under each seed's fault schedule, and fails unless every run
+//!    produces a **bit-identical** history.
+//!
+//! Faults are injected on both ends of every data connection (the
+//! connect-side factory wraps outbound transports, the acceptor's profile
+//! wraps accepted ones), while control sessions stay on plain TCP — chaos
+//! is scoped to the data plane the reconnection protocol protects.
+//!
+//! Profiles are installed per node address in a process-global table (see
+//! [`install_profile`]); [`ChaosGuard`] scopes those installations so a
+//! panicking test cannot leak a fault profile into unrelated tests running
+//! in the same process.
+
+use crate::builder::GraphBuilder;
+use crate::control::ServerHandle;
+use crate::node::Node;
+use crate::transport::{
+    install_profile, remove_profile, FaultPlan, FaultProfile, FaultyFactory, NetProfile,
+    ReconnectPolicy,
+};
+use kpn_core::{DataReader, DataWriter, Error, Result};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A reconnect policy tuned for chaos tests: recovery semantics identical
+/// to [`ReconnectPolicy::resilient`], but with millisecond-scale backoff
+/// (so injected resets heal quickly), a generous overall budget (fault
+/// schedules are bounded, so every episode eventually succeeds), and an
+/// operation timeout that turns long stalls into detectable faults.
+pub fn chaos_policy() -> ReconnectPolicy {
+    ReconnectPolicy {
+        initial_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(100),
+        budget: Duration::from_secs(20),
+        op_timeout: Some(Duration::from_millis(250)),
+        ..ReconnectPolicy::resilient()
+    }
+}
+
+/// Installs a fault-injecting [`NetProfile`] for a set of node addresses
+/// and removes those installations on drop.
+///
+/// All covered addresses share one seeded [`FaultPlan`], so the whole
+/// cluster draws faults from a single deterministic schedule and
+/// [`ChaosGuard::injected`] reports cluster-wide fault counts.
+pub struct ChaosGuard {
+    plan: Arc<FaultPlan>,
+    policy: ReconnectPolicy,
+    addrs: Vec<String>,
+}
+
+impl ChaosGuard {
+    /// A guard whose covered addresses inject faults per `profile`,
+    /// deterministically derived from `seed`, with endpoints recovering
+    /// under `policy`.
+    pub fn new(seed: u64, profile: FaultProfile, policy: ReconnectPolicy) -> Self {
+        ChaosGuard {
+            plan: FaultPlan::new(seed, profile),
+            policy,
+            addrs: Vec::new(),
+        }
+    }
+
+    /// The shared fault schedule.
+    pub fn plan(&self) -> &Arc<FaultPlan> {
+        &self.plan
+    }
+
+    /// Total faults injected so far across all covered addresses.
+    pub fn injected(&self) -> u64 {
+        self.plan.injected()
+    }
+
+    /// The profile this guard installs: a [`FaultyFactory`] over the
+    /// shared plan plus the guard's reconnect policy. Also the right
+    /// profile to pass to [`Node::serve_with_profile`] so the accept side
+    /// of each covered node injects faults too.
+    pub fn net_profile(&self) -> NetProfile {
+        NetProfile {
+            factory: Arc::new(FaultyFactory::new(self.plan.clone())),
+            policy: self.policy.clone(),
+        }
+    }
+
+    /// Installs the guard's profile for outbound connections to `addr`
+    /// (see [`install_profile`]); undone when the guard drops.
+    pub fn cover(&mut self, addr: impl Into<String>) {
+        let addr = addr.into();
+        install_profile(addr.clone(), self.net_profile());
+        self.addrs.push(addr);
+    }
+}
+
+impl Drop for ChaosGuard {
+    fn drop(&mut self) {
+        for addr in &self.addrs {
+            remove_profile(addr);
+        }
+    }
+}
+
+impl std::fmt::Debug for ChaosGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosGuard")
+            .field("addrs", &self.addrs)
+            .field("injected", &self.injected())
+            .finish()
+    }
+}
+
+/// A client node plus `n` compute servers, optionally with every data
+/// link running under a seeded fault schedule.
+pub struct ChaosCluster {
+    client: Arc<Node>,
+    /// Keep the server nodes alive for the cluster's lifetime.
+    _servers: Vec<Arc<Node>>,
+    handles: Vec<ServerHandle>,
+    guard: Option<ChaosGuard>,
+}
+
+impl ChaosCluster {
+    /// A fault-free cluster (plain TCP, fail-fast semantics): the
+    /// baseline side of the determinacy oracle.
+    pub fn plain(servers: usize) -> Result<Self> {
+        let client = Node::serve("127.0.0.1:0")?;
+        let mut nodes = Vec::new();
+        let mut handles = Vec::new();
+        for _ in 0..servers {
+            let node = Node::serve("127.0.0.1:0")?;
+            handles.push(ServerHandle::new(node.addr().to_string()));
+            nodes.push(node);
+        }
+        Ok(ChaosCluster {
+            client,
+            _servers: nodes,
+            handles,
+            guard: None,
+        })
+    }
+
+    /// A cluster whose every node (client included) both accepts and
+    /// initiates data connections through a [`FaultyFactory`] seeded from
+    /// `seed`, recovering under `policy`.
+    pub fn with_faults(
+        servers: usize,
+        seed: u64,
+        profile: FaultProfile,
+        policy: ReconnectPolicy,
+    ) -> Result<Self> {
+        let mut guard = ChaosGuard::new(seed, profile, policy);
+        let client = Node::serve_with_profile("127.0.0.1:0", guard.net_profile())?;
+        guard.cover(client.addr().to_string());
+        let mut nodes = Vec::new();
+        let mut handles = Vec::new();
+        for _ in 0..servers {
+            let node = Node::serve_with_profile("127.0.0.1:0", guard.net_profile())?;
+            guard.cover(node.addr().to_string());
+            handles.push(ServerHandle::new(node.addr().to_string()));
+            nodes.push(node);
+        }
+        Ok(ChaosCluster {
+            client,
+            _servers: nodes,
+            handles,
+            guard: Some(guard),
+        })
+    }
+
+    /// The deploying client node.
+    pub fn client(&self) -> &Arc<Node> {
+        &self.client
+    }
+
+    /// Control handles for the compute servers, in partition order.
+    pub fn handles(&self) -> &[ServerHandle] {
+        &self.handles
+    }
+
+    /// Faults injected so far (0 on a plain cluster).
+    pub fn injected(&self) -> u64 {
+        self.guard.as_ref().map_or(0, ChaosGuard::injected)
+    }
+}
+
+impl std::fmt::Debug for ChaosCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosCluster")
+            .field("servers", &self.handles.len())
+            .field("faulty", &self.guard.is_some())
+            .finish()
+    }
+}
+
+/// Reads the stream to its regular end (writer `Close`), failing on any
+/// other error — a truncated-by-fault history must fail loudly, not
+/// silently shorten the comparison.
+fn drain(mut r: DataReader) -> Result<Vec<i64>> {
+    let mut out = Vec::new();
+    loop {
+        match r.read_i64() {
+            Ok(v) => out.push(v),
+            Err(Error::Eof) => return Ok(out),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// The Sieve of Eratosthenes (§3.3, Figures 7/8) producing all primes
+/// below `below`: candidates generated on partition 0, the self-modifying
+/// `Sift` head (which grows a `Modulo` chain inside its server's local
+/// network) on partition 1, primes collected on the client. Terminates by
+/// source exhaustion (§3.4 mode 1), so the full history drains cleanly.
+pub fn sieve_history(cluster: &ChaosCluster, below: i64) -> Result<Vec<i64>> {
+    let mut b = GraphBuilder::new();
+    let candidates = b.channel();
+    let primes = b.channel();
+    let second = 1 % cluster.handles().len().max(1);
+    b.add(
+        0,
+        "Sequence",
+        &(2i64, Some((below - 2).max(0) as u64)),
+        &[],
+        &[candidates],
+    )?;
+    b.add(second, "Sift", &(), &[candidates], &[primes])?;
+    b.claim_reader(primes)?;
+    let mut dep = b.deploy(cluster.client(), cluster.handles())?;
+    let r = DataReader::new(dep.readers.remove(&primes).expect("claimed reader"));
+    let out = drain(r)?;
+    dep.join()?;
+    Ok(out)
+}
+
+/// The Hamming-number network of Figure 12, with its feedback loop kept
+/// whole on partition 0 (so the local monitor can grow the loop's
+/// channels, §3.5) and the output hopping through an `Identity` on
+/// partition 1 before reaching the client — two network cuts on the
+/// observable path. Reads the first `count` values, then closes the
+/// reader: termination by sink limit (§3.4 mode 2), whose `WriteClosed`
+/// cascade must cross both cuts even under faults.
+pub fn hamming_history(cluster: &ChaosCluster, count: usize) -> Result<Vec<i64>> {
+    let mut b = GraphBuilder::new();
+    let init = b.channel();
+    let merged = b.channel();
+    let h = b.channel();
+    let mid = b.channel();
+    let relay = b.channel();
+    let in2 = b.channel();
+    let in3 = b.channel();
+    let in5 = b.channel();
+    let m2 = b.channel();
+    let m3 = b.channel();
+    let m5 = b.channel();
+    let second = 1 % cluster.handles().len().max(1);
+    b.add(0, "Constant", &(1i64, Some(1u64)), &[], &[init])?;
+    b.add(0, "Cons", &false, &[init, merged], &[h])?;
+    b.add(0, "Duplicate", &(), &[h], &[mid, in2, in3, in5])?;
+    b.add(0, "Scale", &2i64, &[in2], &[m2])?;
+    b.add(0, "Scale", &3i64, &[in3], &[m3])?;
+    b.add(0, "Scale", &5i64, &[in5], &[m5])?;
+    b.add(0, "OrderedMerge", &true, &[m2, m3, m5], &[merged])?;
+    b.add(second, "Identity", &(), &[mid], &[relay])?;
+    b.claim_reader(relay)?;
+    let mut dep = b.deploy(cluster.client(), cluster.handles())?;
+    let mut r = DataReader::new(dep.readers.remove(&relay).expect("claimed reader"));
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(r.read_i64()?);
+    }
+    // Dropping the reader fires the §3.4 cascade back through both cuts.
+    drop(r);
+    dep.join()?;
+    Ok(out)
+}
+
+/// A ping-pong relay: the client writes one value at a time through
+/// `Identity` processes on partitions 0 and 1 and reads it back before
+/// sending the next — the strictest rhythm for the reconnection protocol,
+/// since every fault surfaces while exactly one datum is in flight.
+pub fn relay_history(cluster: &ChaosCluster, count: i64) -> Result<Vec<i64>> {
+    let mut b = GraphBuilder::new();
+    let input = b.channel();
+    let mid = b.channel();
+    let back = b.channel();
+    let second = 1 % cluster.handles().len().max(1);
+    b.add(0, "Identity", &(), &[input], &[mid])?;
+    b.add(second, "Identity", &(), &[mid], &[back])?;
+    b.claim_writer(input)?;
+    b.claim_reader(back)?;
+    let mut dep = b.deploy(cluster.client(), cluster.handles())?;
+    let mut w = DataWriter::new(dep.writers.remove(&input).expect("claimed writer"));
+    let mut r = DataReader::new(dep.readers.remove(&back).expect("claimed reader"));
+    let mut out = Vec::with_capacity(count.max(0) as usize);
+    for i in 0..count {
+        w.write_i64(i)?;
+        out.push(r.read_i64()?);
+    }
+    drop(w); // sends Close; the graph winds down by exhaustion
+    match drain(r) {
+        Ok(rest) if rest.is_empty() => {}
+        Ok(rest) => {
+            return Err(Error::Graph(format!(
+                "relay produced {} values after the writer closed",
+                rest.len()
+            )))
+        }
+        Err(e) => return Err(e),
+    }
+    dep.join()?;
+    Ok(out)
+}
+
+/// The Kahn determinacy oracle: runs `run` once on a fault-free cluster
+/// and once per seed under that seed's fault schedule, requiring every
+/// faulted history to be bit-identical to the baseline. Returns the total
+/// number of injected faults so callers can assert the schedules actually
+/// fired.
+pub fn check_determinacy<F>(
+    servers: usize,
+    seeds: &[u64],
+    profile: FaultProfile,
+    policy: ReconnectPolicy,
+    run: F,
+) -> Result<u64>
+where
+    F: Fn(&ChaosCluster) -> Result<Vec<i64>>,
+{
+    let baseline = {
+        let cluster = ChaosCluster::plain(servers)?;
+        run(&cluster)?
+    };
+    let mut injected = 0;
+    for &seed in seeds {
+        let cluster = ChaosCluster::with_faults(servers, seed, profile.clone(), policy.clone())?;
+        let got = run(&cluster)
+            .map_err(|e| Error::Graph(format!("chaos run failed under seed {seed:#x}: {e}")))?;
+        injected += cluster.injected();
+        if got != baseline {
+            let diverge = baseline
+                .iter()
+                .zip(got.iter())
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| baseline.len().min(got.len()));
+            return Err(Error::Graph(format!(
+                "seed {seed:#x} broke determinacy: history diverges at index {diverge} \
+                 (baseline {} values, faulted {} values)",
+                baseline.len(),
+                got.len()
+            )));
+        }
+    }
+    Ok(injected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::profile_for;
+
+    #[test]
+    fn guard_scopes_profile_installation() {
+        let addr = "203.0.113.7:4242"; // TEST-NET; never dialed
+        {
+            let mut g = ChaosGuard::new(1, FaultProfile::default(), chaos_policy());
+            g.cover(addr);
+            assert!(profile_for(addr).policy.enabled);
+        }
+        assert!(!profile_for(addr).policy.enabled, "drop must uninstall");
+    }
+
+    #[test]
+    fn relay_is_deterministic_under_faults() {
+        // refuse_connects ≥ 1 guarantees the schedule fires even if the
+        // op-fault dice stay cold for the whole (short) run.
+        let profile = FaultProfile {
+            mean_ops_between_faults: 12,
+            refuse_connects: 1,
+            max_faults: 10,
+            ..FaultProfile::default()
+        };
+        let faults = check_determinacy(2, &[0xC0FFEE], profile, chaos_policy(), |c| {
+            relay_history(c, 48)
+        })
+        .expect("determinacy");
+        assert!(faults > 0, "fault schedule never fired");
+    }
+
+    #[test]
+    fn sieve_survives_fault_schedule() {
+        let profile = FaultProfile {
+            mean_ops_between_faults: 20,
+            refuse_connects: 1,
+            max_faults: 8,
+            ..FaultProfile::default()
+        };
+        let cluster =
+            ChaosCluster::with_faults(2, 0xBADC0DE, profile, chaos_policy()).expect("cluster");
+        let primes = sieve_history(&cluster, 50).expect("sieve run");
+        assert_eq!(primes, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47]);
+    }
+}

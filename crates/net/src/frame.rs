@@ -5,6 +5,24 @@
 //! [`Frame`]s. The `Close` frame is the graceful end-of-stream marker that
 //! carries the §3.4 termination cascade across machines; `Redirect` is the
 //! decentralized-communication handshake of §4.3 (Figure 15).
+//!
+//! ## Sequence offsets (protocol v2)
+//!
+//! Every writer→reader frame carries the writer's **byte offset** into the
+//! logical channel stream, so a connection torn down mid-frame can be
+//! replaced and the stream resumed exactly-once: the reader knows exactly
+//! how many bytes it has delivered (`expected`), and on a replayed frame
+//! discards the duplicate prefix. Offsets count *payload* bytes; the
+//! `Close` and `Redirect` markers occupy one unit each in the offset space
+//! so their delivery is also exactly-once under replay.
+//!
+//! Two reader→writer / acceptor→connector tags support recovery:
+//! `Ack{offset}` is the reader's cumulative acknowledgement ("I have
+//! everything below `offset`"), which bounds the writer's replay buffer;
+//! `Stop` is the single-byte notice an acceptor sends when a connection
+//! presents a token that was deliberately closed — it lets a reconnecting
+//! writer distinguish *the reader is gone on purpose* (cascade per §3.4)
+//! from *the link is flaky* (keep retrying).
 
 use kpn_core::{Error, Result};
 use std::io::{Read, Write};
@@ -13,6 +31,8 @@ use std::io::{Read, Write};
 const TAG_DATA: u8 = 0x01;
 const TAG_CLOSE: u8 = 0x02;
 const TAG_REDIRECT: u8 = 0x03;
+const TAG_ACK: u8 = 0x04;
+pub(crate) const TAG_STOP: u8 = 0x05;
 
 /// Connection-opening tags (first byte of a fresh TCP connection).
 pub(crate) const CONN_HELLO: u8 = 0x48; // 'H' — data connection
@@ -21,16 +41,36 @@ pub(crate) const CONN_CONTROL: u8 = 0x43; // 'C' — control session
 /// One frame on a data connection.
 #[derive(Debug, PartialEq, Eq)]
 pub enum Frame {
-    /// A chunk of channel bytes.
-    Data(Vec<u8>),
-    /// Graceful end of stream: the reader drains, then sees EOF.
-    Close,
+    /// A chunk of channel bytes starting at stream offset `offset`.
+    // Production code writes data via `write_data_frame` directly; the
+    // variant keeps the wire grammar complete for `write_frame` callers.
+    #[allow(dead_code)]
+    Data {
+        /// Payload bytes.
+        bytes: Vec<u8>,
+        /// Stream offset of the first payload byte.
+        offset: u64,
+    },
+    /// Graceful end of stream at `offset`: the reader drains, then sees
+    /// EOF.
+    Close {
+        /// Stream offset of the close marker.
+        offset: u64,
+    },
     /// The writer endpoint is migrating: the reader should register
     /// `token` with its local acceptor and splice in the connection that
     /// will arrive for it (directly from the endpoint's new home).
     Redirect {
         /// Fresh token the replacement connection will present.
         token: u64,
+        /// Stream offset of the redirect marker.
+        offset: u64,
+    },
+    /// Reader→writer: cumulative acknowledgement — every stream unit below
+    /// `offset` has been delivered to the local channel.
+    Ack {
+        /// First unacknowledged stream offset.
+        offset: u64,
     },
 }
 
@@ -51,13 +91,14 @@ pub(crate) fn read_hello_token<R: Read>(r: &mut R) -> Result<u64> {
 }
 
 /// Writes a `Data` frame directly from a borrowed payload — the hot path.
-/// No per-frame `Vec`: the 5-byte header is assembled on the stack, and a
+/// No per-frame `Vec`: the 13-byte header is assembled on the stack, and a
 /// buffered writer underneath coalesces header and payload into one
 /// transfer.
-pub(crate) fn write_data_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<()> {
-    let mut hdr = [0u8; 5];
+pub(crate) fn write_data_frame<W: Write>(w: &mut W, payload: &[u8], offset: u64) -> Result<()> {
+    let mut hdr = [0u8; 13];
     hdr[0] = TAG_DATA;
-    hdr[1..].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+    hdr[1..5].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+    hdr[5..].copy_from_slice(&offset.to_be_bytes());
     w.write_all(&hdr)?;
     w.write_all(payload)?;
     Ok(())
@@ -66,13 +107,19 @@ pub(crate) fn write_data_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<()
 /// Writes one frame.
 pub(crate) fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<()> {
     match frame {
-        Frame::Data(bytes) => write_data_frame(w, bytes)?,
-        Frame::Close => {
+        Frame::Data { bytes, offset } => write_data_frame(w, bytes, *offset)?,
+        Frame::Close { offset } => {
             w.write_all(&[TAG_CLOSE])?;
+            w.write_all(&offset.to_be_bytes())?;
         }
-        Frame::Redirect { token } => {
+        Frame::Redirect { token, offset } => {
             w.write_all(&[TAG_REDIRECT])?;
             w.write_all(&token.to_be_bytes())?;
+            w.write_all(&offset.to_be_bytes())?;
+        }
+        Frame::Ack { offset } => {
+            w.write_all(&[TAG_ACK])?;
+            w.write_all(&offset.to_be_bytes())?;
         }
     }
     Ok(())
@@ -80,17 +127,48 @@ pub(crate) fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<()> {
 
 /// Reads the header of the next frame. For `Data` frames the payload is
 /// *not* consumed — the caller streams it (so one big frame does not force
-/// one big allocation). Returns the payload length.
+/// one big allocation). Returns the payload length and stream offset.
 #[derive(Debug, PartialEq, Eq)]
 pub(crate) enum FrameHeader {
-    /// `Data` frame with this many payload bytes to stream.
-    Data(usize),
-    /// Graceful close.
-    Close,
+    /// `Data` frame: payload length to stream, starting at this offset.
+    Data {
+        /// Payload bytes to stream after the header.
+        len: usize,
+        /// Stream offset of the first payload byte.
+        offset: u64,
+    },
+    /// Graceful close at this offset.
+    Close {
+        /// Stream offset of the close marker.
+        offset: u64,
+    },
     /// Redirect handshake.
-    Redirect(u64),
+    Redirect {
+        /// Token the replacement connection will present.
+        token: u64,
+        /// Stream offset of the redirect marker.
+        offset: u64,
+    },
+    /// Cumulative acknowledgement from the reader.
+    Ack {
+        /// First unacknowledged stream offset.
+        offset: u64,
+    },
+    /// Dead-token notice from an acceptor: the endpoint was deliberately
+    /// closed; stop retrying.
+    Stop,
 }
 
+fn read_u64<R: Read>(r: &mut R) -> Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_be_bytes(buf))
+}
+
+// The live read path waits for the tag byte itself (to tell an idle
+// channel from a mid-frame stall) and calls `parse_frame_header`; this
+// combined form remains for single-shot readers.
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn read_frame_header<R: Read>(r: &mut R) -> Result<FrameHeader> {
     let mut tag = [0u8; 1];
     if let Err(e) = r.read_exact(&mut tag) {
@@ -101,19 +179,90 @@ pub(crate) fn read_frame_header<R: Read>(r: &mut R) -> Result<FrameHeader> {
             _ => e.into(),
         });
     }
-    match tag[0] {
+    parse_frame_header(tag[0], r)
+}
+
+/// Parses the body of a frame whose tag byte has already been read.
+pub(crate) fn parse_frame_header<R: Read>(tag: u8, r: &mut R) -> Result<FrameHeader> {
+    match tag {
         TAG_DATA => {
             let mut len = [0u8; 4];
             r.read_exact(&mut len)?;
-            Ok(FrameHeader::Data(u32::from_be_bytes(len) as usize))
+            let offset = read_u64(r)?;
+            Ok(FrameHeader::Data {
+                len: u32::from_be_bytes(len) as usize,
+                offset,
+            })
         }
-        TAG_CLOSE => Ok(FrameHeader::Close),
+        TAG_CLOSE => Ok(FrameHeader::Close {
+            offset: read_u64(r)?,
+        }),
         TAG_REDIRECT => {
-            let mut tok = [0u8; 8];
-            r.read_exact(&mut tok)?;
-            Ok(FrameHeader::Redirect(u64::from_be_bytes(tok)))
+            let token = read_u64(r)?;
+            let offset = read_u64(r)?;
+            Ok(FrameHeader::Redirect { token, offset })
         }
+        TAG_ACK => Ok(FrameHeader::Ack {
+            offset: read_u64(r)?,
+        }),
+        TAG_STOP => Ok(FrameHeader::Stop),
         other => Err(Error::Disconnected(format!("unknown frame tag {other:#x}"))),
+    }
+}
+
+/// Incremental parser for `Ack` frames on the writer side. The writer
+/// drains acks *nonblockingly* between data writes, so a read may surface
+/// any prefix of the 9-byte ack; this accumulates partial bytes across
+/// calls.
+#[derive(Debug, Default)]
+pub(crate) struct AckParser {
+    buf: [u8; 9],
+    filled: usize,
+}
+
+/// One event surfaced by [`AckParser::feed`].
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum AckEvent {
+    /// Cumulative ack up to this offset.
+    Ack(u64),
+    /// The peer sent `Stop`: the endpoint is deliberately closed.
+    Stop,
+}
+
+impl AckParser {
+    /// Feeds raw bytes from the reader→writer direction; invokes `on_event`
+    /// for every complete event. Non-ack tags in this direction are a
+    /// protocol error.
+    pub(crate) fn feed(&mut self, mut bytes: &[u8], mut on_event: impl FnMut(AckEvent)) -> Result<()> {
+        while !bytes.is_empty() {
+            if self.filled == 0 {
+                match bytes[0] {
+                    TAG_STOP => {
+                        on_event(AckEvent::Stop);
+                        bytes = &bytes[1..];
+                        continue;
+                    }
+                    TAG_ACK => {}
+                    other => {
+                        return Err(Error::Disconnected(format!(
+                            "unexpected tag {other:#x} on ack stream"
+                        )))
+                    }
+                }
+            }
+            let want = 9 - self.filled;
+            let take = want.min(bytes.len());
+            self.buf[self.filled..self.filled + take].copy_from_slice(&bytes[..take]);
+            self.filled += take;
+            bytes = &bytes[take..];
+            if self.filled == 9 {
+                let mut off = [0u8; 8];
+                off.copy_from_slice(&self.buf[1..]);
+                on_event(AckEvent::Ack(u64::from_be_bytes(off)));
+                self.filled = 0;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -125,10 +274,17 @@ mod tests {
     #[test]
     fn data_frame_roundtrip() {
         let mut buf = Vec::new();
-        write_frame(&mut buf, &Frame::Data(b"hello".to_vec())).unwrap();
+        write_frame(
+            &mut buf,
+            &Frame::Data {
+                bytes: b"hello".to_vec(),
+                offset: 77,
+            },
+        )
+        .unwrap();
         let mut cur = Cursor::new(buf);
         match read_frame_header(&mut cur).unwrap() {
-            FrameHeader::Data(5) => {
+            FrameHeader::Data { len: 5, offset: 77 } => {
                 let mut payload = [0u8; 5];
                 cur.read_exact(&mut payload).unwrap();
                 assert_eq!(&payload, b"hello");
@@ -140,14 +296,40 @@ mod tests {
     #[test]
     fn close_and_redirect_roundtrip() {
         let mut buf = Vec::new();
-        write_frame(&mut buf, &Frame::Close).unwrap();
-        write_frame(&mut buf, &Frame::Redirect { token: 0xDEAD }).unwrap();
+        write_frame(&mut buf, &Frame::Close { offset: 9 }).unwrap();
+        write_frame(
+            &mut buf,
+            &Frame::Redirect {
+                token: 0xDEAD,
+                offset: 10,
+            },
+        )
+        .unwrap();
         let mut cur = Cursor::new(buf);
-        assert_eq!(read_frame_header(&mut cur).unwrap(), FrameHeader::Close);
         assert_eq!(
             read_frame_header(&mut cur).unwrap(),
-            FrameHeader::Redirect(0xDEAD)
+            FrameHeader::Close { offset: 9 }
         );
+        assert_eq!(
+            read_frame_header(&mut cur).unwrap(),
+            FrameHeader::Redirect {
+                token: 0xDEAD,
+                offset: 10
+            }
+        );
+    }
+
+    #[test]
+    fn ack_and_stop_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::Ack { offset: 4096 }).unwrap();
+        buf.push(TAG_STOP);
+        let mut cur = Cursor::new(buf);
+        assert_eq!(
+            read_frame_header(&mut cur).unwrap(),
+            FrameHeader::Ack { offset: 4096 }
+        );
+        assert_eq!(read_frame_header(&mut cur).unwrap(), FrameHeader::Stop);
     }
 
     #[test]
@@ -175,5 +357,30 @@ mod tests {
             read_frame_header(&mut cur),
             Err(Error::Disconnected(_))
         ));
+    }
+
+    #[test]
+    fn ack_parser_handles_partial_reads() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Ack { offset: 1000 }).unwrap();
+        wire.push(TAG_STOP);
+        write_frame(&mut wire, &Frame::Ack { offset: 2000 }).unwrap();
+
+        let mut events = Vec::new();
+        let mut parser = AckParser::default();
+        // Feed one byte at a time — worst-case fragmentation.
+        for b in &wire {
+            parser.feed(&[*b], |e| events.push(e)).unwrap();
+        }
+        assert_eq!(
+            events,
+            vec![AckEvent::Ack(1000), AckEvent::Stop, AckEvent::Ack(2000)]
+        );
+    }
+
+    #[test]
+    fn ack_parser_rejects_data_tag() {
+        let mut parser = AckParser::default();
+        assert!(parser.feed(&[TAG_DATA], |_| {}).is_err());
     }
 }

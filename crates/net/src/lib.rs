@@ -42,6 +42,7 @@
 
 mod acceptor;
 mod builder;
+pub mod chaos;
 mod control;
 mod frame;
 mod node;
@@ -49,6 +50,7 @@ mod probe;
 mod registry;
 mod remote;
 mod spec;
+pub mod transport;
 
 pub use acceptor::Acceptor;
 pub use builder::{ChanId, Deployment, GraphBuilder, CLIENT};
@@ -61,3 +63,8 @@ pub use remote::{
     remote_writer_interruptible, Interruptor, PendingSource, RemoteSink, RemoteSource,
 };
 pub use spec::{ChannelSpec, GraphSpec, InputSpec, OutputSpec, ProcessSpec};
+pub use transport::{
+    install_profile, profile_for, recovery_stats, remove_profile, FaultKind, FaultPlan,
+    FaultProfile, FaultyFactory, FaultyTransport, NetProfile, ReconnectPolicy, TcpFactory,
+    TcpTransport, Transport, TransportFactory,
+};

@@ -81,13 +81,40 @@ impl Node {
         Self::serve_with(addr, ProcessRegistry::with_defaults(), TaskRegistry::new())
     }
 
+    /// Starts a node with the default registries and an explicit
+    /// [`NetProfile`](crate::transport::NetProfile): accepted data
+    /// connections are wrapped by the profile's transport factory and
+    /// hosted read endpoints inherit its reconnect policy. This is how
+    /// chaos tests inject seeded faults on the accept side.
+    pub fn serve_with_profile(
+        addr: &str,
+        profile: crate::transport::NetProfile,
+    ) -> Result<Arc<Self>> {
+        Self::serve_full(
+            addr,
+            ProcessRegistry::with_defaults(),
+            TaskRegistry::new(),
+            profile,
+        )
+    }
+
     /// Starts a node with custom registries.
     pub fn serve_with(
         addr: &str,
         registry: ProcessRegistry,
         tasks: TaskRegistry,
     ) -> Result<Arc<Self>> {
-        let acceptor = Acceptor::bind(addr)?;
+        Self::serve_full(addr, registry, tasks, crate::transport::NetProfile::default())
+    }
+
+    /// Starts a node with custom registries and transport profile.
+    pub fn serve_full(
+        addr: &str,
+        registry: ProcessRegistry,
+        tasks: TaskRegistry,
+        profile: crate::transport::NetProfile,
+    ) -> Result<Arc<Self>> {
+        let acceptor = Acceptor::bind_with(addr, profile)?;
         let node = Arc::new(Node {
             acceptor: acceptor.clone(),
             registry: Arc::new(registry),

@@ -36,11 +36,24 @@ pub struct NetworkStatus {
     pub aborted: bool,
     /// Channel growths performed by the local monitor.
     pub growths: u64,
+    /// Remote endpoints on the node currently inside a reconnect episode
+    /// (process-wide gauge, reported with every network). A reconnecting
+    /// channel may deliver data the moment its link heals, so it must
+    /// never count toward a deadlock verdict.
+    #[serde(default)]
+    pub reconnecting: usize,
+    /// Total reconnect attempts the node has ever made (progress gauge —
+    /// movement between probe polls means the network layer is working,
+    /// not deadlocked).
+    #[serde(default)]
+    pub recovery_attempts: u64,
 }
 
 impl NetworkStatus {
-    /// Builds the wire view from a core snapshot.
+    /// Builds the wire view from a core snapshot, stamping in the node's
+    /// current transport-recovery gauges.
     pub fn from_snapshot(s: &kpn_core::MonitorSnapshot) -> Self {
+        let (reconnecting, recovery_attempts) = crate::transport::recovery_stats();
         NetworkStatus {
             generation: s.generation,
             live: s.live,
@@ -48,6 +61,8 @@ impl NetworkStatus {
             blocked_writes: s.blocked_writes,
             aborted: s.aborted,
             growths: s.stats.growths,
+            reconnecting,
+            recovery_attempts,
         }
     }
 
@@ -73,14 +88,33 @@ pub struct NodeStatus {
 
 impl NodeStatus {
     /// True when every network on the node is either finished or fully
-    /// blocked, with at least one still live.
+    /// blocked, with at least one still live — and no channel endpoint is
+    /// mid-reconnect. A node with a recovering endpoint is *not*
+    /// quiescent: the blocked thread it reports may resume the instant
+    /// the link heals, which is indistinguishable from data in flight.
     pub fn quiescent_blocked(&self) -> bool {
         let any_live = self.networks.iter().any(|n| !n.finished());
         any_live
+            && self.networks.iter().all(|n| n.reconnecting == 0)
             && self
                 .networks
                 .iter()
                 .all(|n| n.finished() || n.fully_blocked())
+    }
+
+    /// One-line description of what is blocked, for timeout diagnostics.
+    fn describe(&self) -> String {
+        let (mut live, mut reads, mut writes, mut rec) = (0, 0, 0, 0);
+        for n in &self.networks {
+            live += n.live;
+            reads += n.blocked_reads;
+            writes += n.blocked_writes;
+            rec = rec.max(n.reconnecting);
+        }
+        format!(
+            "{}: {} live, {} read-blocked, {} write-blocked, {} reconnecting",
+            self.addr, live, reads, writes, rec
+        )
     }
 }
 
@@ -130,19 +164,24 @@ impl ClusterProbe {
             return Ok(false);
         }
         // Freshness: any generation movement between the polls means some
-        // thread blocked/unblocked — progress, not deadlock.
+        // thread blocked/unblocked, and any recovery-attempt movement
+        // means the network layer is actively reconnecting — progress
+        // either way, not deadlock.
         let frozen = first.iter().zip(second.iter()).all(|(a, b)| {
             a.networks.len() == b.networks.len()
-                && a.networks
-                    .iter()
-                    .zip(b.networks.iter())
-                    .all(|(x, y)| x.generation == y.generation)
+                && a.networks.iter().zip(b.networks.iter()).all(|(x, y)| {
+                    x.generation == y.generation && x.recovery_attempts == y.recovery_attempts
+                })
         });
         Ok(frozen)
     }
 
     /// Polls repeatedly until a global deadlock is confirmed or `timeout`
-    /// elapses.
+    /// elapses. Between polls it parks on the transport-layer condvar
+    /// (see [`crate::transport::probe_wait`]) rather than busy-sleeping,
+    /// so recovery transitions re-poll immediately and chaos tests don't
+    /// flake on fixed-interval timing. On timeout the error reports what
+    /// each node had blocked at the final poll.
     pub fn wait_for_deadlock(&self, timeout: Duration) -> Result<bool> {
         let deadline = std::time::Instant::now() + timeout;
         loop {
@@ -150,9 +189,19 @@ impl ClusterProbe {
                 return Ok(true);
             }
             if std::time::Instant::now() >= deadline {
-                return Ok(false);
+                let detail = match self.poll() {
+                    Ok(nodes) => nodes
+                        .iter()
+                        .map(NodeStatus::describe)
+                        .collect::<Vec<_>>()
+                        .join("; "),
+                    Err(e) => format!("final poll failed: {e}"),
+                };
+                return Err(kpn_core::Error::Graph(format!(
+                    "no global deadlock within {timeout:?} — {detail}"
+                )));
             }
-            std::thread::sleep(self.settle);
+            crate::transport::probe_wait(self.settle);
         }
     }
 
@@ -195,6 +244,8 @@ mod probe_logic_tests {
             blocked_writes: writes,
             aborted: false,
             growths: 0,
+            reconnecting: 0,
+            recovery_attempts: 0,
         }
     }
 

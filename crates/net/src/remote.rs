@@ -16,15 +16,55 @@
 //!   token with its own acceptor and splices in the replacement
 //!   connection, after which traffic flows directly between the new homes
 //!   (Figure 15 — no bytes transit the original server).
+//!
+//! ## Fault tolerance (sequence-numbered reconnection)
+//!
+//! With a [`ReconnectPolicy`] enabled, endpoints survive transient link
+//! failure without perturbing the Kahn semantics. Every frame carries the
+//! writer's byte offset into the logical stream; the writer retains a
+//! bounded buffer of unacknowledged frames, and the reader tracks the
+//! next offset it will deliver, acknowledging cumulatively. When a
+//! transport operation fails with a *transient* error (reset, timeout,
+//! refused connect, EOF mid-stream):
+//!
+//! * the **writer** reconnects under exponential backoff + jitter + an
+//!   overall budget, waits for the reader's resume acknowledgement, trims
+//!   its replay buffer to the acknowledged offset, and retransmits the
+//!   rest — the reader discards any duplicate prefix, so every stream
+//!   byte is delivered exactly once;
+//! * the **reader** shuts the broken transport (so a writer whose half
+//!   was still healthy fails fast and recovers too), re-registers its
+//!   token at the local acceptor, and acknowledges its resume offset on
+//!   the replacement connection.
+//!
+//! Transient failure is distinguished from *deliberate* stream events,
+//! which must still cascade per §3.4: a reader that processes `Close` (or
+//! is closed locally) marks its token dead, and the acceptor answers any
+//! later connection for that token with a `Stop` notice — a recovering
+//! writer that sees `Stop` stops retrying (and treats it as success when
+//! it was only waiting for a `Close`/`Redirect` marker to be
+//! acknowledged, since `Stop` proves the reader got that far). True
+//! deadlock detection is also preserved: recovery episodes are counted in
+//! process-wide gauges (see [`crate::transport::recovery_stats`]) that
+//! the cluster probe checks, so a reconnecting channel is never counted
+//! as a blocked one.
 
-use crate::acceptor::{connect_data, fresh_token, Acceptor, PendingConn};
-use crate::frame::{read_frame_header, write_data_frame, write_frame, Frame, FrameHeader};
+use crate::acceptor::{fresh_token, Acceptor, PendingConn};
+use crate::frame::{
+    parse_frame_header, write_data_frame, write_frame, AckEvent, AckParser, Frame, FrameHeader,
+};
+use crate::transport::{
+    error_is_transient, profile_for, NetProfile, ReconnectPolicy, RecoveryGuard, SplitMix64,
+    Transport, TransportFactory,
+};
 use kpn_core::{
     BlockKind, ChannelReader, ChannelWriter, Error, Monitor, Result, Sink, Source, SourceRead,
 };
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::collections::VecDeque;
+use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Maximum payload of one `Data` frame.
 const MAX_FRAME: usize = 64 * 1024;
@@ -34,6 +74,14 @@ const MAX_FRAME: usize = 64 * 1024;
 /// syscall, small enough per connection to stay cheap.
 const SINK_BUFFER: usize = 16 * 1024;
 
+/// The reader acknowledges after this many delivered bytes (and at every
+/// `Close`/`Redirect` marker and connection adoption).
+const ACK_EVERY: u64 = 16 * 1024;
+
+/// Poll granularity for blocking ack waits and reconnect handshakes:
+/// short enough to notice aborts and deadlines promptly.
+const RECOVERY_POLL: Duration = Duration::from_millis(100);
+
 fn map_write_err(e: std::io::Error) -> Error {
     use std::io::ErrorKind::*;
     match e.kind() {
@@ -42,11 +90,21 @@ fn map_write_err(e: std::io::Error) -> Error {
     }
 }
 
+/// Transient-link classification for errors surfacing on an endpoint's
+/// data path. `Eof`/`WriteClosed` are included because
+/// `From<io::Error> for Error` folds `UnexpectedEof`/`BrokenPipe` into
+/// them before we see the I/O kind; on a *transport* operation they mean
+/// the connection died, not that the stream ended (graceful end is a
+/// `Close` frame, never a socket error).
+fn link_failure(e: &Error) -> bool {
+    matches!(e, Error::Eof | Error::WriteClosed) || error_is_transient(e)
+}
+
 /// Out-of-band interruption for a remote endpoint: lets a network abort
 /// wake threads blocked inside transports the deadlock monitor cannot
 /// poison (a TCP read, or the wait for a pending connection). Shared
 /// between the endpoint (which keeps it pointed at its current transport,
-/// across redirects) and the abort hook that fires it.
+/// across redirects and reconnects) and the abort hook that fires it.
 pub struct Interruptor {
     state: parking_lot::Mutex<InterruptState>,
 }
@@ -70,7 +128,8 @@ impl Interruptor {
 
     /// Fires the interrupt: shuts the current socket (if any) and cancels
     /// any pending registration. Threads blocked in the transport observe
-    /// a disconnect and unwind. Idempotent; also affects transports
+    /// a disconnect and unwind; a recovery loop checks the flag and gives
+    /// up instead of reconnecting. Idempotent; also affects transports
     /// attached later.
     pub fn interrupt(&self) {
         let (socket, pending) = {
@@ -94,13 +153,14 @@ impl Interruptor {
         self.state.lock().interrupted
     }
 
-    fn attach_socket(&self, stream: &TcpStream) {
+    fn attach_transport(&self, t: &dyn Transport) {
+        let handle = t.shutdown_handle();
         let mut st = self.state.lock();
         if st.interrupted {
-            let _ = stream.shutdown(Shutdown::Both);
+            let _ = t.shutdown(Shutdown::Both);
             return;
         }
-        st.socket = stream.try_clone().ok();
+        st.socket = handle;
         st.pending = None;
     }
 
@@ -121,6 +181,496 @@ impl std::fmt::Debug for Interruptor {
     }
 }
 
+/// One frame retained for replay until acknowledged.
+enum ReplayFrame {
+    Data { offset: u64, bytes: Vec<u8> },
+    Close { offset: u64 },
+    Redirect { offset: u64, token: u64 },
+}
+
+/// The movable state of a [`RemoteSink`]: connection, stream accounting,
+/// and replay buffer. Separated from the `Sink` facade so a deliberate
+/// close can hand the state to a detached "linger" thread that sees the
+/// final `Close` marker acknowledged (reconnecting if needed) without
+/// blocking the closing process.
+struct SinkCore {
+    conn: Option<BufWriter<Box<dyn Transport>>>,
+    /// Reader-side acceptor address, for reconnects.
+    addr: String,
+    token: u64,
+    policy: ReconnectPolicy,
+    factory: Arc<dyn TransportFactory>,
+    interruptor: Option<Arc<Interruptor>>,
+    peer: Option<SocketAddr>,
+    /// The peer answered `Stop`: the reader is deliberately gone.
+    peer_stopped: bool,
+    /// Next stream offset to assign (payload bytes + markers written).
+    sent: u64,
+    /// Everything below this offset is acknowledged by the reader.
+    acked: u64,
+    replay: VecDeque<ReplayFrame>,
+    replay_bytes: usize,
+    acks: AckParser,
+    rng: SplitMix64,
+}
+
+impl SinkCore {
+    fn connect(addr: &str, token: u64, profile: NetProfile) -> Result<Self> {
+        let NetProfile { factory, policy } = profile;
+        let mut rng = SplitMix64(token ^ 0x5EED_0F_5EED);
+        let deadline = Instant::now() + policy.budget;
+        let mut attempt: u32 = 0;
+        let transport = loop {
+            match factory.connect(addr, token) {
+                Ok(t) => break t,
+                Err(e) if policy.enabled && link_failure(&e) && Instant::now() < deadline => {
+                    let delay = policy.backoff(attempt, &mut rng);
+                    attempt = attempt.saturating_add(1);
+                    std::thread::sleep(delay);
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        let _ = transport.set_op_timeout(policy.op_timeout);
+        let peer = transport.peer_addr().ok().or_else(|| addr.parse().ok());
+        Ok(SinkCore {
+            conn: Some(BufWriter::with_capacity(SINK_BUFFER, transport)),
+            addr: addr.to_string(),
+            token,
+            policy,
+            factory,
+            interruptor: None,
+            peer,
+            peer_stopped: false,
+            sent: 0,
+            acked: 0,
+            replay: VecDeque::new(),
+            replay_bytes: 0,
+            acks: AckParser::default(),
+            rng,
+        })
+    }
+
+    fn interrupted(&self) -> bool {
+        self.interruptor
+            .as_ref()
+            .is_some_and(|i| i.is_interrupted())
+    }
+
+    fn apply_ack_events(&mut self, events: &[AckEvent]) {
+        for ev in events {
+            match ev {
+                AckEvent::Ack(off) => {
+                    if *off > self.acked {
+                        self.acked = *off;
+                    }
+                }
+                AckEvent::Stop => self.peer_stopped = true,
+            }
+        }
+        self.trim_replay();
+    }
+
+    /// Drops fully acknowledged replay entries and trims the acknowledged
+    /// prefix of a partially acknowledged `Data` frame.
+    fn trim_replay(&mut self) {
+        while let Some(front) = self.replay.front_mut() {
+            match front {
+                ReplayFrame::Data { offset, bytes } => {
+                    let end = *offset + bytes.len() as u64;
+                    if end <= self.acked {
+                        self.replay_bytes -= bytes.len();
+                        self.replay.pop_front();
+                    } else if *offset < self.acked {
+                        let cut = (self.acked - *offset) as usize;
+                        bytes.drain(..cut);
+                        *offset = self.acked;
+                        self.replay_bytes -= cut;
+                        break;
+                    } else {
+                        break;
+                    }
+                }
+                ReplayFrame::Close { offset } | ReplayFrame::Redirect { offset, .. } => {
+                    if *offset + 1 <= self.acked {
+                        self.replay.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Consumes any acknowledgements sitting in the reverse direction of
+    /// the connection without blocking, keeping the replay buffer trimmed.
+    fn drain_acks(&mut self) -> Result<()> {
+        if !self.policy.enabled {
+            return Ok(());
+        }
+        let mut events = Vec::new();
+        let mut failure: Option<Error> = None;
+        {
+            let Some(conn) = self.conn.as_mut() else {
+                return Ok(());
+            };
+            if conn.get_ref().set_nonblocking(true).is_err() {
+                return Ok(());
+            }
+            let mut tmp = [0u8; 256];
+            loop {
+                match conn.get_mut().read(&mut tmp) {
+                    Ok(0) => {
+                        failure = Some(Error::Disconnected(
+                            "connection closed while draining acks".into(),
+                        ));
+                        break;
+                    }
+                    Ok(n) => {
+                        if let Err(e) = self.acks.feed(&tmp[..n], |ev| events.push(ev)) {
+                            failure = Some(e);
+                            break;
+                        }
+                    }
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => {
+                        failure = Some(e.into());
+                        break;
+                    }
+                }
+            }
+            let _ = conn.get_ref().set_nonblocking(false);
+        }
+        self.apply_ack_events(&events);
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Routes a failed transport operation: transient link failures enter
+    /// recovery (the replay buffer retransmits whatever the failed
+    /// operation was sending); everything else maps to the fail-fast
+    /// semantics of the policy-disabled path.
+    fn handle_failure(&mut self, e: Error) -> Result<()> {
+        if self.policy.enabled && !self.peer_stopped && !self.interrupted() && link_failure(&e) {
+            self.recover()
+        } else {
+            Err(match e {
+                Error::Io(io) => map_write_err(io),
+                other => other,
+            })
+        }
+    }
+
+    /// One recovery episode: reconnect with backoff + jitter under the
+    /// policy budget, handshake for the reader's resume acknowledgement,
+    /// and retransmit the unacknowledged suffix.
+    fn recover(&mut self) -> Result<()> {
+        let guard = RecoveryGuard::enter();
+        if let Some(conn) = self.conn.take() {
+            let _ = conn.get_ref().shutdown(Shutdown::Both);
+        }
+        let deadline = Instant::now() + self.policy.budget;
+        let mut attempt: u32 = 0;
+        loop {
+            if self.interrupted() {
+                return Err(Error::WriteClosed);
+            }
+            if attempt > 0 {
+                let delay = self.policy.backoff(attempt - 1, &mut self.rng);
+                std::thread::sleep(delay);
+            }
+            if Instant::now() >= deadline {
+                return Err(Error::Disconnected(format!(
+                    "reconnect budget exhausted after {attempt} attempts \
+                     (token {:#x}, {} unacked bytes)",
+                    self.token, self.replay_bytes
+                )));
+            }
+            guard.attempt();
+            attempt = attempt.saturating_add(1);
+            let transport = match self.factory.connect(&self.addr, self.token) {
+                Ok(t) => t,
+                Err(e) if link_failure(&e) => continue,
+                Err(e) => return Err(e),
+            };
+            match self.resume_handshake(transport, deadline) {
+                Ok(Some(conn)) => {
+                    self.conn = Some(conn);
+                    match self.transmit_replay() {
+                        Ok(()) => return Ok(()),
+                        Err(e) if link_failure(&e) => {
+                            if let Some(conn) = self.conn.take() {
+                                let _ = conn.get_ref().shutdown(Shutdown::Both);
+                            }
+                            continue;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                Ok(None) => {
+                    // `Stop`: the reader is deliberately gone.
+                    self.peer_stopped = true;
+                    return Err(Error::WriteClosed);
+                }
+                Err(e) if link_failure(&e) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Waits on a fresh connection for the reader's resume `Ack` (sent
+    /// when the reader adopts the connection) or a `Stop` notice.
+    /// `Ok(Some(conn))` means resume: `acked` is updated and the replay
+    /// buffer trimmed. `Ok(None)` means `Stop`.
+    fn resume_handshake(
+        &mut self,
+        mut transport: Box<dyn Transport>,
+        deadline: Instant,
+    ) -> Result<Option<BufWriter<Box<dyn Transport>>>> {
+        let _ = transport.set_op_timeout(Some(RECOVERY_POLL));
+        let mut parser = AckParser::default();
+        let mut tmp = [0u8; 64];
+        loop {
+            if self.interrupted() {
+                return Err(Error::WriteClosed);
+            }
+            if Instant::now() >= deadline {
+                return Err(Error::Disconnected("no resume ack before deadline".into()));
+            }
+            match transport.read(&mut tmp) {
+                Ok(0) => return Err(Error::Disconnected("eof during resume handshake".into())),
+                Ok(n) => {
+                    let mut events = Vec::new();
+                    parser.feed(&tmp[..n], |ev| events.push(ev))?;
+                    let mut resume: Option<u64> = None;
+                    for ev in &events {
+                        match ev {
+                            AckEvent::Stop => return Ok(None),
+                            AckEvent::Ack(off) => resume = Some(resume.unwrap_or(0).max(*off)),
+                        }
+                    }
+                    if let Some(off) = resume {
+                        if off > self.acked {
+                            self.acked = off;
+                        }
+                        self.trim_replay();
+                        let _ = transport.set_op_timeout(self.policy.op_timeout);
+                        if let Some(i) = &self.interruptor {
+                            i.attach_transport(&*transport);
+                        }
+                        self.acks = AckParser::default();
+                        return Ok(Some(BufWriter::with_capacity(SINK_BUFFER, transport)));
+                    }
+                }
+                Err(ref e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    continue
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Retransmits every retained frame on the current connection.
+    fn transmit_replay(&mut self) -> Result<()> {
+        let Some(conn) = self.conn.as_mut() else {
+            return Err(Error::WriteClosed);
+        };
+        for frame in &self.replay {
+            match frame {
+                ReplayFrame::Data { offset, bytes } => write_data_frame(conn, bytes, *offset)?,
+                ReplayFrame::Close { offset } => {
+                    write_frame(conn, &Frame::Close { offset: *offset })?
+                }
+                ReplayFrame::Redirect { offset, token } => write_frame(
+                    conn,
+                    &Frame::Redirect {
+                        token: *token,
+                        offset: *offset,
+                    },
+                )?,
+            }
+        }
+        conn.flush()?;
+        Ok(())
+    }
+
+    /// Blocks until the reader has acknowledged every unit below `target`,
+    /// reconnecting and replaying as needed. With `marker_wait`, a `Stop`
+    /// from the peer counts as success: the frames below `target` end in a
+    /// `Close`/`Redirect` marker, and a deliberately-dead token proves the
+    /// reader processed that far (in-order delivery).
+    ///
+    /// There is deliberately no overall deadline here: on a *healthy* link
+    /// this is ordinary bounded-channel backpressure (the reader may drain
+    /// arbitrarily slowly), exactly like blocking on TCP flow control in
+    /// fail-fast mode. Only recovery episodes — where the link is actually
+    /// down — are budget-bounded, so a permanently dead link still
+    /// terminates via `recover()`'s deadline.
+    fn wait_acked(&mut self, target: u64, marker_wait: bool) -> Result<()> {
+        if !self.policy.enabled || self.acked >= target {
+            return Ok(());
+        }
+        // Reading acks can block: publish this thread's buffered output
+        // first (same deadlock-safety rule as local channels).
+        kpn_core::flush::flush_before_block();
+        let mut tmp = [0u8; 256];
+        loop {
+            if self.acked >= target {
+                break;
+            }
+            if self.peer_stopped {
+                if marker_wait {
+                    break;
+                }
+                return Err(Error::WriteClosed);
+            }
+            if self.interrupted() {
+                return Err(Error::WriteClosed);
+            }
+            let mut step = || -> Result<usize> {
+                let Some(conn) = self.conn.as_mut() else {
+                    return Err(Error::WriteClosed);
+                };
+                conn.flush()?;
+                let _ = conn.get_ref().set_op_timeout(Some(RECOVERY_POLL));
+                let r = conn.get_mut().read(&mut tmp);
+                let _ = conn.get_ref().set_op_timeout(self.policy.op_timeout);
+                match r {
+                    Ok(0) => Err(Error::Disconnected("eof during ack wait".into())),
+                    Ok(n) => Ok(n),
+                    Err(ref e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        Ok(0)
+                    }
+                    Err(e) => Err(e.into()),
+                }
+            };
+            let failure = match step() {
+                Ok(0) => continue,
+                Ok(n) => {
+                    let mut events = Vec::new();
+                    let fed = self.acks.feed(&tmp[..n], |ev| events.push(ev));
+                    self.apply_ack_events(&events);
+                    match fed {
+                        Ok(()) => continue,
+                        Err(e) => e, // garbage on the ack stream: treat as a link fault
+                    }
+                }
+                Err(e) => e,
+            };
+            match self.handle_failure(failure) {
+                Ok(()) => continue,
+                Err(e) => {
+                    if self.peer_stopped && marker_wait {
+                        break;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn write_chunks(&mut self, buf: &[u8]) -> Result<()> {
+        if self.peer_stopped {
+            return Err(Error::WriteClosed);
+        }
+        if self.policy.enabled {
+            if let Err(e) = self.drain_acks() {
+                self.handle_failure(e)?;
+            }
+            if self.peer_stopped {
+                return Err(Error::WriteClosed);
+            }
+        }
+        for chunk in buf.chunks(MAX_FRAME) {
+            if self.policy.enabled {
+                // Floor: one full frame plus the reader's ack granularity,
+                // so the reader's lagging cumulative ack (< ACK_EVERY
+                // behind its delivery point) always frees enough window.
+                let cap = self
+                    .policy
+                    .replay_capacity
+                    .max(MAX_FRAME + ACK_EVERY as usize);
+                if self.replay_bytes + chunk.len() > cap {
+                    // Replay window full: block until the reader catches
+                    // up — semantically a smaller bounded channel.
+                    let free_needed = (self.replay_bytes + chunk.len() - cap) as u64;
+                    self.wait_acked(self.acked + free_needed, false)?;
+                }
+                self.replay.push_back(ReplayFrame::Data {
+                    offset: self.sent,
+                    bytes: chunk.to_vec(),
+                });
+                self.replay_bytes += chunk.len();
+            }
+            let offset = self.sent;
+            self.sent += chunk.len() as u64;
+            let r = match self.conn.as_mut() {
+                Some(conn) => write_data_frame(conn, chunk, offset),
+                None => Err(Error::WriteClosed),
+            };
+            if let Err(e) = r {
+                // Recovery retransmits this chunk from the replay buffer.
+                self.handle_failure(e)?;
+            }
+        }
+        // Flush on the frame boundary: every `write_all` a raw (unwrapped)
+        // writer performs is immediately visible to the remote reader, so
+        // deadlock safety never depends on socket-side buffering. Batched
+        // callers sit behind a stream-layer buffer that already delivers
+        // chunk-sized `write_all`s here.
+        let r = match self.conn.as_mut() {
+            Some(conn) => conn.flush().map_err(Error::Io),
+            None => Err(Error::WriteClosed),
+        };
+        if let Err(e) = r {
+            self.handle_failure(e)?;
+        }
+        Ok(())
+    }
+
+    /// Appends a marker frame to the replay buffer and transmits it
+    /// (best-effort — `wait_acked` recovery retransmits on failure).
+    fn send_marker(&mut self, frame: ReplayFrame) {
+        let wire = match &frame {
+            ReplayFrame::Close { offset } => Frame::Close { offset: *offset },
+            ReplayFrame::Redirect { offset, token } => Frame::Redirect {
+                token: *token,
+                offset: *offset,
+            },
+            ReplayFrame::Data { .. } => unreachable!("markers only"),
+        };
+        self.replay.push_back(frame);
+        if let Some(conn) = self.conn.as_mut() {
+            let _ = write_frame(conn, &wire);
+            let _ = conn.flush();
+        }
+    }
+
+    /// Sees the final `Close` marker acknowledged, then retires the
+    /// connection. Runs on a detached linger thread so closing a channel
+    /// never blocks the closing process on the reader's progress.
+    fn linger_close(mut self, target: u64) {
+        let _ = self.wait_acked(target, true);
+        if let Some(conn) = self.conn.as_ref() {
+            let _ = conn.get_ref().shutdown(Shutdown::Write);
+        }
+    }
+}
+
 /// The write end of a channel whose reader lives on another server.
 ///
 /// Frames are staged behind a [`BufWriter`] so a header and its payload
@@ -128,30 +678,56 @@ impl std::fmt::Debug for Interruptor {
 /// socket runs with `TCP_NODELAY`: batching is decided by our explicit
 /// flush-on-frame-boundary, not by Nagle's timer. Payload bytes are
 /// framed in place — no per-frame allocation.
+///
+/// With a [`ReconnectPolicy`] enabled (via the address's installed
+/// [`NetProfile`]), the sink retains unacknowledged frames and survives
+/// transient link failure by reconnecting and replaying — see the module
+/// docs.
 pub struct RemoteSink {
-    stream: BufWriter<TcpStream>,
+    core: Option<SinkCore>,
     closed: bool,
 }
 
 impl RemoteSink {
-    /// Connects to the reader's acceptor and presents `token`.
+    /// Connects to the reader's acceptor and presents `token`, using the
+    /// [`NetProfile`] installed for `addr` (plain fail-fast TCP when none
+    /// is).
     pub fn connect(addr: &str, token: u64) -> Result<Self> {
-        let stream = connect_data(addr, token)?;
-        let _ = stream.set_nodelay(true);
+        Self::connect_with(addr, token, profile_for(addr))
+    }
+
+    /// Connects with an explicit profile.
+    pub fn connect_with(addr: &str, token: u64, profile: NetProfile) -> Result<Self> {
         Ok(RemoteSink {
-            stream: BufWriter::with_capacity(SINK_BUFFER, stream),
+            core: Some(SinkCore::connect(addr, token, profile)?),
             closed: false,
         })
     }
 
-    fn socket(&self) -> &TcpStream {
-        self.stream.get_ref()
+    fn core(&mut self) -> Result<&mut SinkCore> {
+        self.core.as_mut().ok_or(Error::WriteClosed)
+    }
+
+    pub(crate) fn set_interruptor(&mut self, interruptor: Arc<Interruptor>) {
+        if let Some(core) = self.core.as_mut() {
+            if let Some(conn) = core.conn.as_ref() {
+                interruptor.attach_transport(&**conn.get_ref());
+            }
+            core.interruptor = Some(interruptor);
+        }
     }
 
     /// The peer (reader-side) address — the acceptor this sink connected
     /// to, used when shipping the writer endpoint onward.
     pub fn peer_addr(&self) -> Result<SocketAddr> {
-        Ok(self.socket().peer_addr()?)
+        let core = self.core.as_ref().ok_or(Error::WriteClosed)?;
+        if let Some(peer) = core.peer {
+            return Ok(peer);
+        }
+        match core.conn.as_ref() {
+            Some(conn) => Ok(conn.get_ref().peer_addr()?),
+            None => Err(Error::WriteClosed),
+        }
     }
 
     /// Begins migrating this writer endpoint to another server (§4.3):
@@ -159,14 +735,31 @@ impl RemoteSink {
     /// the endpoint's new home will open directly, then retires this
     /// connection. Returns `(reader_addr, token)` for the new home's
     /// `RemoteSink::connect`.
+    ///
+    /// Under a reconnect policy this blocks until the reader acknowledges
+    /// the redirect marker (reconnecting and replaying if the link fails
+    /// mid-handshake), so the marker is delivered exactly once before the
+    /// old connection goes away.
     pub fn begin_redirect(mut self) -> Result<(SocketAddr, u64)> {
-        let token = fresh_token();
         let peer = self.peer_addr()?;
-        write_frame(&mut self.stream, &Frame::Redirect { token })
-            .map_err(|e| Error::Disconnected(format!("redirect failed: {e}")))?;
-        self.stream.flush().map_err(map_write_err)?;
+        let token = fresh_token();
+        let core = self.core()?;
+        let offset = core.sent;
+        core.sent += 1;
+        if core.policy.enabled {
+            core.send_marker(ReplayFrame::Redirect { offset, token });
+            core.wait_acked(core.sent, true)
+                .map_err(|e| Error::Disconnected(format!("redirect failed: {e}")))?;
+        } else {
+            let conn = core.conn.as_mut().ok_or(Error::WriteClosed)?;
+            write_frame(conn, &Frame::Redirect { token, offset })
+                .map_err(|e| Error::Disconnected(format!("redirect failed: {e}")))?;
+            conn.flush().map_err(map_write_err)?;
+        }
+        if let Some(conn) = core.conn.as_ref() {
+            let _ = conn.get_ref().shutdown(Shutdown::Both);
+        }
         self.closed = true; // redirect supersedes Close
-        let _ = self.socket().shutdown(Shutdown::Both);
         Ok((peer, token))
     }
 }
@@ -176,23 +769,19 @@ impl Sink for RemoteSink {
         if self.closed {
             return Err(Error::WriteClosed);
         }
-        for chunk in buf.chunks(MAX_FRAME) {
-            write_data_frame(&mut self.stream, chunk).map_err(|e| match e {
-                Error::Io(io) => map_write_err(io),
-                other => other,
-            })?;
-        }
-        // Flush on the frame boundary: every `write_all` a raw (unwrapped)
-        // writer performs is immediately visible to the remote reader, so
-        // deadlock safety never depends on socket-side buffering. Batched
-        // callers sit behind a stream-layer buffer that already delivers
-        // chunk-sized `write_all`s here.
-        self.stream.flush().map_err(map_write_err)?;
-        Ok(())
+        self.core()?.write_chunks(buf)
     }
 
     fn flush(&mut self) -> Result<()> {
-        self.stream.flush().map_err(map_write_err)
+        let core = self.core()?;
+        let r = match core.conn.as_mut() {
+            Some(conn) => conn.flush().map_err(Error::Io),
+            None => Err(Error::WriteClosed),
+        };
+        match r {
+            Ok(()) => Ok(()),
+            Err(e) => core.handle_failure(e),
+        }
     }
 
     fn close(&mut self) {
@@ -200,9 +789,27 @@ impl Sink for RemoteSink {
             return;
         }
         self.closed = true;
-        let _ = write_frame(&mut self.stream, &Frame::Close);
-        let _ = self.stream.flush();
-        let _ = self.socket().shutdown(Shutdown::Write);
+        let Some(mut core) = self.core.take() else {
+            return;
+        };
+        let offset = core.sent;
+        core.sent += 1;
+        if core.policy.enabled && !core.peer_stopped {
+            core.send_marker(ReplayFrame::Close { offset });
+            let target = core.sent;
+            // The Close marker is only acknowledged once the reader drains
+            // to it, which can be arbitrarily later: see it through from a
+            // detached thread so closing never blocks this process.
+            let _ = std::thread::Builder::new()
+                .name("kpn-sink-linger".into())
+                .spawn(move || core.linger_close(target));
+        } else {
+            if let Some(conn) = core.conn.as_mut() {
+                let _ = write_frame(conn, &Frame::Close { offset });
+                let _ = conn.flush();
+                let _ = conn.get_ref().shutdown(Shutdown::Write);
+            }
+        }
     }
 }
 
@@ -213,31 +820,299 @@ impl Drop for RemoteSink {
 }
 
 /// The read end of a channel whose writer lives on another server.
+///
+/// With a reconnect policy (from the owning acceptor's [`NetProfile`])
+/// the source tracks the next stream offset it will deliver, discards
+/// replayed duplicate bytes, acknowledges cumulatively, and on transient
+/// link failure re-registers its token and adopts the writer's
+/// replacement connection — see the module docs.
 pub struct RemoteSource {
-    stream: BufReader<TcpStream>,
-    /// The local acceptor, needed to honour `Redirect` frames.
+    stream: BufReader<Box<dyn Transport>>,
+    /// The local acceptor, needed to honour `Redirect` frames and to
+    /// re-listen during recovery.
     acceptor: Option<Arc<Acceptor>>,
     /// Abort-interruption handle, kept pointing at the live transport.
     interruptor: Option<Arc<Interruptor>>,
+    policy: ReconnectPolicy,
+    /// The endpoint token this source listens under (0 = unknown: no
+    /// recovery possible).
+    token: u64,
     /// Bytes left to stream from the current `Data` frame.
     remaining: usize,
+    /// Leading duplicate bytes of the current frame to discard (replayed
+    /// data the channel has already delivered).
+    skip: usize,
+    /// Next stream offset to deliver.
+    expected: u64,
+    /// Bytes delivered since the last acknowledgement.
+    unacked: u64,
+    closed: bool,
 }
 
 impl RemoteSource {
-    pub(crate) fn with_interruptor(
-        stream: TcpStream,
+    pub(crate) fn adopt(
+        transport: Box<dyn Transport>,
         acceptor: Option<Arc<Acceptor>>,
         interruptor: Option<Arc<Interruptor>>,
+        policy: ReconnectPolicy,
+        token: u64,
     ) -> Self {
         if let Some(i) = &interruptor {
-            i.attach_socket(&stream);
+            i.attach_transport(&*transport);
         }
-        RemoteSource {
-            stream: BufReader::new(stream),
+        let _ = transport.set_op_timeout(policy.op_timeout);
+        let mut source = RemoteSource {
+            stream: BufReader::new(transport),
             acceptor,
             interruptor,
+            policy,
+            token,
             remaining: 0,
+            skip: 0,
+            expected: 0,
+            unacked: 0,
+            closed: false,
+        };
+        if source.policy.enabled {
+            // Adoption ack: a writer already in recovery is waiting for
+            // our resume offset; a fresh writer drains it harmlessly.
+            let _ = source.send_ack();
         }
+        source
+    }
+
+    /// Writes `Ack{expected}` on the reverse direction of the transport.
+    fn send_ack(&mut self) -> Result<()> {
+        let t = self.stream.get_mut();
+        write_frame(
+            t,
+            &Frame::Ack {
+                offset: self.expected,
+            },
+        )?;
+        t.flush()?;
+        self.unacked = 0;
+        Ok(())
+    }
+
+    fn ack_progress(&mut self, delivered: usize) {
+        if !self.policy.enabled {
+            return;
+        }
+        self.unacked += delivered as u64;
+        if self.unacked >= ACK_EVERY {
+            // Best-effort: if the link just died, the next read fails and
+            // recovery re-synchronizes.
+            let _ = self.send_ack();
+        }
+    }
+
+    /// Marks this endpoint deliberately finished: acknowledge the final
+    /// marker and poison the token so a recovering writer receives `Stop`
+    /// instead of retrying forever.
+    fn finish_deliberate(&mut self) {
+        if self.policy.enabled {
+            let _ = self.send_ack();
+        }
+        if self.token != 0 {
+            if let Some(a) = &self.acceptor {
+                a.unregister(self.token);
+            }
+        }
+    }
+
+    fn try_read(&mut self, buf: &mut [u8]) -> Result<SourceRead> {
+        loop {
+            if self.remaining > 0 {
+                if self.skip > 0 {
+                    // Replayed duplicate prefix: consume and discard.
+                    let mut scratch = [0u8; 1024];
+                    let n = self.skip.min(scratch.len());
+                    let got = self.stream.read(&mut scratch[..n])?;
+                    if got == 0 {
+                        return Err(Error::Disconnected("peer vanished mid-frame".into()));
+                    }
+                    self.skip -= got;
+                    self.remaining -= got;
+                    continue;
+                }
+                let n = buf.len().min(self.remaining);
+                let got = self.stream.read(&mut buf[..n])?;
+                if got == 0 {
+                    return Err(Error::Disconnected("peer vanished mid-frame".into()));
+                }
+                self.remaining -= got;
+                self.expected += got as u64;
+                self.ack_progress(got);
+                return Ok(SourceRead::Data(got));
+            }
+            // Waiting for the next frame's tag byte is the *idle* position:
+            // a read timeout here means the channel simply has no data
+            // (Kahn-legal, possibly forever), not that the link is sick, so
+            // we keep waiting instead of tearing the connection down. A
+            // timeout *inside* a frame (header tail or payload, above and
+            // below) is different — the writer started a frame and stalled —
+            // and propagates as a transient error into recovery, which is
+            // safe because replay re-sends the whole frame.
+            let tag = loop {
+                let mut tag = [0u8; 1];
+                match self.stream.read(&mut tag) {
+                    Ok(0) => {
+                        return Err(Error::Disconnected(
+                            "connection closed without Close frame".into(),
+                        ))
+                    }
+                    Ok(_) => break tag[0],
+                    Err(ref e)
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::TimedOut
+                                | io::ErrorKind::WouldBlock
+                                | io::ErrorKind::Interrupted
+                        ) =>
+                    {
+                        if let Some(i) = &self.interruptor {
+                            if i.is_interrupted() {
+                                return Err(Error::WriteClosed);
+                            }
+                        }
+                        continue;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            };
+            match parse_frame_header(tag, &mut self.stream)? {
+                FrameHeader::Data { len: 0, .. } => continue,
+                FrameHeader::Data { len, offset } => {
+                    if offset > self.expected {
+                        return Err(Error::Graph(format!(
+                            "stream gap: data at offset {offset}, expected {}",
+                            self.expected
+                        )));
+                    }
+                    self.remaining = len;
+                    self.skip = ((self.expected - offset) as usize).min(len);
+                }
+                FrameHeader::Close { offset } => {
+                    if offset > self.expected {
+                        return Err(Error::Graph(format!(
+                            "stream gap: close at offset {offset}, expected {}",
+                            self.expected
+                        )));
+                    }
+                    self.expected = offset + 1;
+                    self.finish_deliberate();
+                    return Ok(SourceRead::End);
+                }
+                FrameHeader::Redirect { token, offset } => {
+                    if offset > self.expected {
+                        return Err(Error::Graph(format!(
+                            "stream gap: redirect at offset {offset}, expected {}",
+                            self.expected
+                        )));
+                    }
+                    self.expected = offset + 1;
+                    let acceptor = self.acceptor.clone().ok_or_else(|| {
+                        Error::Graph("redirect received but node has no acceptor".into())
+                    })?;
+                    if self.policy.enabled {
+                        let _ = self.send_ack();
+                    }
+                    if self.token != 0 {
+                        // The old writer endpoint is done with this token:
+                        // poison it so its recovering connects see `Stop`
+                        // (= the marker arrived) instead of retrying.
+                        acceptor.unregister(self.token);
+                    }
+                    let source =
+                        PendingSource::listen_with(&acceptor, token, self.interruptor.clone());
+                    return Ok(SourceRead::Splice(ChannelReader::from_source(Box::new(
+                        source,
+                    ))));
+                }
+                FrameHeader::Ack { .. } | FrameHeader::Stop => {
+                    return Err(Error::Graph(
+                        "unexpected ack/stop frame on data direction".into(),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// One reader recovery episode: retire the broken transport (waking a
+    /// writer whose half was still healthy), re-register the token, adopt
+    /// the writer's replacement connection, and acknowledge the resume
+    /// offset on it.
+    fn recover(&mut self) -> Result<()> {
+        let acceptor = match &self.acceptor {
+            Some(a) if self.token != 0 => a.clone(),
+            _ => {
+                return Err(Error::Disconnected(
+                    "link failed and endpoint cannot re-listen".into(),
+                ))
+            }
+        };
+        let guard = RecoveryGuard::enter();
+        let _ = self.stream.get_ref().shutdown(Shutdown::Both);
+        let deadline = Instant::now() + self.policy.budget;
+        let mut pending = acceptor.register(self.token);
+        if let Some(i) = &self.interruptor {
+            i.attach_pending(&acceptor, self.token);
+        }
+        loop {
+            if self
+                .interruptor
+                .as_ref()
+                .is_some_and(|i| i.is_interrupted())
+            {
+                return Err(Error::Disconnected("aborted while reconnecting".into()));
+            }
+            match pending.rx.recv_timeout(RECOVERY_POLL) {
+                Ok(transport) => {
+                    guard.attempt();
+                    let _ = transport.set_op_timeout(self.policy.op_timeout);
+                    if let Some(i) = &self.interruptor {
+                        i.attach_transport(&*transport);
+                    }
+                    self.stream = BufReader::new(transport);
+                    self.remaining = 0;
+                    self.skip = 0;
+                    match self.send_ack() {
+                        Ok(()) => return Ok(()),
+                        Err(_) => {
+                            // The adopted connection died immediately:
+                            // retire it and keep listening.
+                            let _ = self.stream.get_ref().shutdown(Shutdown::Both);
+                            if Instant::now() >= deadline {
+                                return Err(self.budget_error());
+                            }
+                            pending = acceptor.register(self.token);
+                            if let Some(i) = &self.interruptor {
+                                i.attach_pending(&acceptor, self.token);
+                            }
+                        }
+                    }
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    if Instant::now() >= deadline {
+                        return Err(self.budget_error());
+                    }
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    return Err(Error::Disconnected(
+                        "acceptor closed while reconnecting".into(),
+                    ));
+                }
+            }
+        }
+    }
+
+    fn budget_error(&self) -> Error {
+        Error::Disconnected(format!(
+            "reconnect budget exhausted: no replacement connection for token {:#x} \
+             ({} stream units delivered)",
+            self.token, self.expected
+        ))
     }
 }
 
@@ -248,42 +1123,25 @@ impl Source for RemoteSource {
         // channels — see `kpn_core::flush`).
         kpn_core::flush::flush_before_block();
         loop {
-            if self.remaining > 0 {
-                let n = buf.len().min(self.remaining);
-                let got = self.stream.read(&mut buf[..n])?;
-                if got == 0 {
-                    return Err(Error::Disconnected("peer vanished mid-frame".into()));
+            match self.try_read(buf) {
+                Ok(r) => return Ok(r),
+                Err(e) if self.policy.enabled && !self.closed && link_failure(&e) => {
+                    self.recover()?;
                 }
-                self.remaining -= got;
-                return Ok(SourceRead::Data(got));
-            }
-            match read_frame_header(&mut self.stream)? {
-                FrameHeader::Data(0) => continue,
-                FrameHeader::Data(len) => self.remaining = len,
-                FrameHeader::Close => return Ok(SourceRead::End),
-                FrameHeader::Redirect(token) => {
-                    let acceptor = self.acceptor.clone().ok_or_else(|| {
-                        Error::Graph("redirect received but node has no acceptor".into())
-                    })?;
-                    let pending = acceptor.register(token);
-                    if let Some(i) = &self.interruptor {
-                        i.attach_pending(&acceptor, token);
-                    }
-                    let source = PendingSource {
-                        pending,
-                        token,
-                        acceptor: acceptor.clone(),
-                        interruptor: self.interruptor.clone(),
-                    };
-                    return Ok(SourceRead::Splice(ChannelReader::from_source(Box::new(
-                        source,
-                    ))));
-                }
+                Err(e) => return Err(e),
             }
         }
     }
 
     fn close(&mut self) {
+        self.closed = true;
+        if self.token != 0 {
+            if let Some(a) = &self.acceptor {
+                // Deliberate close: a recovering writer gets `Stop` and
+                // cascades instead of retrying against a gone reader.
+                a.unregister(self.token);
+            }
+        }
         let _ = self.stream.get_ref().shutdown(Shutdown::Both);
     }
 }
@@ -306,7 +1164,8 @@ impl PendingSource {
     }
 
     /// Like [`PendingSource::listen`], with an abort-interruption handle
-    /// that stays attached through connection arrival and redirects.
+    /// that stays attached through connection arrival, redirects, and
+    /// reconnects.
     pub fn listen_with(
         acceptor: &Arc<Acceptor>,
         token: u64,
@@ -331,11 +1190,14 @@ impl Source for PendingSource {
         // connecting back) can proceed.
         kpn_core::flush::flush_before_block();
         match self.pending.rx.recv() {
-            Ok(stream) => {
-                let source = RemoteSource::with_interruptor(
-                    stream,
+            Ok(transport) => {
+                let policy = self.acceptor.profile().policy.clone();
+                let source = RemoteSource::adopt(
+                    transport,
                     Some(self.acceptor.clone()),
                     self.interruptor.clone(),
+                    policy,
+                    self.token,
                 );
                 Ok(SourceRead::Splice(ChannelReader::from_source(Box::new(
                     source,
@@ -438,15 +1300,16 @@ pub fn remote_writer_interruptible(
     addr: &str,
     token: u64,
 ) -> Result<(ChannelWriter, Arc<Interruptor>)> {
-    let sink = RemoteSink::connect(addr, token)?;
+    let mut sink = RemoteSink::connect(addr, token)?;
     let interruptor = Interruptor::new();
-    interruptor.attach_socket(sink.socket());
+    sink.set_interruptor(interruptor.clone());
     Ok((ChannelWriter::from_sink(Box::new(sink)), interruptor))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::{install_profile, remove_profile, TcpFactory};
     use kpn_core::{DataReader, DataWriter};
     use std::time::Duration;
 
@@ -595,8 +1458,9 @@ mod tests {
         let token = fresh_token();
         let reader = remote_reader(&b, token);
         drop(reader);
-        // A late connection for the abandoned endpoint is simply dropped;
-        // the connector then observes a closed socket on write.
+        // A late connection for the abandoned endpoint gets a Stop notice
+        // and is dropped; the connector then observes a closed socket on
+        // write.
         let mut writer = remote_writer(&b.local_addr().to_string(), token).unwrap();
         std::thread::sleep(Duration::from_millis(50));
         let mut failed = false;
@@ -608,5 +1472,55 @@ mod tests {
             std::thread::sleep(Duration::from_millis(5));
         }
         assert!(failed, "writer to abandoned endpoint never failed");
+    }
+
+    #[test]
+    fn resilient_mode_plain_roundtrip() {
+        // The ack/replay machinery must be invisible when no faults occur.
+        let profile = NetProfile {
+            factory: Arc::new(TcpFactory),
+            policy: ReconnectPolicy::resilient(),
+        };
+        let b = Acceptor::bind_with("127.0.0.1:0", profile.clone()).unwrap();
+        let addr = b.local_addr().to_string();
+        install_profile(addr.clone(), profile);
+        let token = fresh_token();
+        let mut reader = remote_reader(&b, token);
+        let mut writer = remote_writer(&addr, token).unwrap();
+        writer.write_all(b"resilient").unwrap();
+        let mut buf = [0u8; 9];
+        reader.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"resilient");
+        drop(writer); // close() hands the Close marker to a linger thread
+        assert_eq!(reader.read(&mut buf).unwrap(), 0);
+        remove_profile(&addr);
+    }
+
+    #[test]
+    fn resilient_large_transfer_with_acks() {
+        // Push more than the replay capacity through so the ack-driven
+        // trimming and capacity waits actually run.
+        let mut policy = ReconnectPolicy::resilient();
+        policy.replay_capacity = 96 * 1024;
+        let profile = NetProfile {
+            factory: Arc::new(TcpFactory),
+            policy,
+        };
+        let b = Acceptor::bind_with("127.0.0.1:0", profile.clone()).unwrap();
+        let addr = b.local_addr().to_string();
+        install_profile(addr.clone(), profile);
+        let token = fresh_token();
+        let mut reader = remote_reader(&b, token);
+        let mut writer = remote_writer(&addr, token).unwrap();
+        let data: Vec<u8> = (0..400_000u32).map(|i| (i % 239) as u8).collect();
+        let expect = data.clone();
+        let h = std::thread::spawn(move || {
+            writer.write_all(&data).unwrap();
+        });
+        let mut got = vec![0u8; expect.len()];
+        reader.read_exact(&mut got).unwrap();
+        h.join().unwrap();
+        assert_eq!(got, expect);
+        remove_profile(&addr);
     }
 }

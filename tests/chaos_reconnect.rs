@@ -1,0 +1,240 @@
+//! Chaos suite: seeded deterministic fault schedules against the
+//! sequence-numbered reconnection protocol.
+//!
+//! The oracle throughout is Kahn determinacy: whatever the link does —
+//! resets mid-frame, connect refusals, stalls — the observable channel
+//! histories must be bit-identical to a fault-free run. The suite also
+//! pins the two ways a *permanently* broken or deliberately closed link
+//! must terminate (§3.4 cascade), since "keeps retrying forever" is the
+//! failure mode reconnection logic is most prone to.
+
+use kpn::core::{DataReader, Error, Sink};
+use kpn::net::chaos::{
+    chaos_policy, check_determinacy, hamming_history, relay_history, sieve_history, ChaosGuard,
+};
+use kpn::net::{
+    install_profile, remove_profile, FaultProfile, NetProfile, Node, ReconnectPolicy, RemoteSink,
+    TcpFactory,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The pinned seeds of the suite (also exercised by CI's chaos job).
+const SEEDS: [u64; 3] = [0x5EED_0001, 0x5EED_0002, 0x5EED_0003];
+
+fn aggressive(profile_ops: u64, max_faults: u64) -> FaultProfile {
+    FaultProfile {
+        mean_ops_between_faults: profile_ops,
+        refuse_connects: 1, // guarantees the schedule fires at least once
+        max_faults,
+        ..FaultProfile::default()
+    }
+}
+
+#[test]
+fn relay_history_is_deterministic_under_all_seeds() {
+    let faults = check_determinacy(2, &SEEDS, aggressive(10, 12), chaos_policy(), |c| {
+        relay_history(c, 64)
+    })
+    .expect("relay determinacy");
+    assert!(faults > 0, "no faults were injected");
+}
+
+#[test]
+fn sieve_history_is_deterministic_under_all_seeds() {
+    let faults = check_determinacy(2, &SEEDS, aggressive(25, 12), chaos_policy(), |c| {
+        sieve_history(c, 200)
+    })
+    .expect("sieve determinacy");
+    assert!(faults > 0, "no faults were injected");
+}
+
+#[test]
+fn hamming_history_is_deterministic_under_all_seeds() {
+    let faults = check_determinacy(2, &SEEDS, aggressive(25, 12), chaos_policy(), |c| {
+        hamming_history(c, 60)
+    })
+    .expect("hamming determinacy");
+    assert!(faults > 0, "no faults were injected");
+}
+
+#[test]
+fn reset_mid_frame_is_replayed_exactly_once() {
+    // Frames are up to 64 KiB and faults fire every ~6 transport ops, so
+    // resets land inside frame payloads; the replay buffer plus the
+    // reader's duplicate-prefix discard must reassemble the exact stream.
+    let profile = FaultProfile {
+        stall_ratio: 0, // resets only
+        ..aggressive(6, 40)
+    };
+    let mut guard = ChaosGuard::new(0xDEAD_BEEF, profile, chaos_policy());
+    let node = Node::serve_with_profile("127.0.0.1:0", guard.net_profile()).unwrap();
+    guard.cover(node.addr().to_string());
+    let token: u64 = rand::random();
+    let mut reader = node.remote_reader(token);
+
+    let addr = node.addr().to_string();
+    let payload: Vec<u8> = (0..300 * 1024u32).map(|i| (i.wrapping_mul(31) % 251) as u8).collect();
+    let expect = payload.clone();
+    let writer = std::thread::spawn(move || {
+        let mut w = kpn::net::remote_writer(&addr, token).unwrap();
+        w.write_all(&payload).unwrap();
+    });
+
+    let mut got = vec![0u8; expect.len()];
+    reader.read_exact(&mut got).unwrap();
+    assert!(got == expect, "stream corrupted by replay");
+    writer.join().unwrap();
+    assert!(guard.injected() > 0, "no faults were injected");
+}
+
+#[test]
+fn redirect_splice_survives_resets() {
+    // §4.3 migration under fire: the Redirect marker's delivery-ack
+    // handshake runs on a link that keeps resetting, and the successor
+    // writer connects through the same faulty profile. The consumer must
+    // observe one seamless stream.
+    let profile = FaultProfile {
+        stall_ratio: 0,
+        ..aggressive(5, 30)
+    };
+    let mut guard = ChaosGuard::new(SEEDS[0], profile, chaos_policy());
+    let node_b = Node::serve_with_profile("127.0.0.1:0", guard.net_profile()).unwrap();
+    guard.cover(node_b.addr().to_string());
+    let token: u64 = rand::random();
+    let reader = node_b.remote_reader(token);
+    let consumer = std::thread::spawn(move || {
+        let mut r = DataReader::new(reader);
+        let mut got = Vec::new();
+        while let Ok(v) = r.read_i64() {
+            got.push(v);
+        }
+        got
+    });
+
+    let mut sink = RemoteSink::connect(&node_b.addr().to_string(), token).unwrap();
+    for i in 0..20i64 {
+        sink.write_all(&i.to_be_bytes()).unwrap();
+    }
+    let (reader_addr, new_token) = sink.begin_redirect().unwrap();
+
+    // Successor producer on a fresh (fault-free) node: its outbound link
+    // still goes through the faulty profile installed for node B's address.
+    let node_c = Node::serve("127.0.0.1:0").unwrap();
+    let w = node_c
+        .remote_writer(&reader_addr.to_string(), new_token)
+        .unwrap();
+    let mut w = kpn::core::DataWriter::new(w);
+    for i in 20..40i64 {
+        w.write_i64(i).unwrap();
+    }
+    drop(w);
+
+    let got = consumer.join().unwrap();
+    assert_eq!(got, (0..40).collect::<Vec<i64>>());
+    assert!(guard.injected() > 0, "no faults were injected");
+}
+
+#[test]
+fn dead_link_exhausts_budget_and_cascades() {
+    // A link that dies and never comes back: the writer must burn its
+    // reconnect budget and surface a terminal error (§3.4 cascade), not
+    // hang. The fake peer accepts one connection, swallows the hello,
+    // then disappears for good — every reconnect gets ECONNREFUSED.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let policy = ReconnectPolicy {
+        initial_backoff: Duration::from_millis(2),
+        max_backoff: Duration::from_millis(20),
+        budget: Duration::from_millis(400),
+        op_timeout: Some(Duration::from_millis(50)),
+        ..ReconnectPolicy::resilient()
+    };
+    install_profile(
+        addr.clone(),
+        NetProfile {
+            factory: Arc::new(TcpFactory),
+            policy,
+        },
+    );
+    let accept = std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().unwrap();
+        use std::io::Read;
+        let mut hello = [0u8; 9];
+        let _ = s.read_exact(&mut hello);
+        // Socket and listener drop here: the address goes permanently dark.
+    });
+
+    let mut w = kpn::net::remote_writer(&addr, 7).unwrap();
+    accept.join().unwrap();
+    let start = Instant::now();
+    let mut outcome = Ok(());
+    for i in 0..200_000u64 {
+        if let Err(e) = w.write_all(&i.to_be_bytes()) {
+            outcome = Err(e);
+            break;
+        }
+    }
+    let err = outcome.expect_err("a permanently dead link must fail, not hang");
+    assert!(
+        start.elapsed() < Duration::from_secs(15),
+        "budget exhaustion took {:?}",
+        start.elapsed()
+    );
+    assert!(
+        err.to_string().contains("budget"),
+        "expected a budget-exhaustion error, got: {err}"
+    );
+    remove_profile(&addr);
+}
+
+#[test]
+fn deliberate_close_wins_over_reconnection() {
+    // The race the Stop notice exists for: the reader closes on purpose
+    // while the writer's link is being reset under it. The writer's next
+    // recovery attempt must be answered with Stop and terminate via
+    // WriteClosed well inside its (deliberately huge) budget — a
+    // recovering channel must not mistake "reader gone forever" for
+    // "link still flaky".
+    let profile = FaultProfile {
+        stall_ratio: 0,
+        ..aggressive(5, 500)
+    };
+    let policy = ReconnectPolicy {
+        budget: Duration::from_secs(120),
+        ..chaos_policy()
+    };
+    let mut guard = ChaosGuard::new(SEEDS[1], profile, policy);
+    let node = Node::serve_with_profile("127.0.0.1:0", guard.net_profile()).unwrap();
+    guard.cover(node.addr().to_string());
+    let token: u64 = rand::random();
+    let reader = node.remote_reader(token);
+    let consumer = std::thread::spawn(move || {
+        let mut r = DataReader::new(reader);
+        for _ in 0..32 {
+            r.read_i64().unwrap();
+        }
+        // Dropping the reader is a *deliberate* close: token goes dead.
+    });
+
+    let mut w = kpn::net::remote_writer(&node.addr().to_string(), token).unwrap();
+    let start = Instant::now();
+    let mut outcome = Ok(());
+    for i in 0..2_000_000u64 {
+        if let Err(e) = w.write_all(&i.to_be_bytes()) {
+            outcome = Err(e);
+            break;
+        }
+    }
+    consumer.join().unwrap();
+    let err = outcome.expect_err("writer must terminate after the deliberate close");
+    assert!(
+        matches!(err, Error::WriteClosed),
+        "expected WriteClosed from the Stop notice, got: {err}"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "Stop notice took {:?} — writer was retrying instead of cascading",
+        start.elapsed()
+    );
+}

@@ -4,9 +4,17 @@
 //! sequential evaluation of the same dataflow. Every run must agree —
 //! the determinacy theorem exercised over graph *structure*, not just
 //! parameters.
+//!
+//! The second property deploys the same fuzzed pipelines *across a
+//! cluster* and replays each one under pinned seeded fault schedules
+//! (resets, refusals, stalls): the reconnection protocol must keep every
+//! branch history identical to the fault-free reference, whatever graph
+//! shape the fuzzer draws.
 
 use kpn::core::stdlib::{Collect, Duplicate, Modulo, Scale, Sequence};
-use kpn::core::Network;
+use kpn::core::{DataReader, Error, Network};
+use kpn::net::chaos::{chaos_policy, ChaosCluster};
+use kpn::net::{ChanId, FaultProfile, GraphBuilder};
 use proptest::prelude::*;
 use std::sync::{Arc, Mutex};
 
@@ -90,5 +98,107 @@ proptest! {
         let after_head = eval(&head, &input);
         prop_assert_eq!(&*left_out.lock().unwrap(), &eval(&left, &after_head));
         prop_assert_eq!(&*right_out.lock().unwrap(), &eval(&right, &after_head));
+    }
+}
+
+/// Deploys the fuzzed pipeline across `cluster` (stages alternate between
+/// the two servers, so every stage boundary that lands on a partition cut
+/// becomes a network channel) and returns both branch histories.
+fn run_distributed(
+    cluster: &ChaosCluster,
+    head: &[Stage],
+    left: &[Stage],
+    right: &[Stage],
+    count: u64,
+) -> (Vec<i64>, Vec<i64>) {
+    fn wire(b: &mut GraphBuilder, stages: &[Stage], mut cursor: ChanId, partition: usize) -> ChanId {
+        for s in stages {
+            let out = b.channel();
+            match s {
+                Stage::Scale(k) => b.add(partition, "Scale", k, &[cursor], &[out]).unwrap(),
+                Stage::Filter(d) => b.add(partition, "Modulo", d, &[cursor], &[out]).unwrap(),
+            }
+            cursor = out;
+        }
+        cursor
+    }
+    fn drain(reader: kpn::core::ChannelReader) -> Vec<i64> {
+        let mut r = DataReader::new(reader);
+        let mut out = Vec::new();
+        loop {
+            match r.read_i64() {
+                Ok(v) => out.push(v),
+                Err(Error::Eof) => return out,
+                Err(e) => panic!("branch stream failed mid-drain: {e}"),
+            }
+        }
+    }
+
+    let mut b = GraphBuilder::new();
+    let src = b.channel();
+    b.add(0, "Sequence", &(1i64, Some(count)), &[], &[src])
+        .unwrap();
+    let mut cursor = src;
+    for (i, s) in head.iter().enumerate() {
+        let out = b.channel();
+        let p = i % 2;
+        match s {
+            Stage::Scale(k) => b.add(p, "Scale", k, &[cursor], &[out]).unwrap(),
+            Stage::Filter(d) => b.add(p, "Modulo", d, &[cursor], &[out]).unwrap(),
+        }
+        cursor = out;
+    }
+    let l = b.channel();
+    let r = b.channel();
+    b.add(0, "Duplicate", &(), &[cursor], &[l, r]).unwrap();
+    let left_end = wire(&mut b, left, l, 0);
+    let right_end = wire(&mut b, right, r, 1);
+    b.claim_reader(left_end).unwrap();
+    b.claim_reader(right_end).unwrap();
+    let mut dep = b.deploy(cluster.client(), cluster.handles()).unwrap();
+    let lv = drain(dep.readers.remove(&left_end).unwrap());
+    let rv = drain(dep.readers.remove(&right_end).unwrap());
+    dep.join().unwrap();
+    (lv, rv)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Every fuzzed pipeline, deployed across a cluster, yields the
+    /// reference histories both fault-free and under three pinned fault
+    /// schedules.
+    #[test]
+    fn random_pipelines_survive_fault_schedules(
+        head in proptest::collection::vec(stage_strategy(), 0..3),
+        left in proptest::collection::vec(stage_strategy(), 0..3),
+        right in proptest::collection::vec(stage_strategy(), 0..3),
+        count in 1u64..80,
+    ) {
+        let input: Vec<i64> = (1..=count as i64).collect();
+        let after_head = eval(&head, &input);
+        let want_left = eval(&left, &after_head);
+        let want_right = eval(&right, &after_head);
+
+        // Fault-free distributed baseline.
+        let plain = ChaosCluster::plain(2).unwrap();
+        let (lv, rv) = run_distributed(&plain, &head, &left, &right, count);
+        prop_assert_eq!(&lv, &want_left);
+        prop_assert_eq!(&rv, &want_right);
+        drop(plain);
+
+        // The same graph under pinned fault schedules.
+        for seed in [0xFA_0001u64, 0xFA_0002, 0xFA_0003] {
+            let profile = FaultProfile {
+                mean_ops_between_faults: 15,
+                refuse_connects: 1,
+                max_faults: 6,
+                ..FaultProfile::default()
+            };
+            let cluster = ChaosCluster::with_faults(2, seed, profile, chaos_policy()).unwrap();
+            let (lv, rv) = run_distributed(&cluster, &head, &left, &right, count);
+            prop_assert_eq!(&lv, &want_left, "left branch diverged under seed {:#x}", seed);
+            prop_assert_eq!(&rv, &want_right, "right branch diverged under seed {:#x}", seed);
+        }
     }
 }

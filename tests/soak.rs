@@ -3,6 +3,8 @@
 
 use kpn::core::graphs::{first_primes, hamming, hamming_reference, primes_reference, GraphOptions};
 use kpn::core::Network;
+use kpn::net::chaos::{chaos_policy, relay_history, sieve_history, ChaosCluster};
+use kpn::net::FaultProfile;
 
 #[test]
 #[ignore = "soak: run with --ignored"]
@@ -38,6 +40,42 @@ fn hamming_5000_values_with_starved_channels() {
         .max()
         .unwrap();
     assert!(max_cap >= 64);
+}
+
+#[test]
+#[ignore = "soak: run with --ignored"]
+fn chaos_relay_20k_roundtrips_under_faults() {
+    // Strict ping-pong rhythm sustained across hundreds of injected
+    // resets/refusals: every value must come back, in order, exactly once.
+    let profile = FaultProfile {
+        mean_ops_between_faults: 300,
+        refuse_connects: 1,
+        max_faults: 250,
+        ..FaultProfile::default()
+    };
+    let cluster =
+        ChaosCluster::with_faults(2, 0x50AC_0001, profile, chaos_policy()).expect("cluster");
+    let got = relay_history(&cluster, 20_000).expect("relay under faults");
+    assert_eq!(got, (0..20_000).collect::<Vec<i64>>());
+    assert!(cluster.injected() > 0, "fault schedule never fired");
+}
+
+#[test]
+#[ignore = "soak: run with --ignored"]
+fn chaos_sieve_2000_under_faults() {
+    // The self-modifying sieve (hundreds of dynamically spawned Modulo
+    // processes on the server) with its feed and output links under fire.
+    let profile = FaultProfile {
+        mean_ops_between_faults: 150,
+        refuse_connects: 1,
+        max_faults: 120,
+        ..FaultProfile::default()
+    };
+    let cluster =
+        ChaosCluster::with_faults(2, 0x50AC_0002, profile, chaos_policy()).expect("cluster");
+    let primes = sieve_history(&cluster, 2000).expect("sieve under faults");
+    assert_eq!(primes, primes_reference(2000));
+    assert!(cluster.injected() > 0, "fault schedule never fired");
 }
 
 #[test]
