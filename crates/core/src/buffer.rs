@@ -310,6 +310,156 @@ mod tests {
         assert!(b.is_empty());
     }
 
+    /// One operation of the span-vs-scalar equivalence harness.
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        /// Push up to n bytes (deterministic contents from a counter).
+        Push(usize),
+        /// Pop up to n bytes.
+        Pop(usize),
+        /// Grow capacity by n bytes.
+        Grow(usize),
+    }
+
+    /// Drives two ring buffers through the same operation sequence — one
+    /// via the scalar `push`/`pop` path, one via the span API
+    /// (`free_slices`+`commit` / `as_slices`+`consume`) — and asserts they
+    /// observe identical bytes, lengths, and capacities throughout,
+    /// matching a `VecDeque` model. This is the invariant the batched
+    /// channel fast path relies on.
+    fn check_span_equals_scalar(capacity: usize, ops: &[Op]) {
+        use std::collections::VecDeque;
+        let mut scalar = RingBuffer::with_capacity(capacity);
+        let mut span = RingBuffer::with_capacity(capacity);
+        let mut model: VecDeque<u8> = VecDeque::new();
+        let mut counter: u8 = 0;
+        for op in ops {
+            match *op {
+                Op::Push(n) => {
+                    let src: Vec<u8> = (0..n)
+                        .map(|_| {
+                            counter = counter.wrapping_add(1);
+                            counter
+                        })
+                        .collect();
+                    let taken_scalar = scalar.push(&src);
+                    // Span path: copy into free_slices, then commit.
+                    let taken_span = {
+                        let want = src.len().min(span.free());
+                        let (a, b) = span.free_slices();
+                        let first = want.min(a.len());
+                        a[..first].copy_from_slice(&src[..first]);
+                        if want > first {
+                            b[..want - first].copy_from_slice(&src[first..want]);
+                        }
+                        span.commit(want);
+                        want
+                    };
+                    assert_eq!(taken_scalar, taken_span, "push {n}");
+                    model.extend(&src[..taken_scalar]);
+                }
+                Op::Pop(n) => {
+                    let mut dst = vec![0u8; n];
+                    let got_scalar = scalar.pop(&mut dst);
+                    // Span path: copy out of as_slices, then consume.
+                    let span_bytes = {
+                        let want = n.min(span.len());
+                        let (a, b) = span.as_slices();
+                        let first = want.min(a.len());
+                        let mut out = a[..first].to_vec();
+                        out.extend_from_slice(&b[..want - first]);
+                        span.consume(want);
+                        out
+                    };
+                    assert_eq!(got_scalar, span_bytes.len(), "pop {n}");
+                    assert_eq!(&dst[..got_scalar], &span_bytes[..], "pop bytes");
+                    for byte in &span_bytes {
+                        assert_eq!(*byte, model.pop_front().unwrap());
+                    }
+                }
+                Op::Grow(n) => {
+                    let new_cap = scalar.capacity() + n;
+                    scalar.grow(new_cap);
+                    span.grow(new_cap);
+                }
+            }
+            assert_eq!(scalar.len(), span.len());
+            assert_eq!(scalar.len(), model.len());
+            assert_eq!(scalar.capacity(), span.capacity());
+            // Full-content equality without disturbing state.
+            let (sa, sb) = scalar.as_slices();
+            let (pa, pb) = span.as_slices();
+            let mut sc = sa.to_vec();
+            sc.extend_from_slice(sb);
+            let mut pc = pa.to_vec();
+            pc.extend_from_slice(pb);
+            assert_eq!(sc, pc);
+            assert!(model.iter().copied().eq(sc.into_iter()));
+        }
+    }
+
+    fn ops_from_seed(seed: u64, count: usize) -> Vec<Op> {
+        // splitmix64 op stream: sizes 0..=9 bias toward wrap-around at the
+        // small capacities the callers use; occasional growth.
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        (0..count)
+            .map(|_| {
+                let r = next();
+                let n = (r % 10) as usize;
+                match r % 16 {
+                    0..=6 => Op::Push(n),
+                    7..=13 => Op::Pop(n),
+                    _ => Op::Grow(1 + n % 5),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn span_api_matches_scalar_path_deterministic() {
+        // Always-run companion to the proptest below: same harness, seeded
+        // op streams over the capacities where wrap-around is constant.
+        for capacity in [1, 2, 3, 5, 8] {
+            for seed in 0..20 {
+                check_span_equals_scalar(capacity, &ops_from_seed(seed, 400));
+            }
+        }
+    }
+
+    mod span_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Arbitrary op sequences: span and scalar paths agree on
+            /// every byte, through wrap-around and growth.
+            #[test]
+            fn span_api_matches_scalar_path(
+                capacity in 1usize..16,
+                raw in proptest::collection::vec((0u8..3, 0usize..10), 1..300),
+            ) {
+                let ops: Vec<Op> = raw
+                    .iter()
+                    .map(|&(kind, n)| match kind {
+                        0 => Op::Push(n),
+                        1 => Op::Pop(n),
+                        _ => Op::Grow(1 + n % 5),
+                    })
+                    .collect();
+                check_span_equals_scalar(capacity, &ops);
+            }
+        }
+    }
+
     #[test]
     fn interleaved_stress_matches_vecdeque() {
         use std::collections::VecDeque;

@@ -26,9 +26,8 @@
 use crate::buffer::RingBuffer;
 use crate::error::{Error, Result};
 use crate::flush::{self, Flushable};
-use crate::monitor::{
-    BlockGuard, BlockKind, ChannelIoStats, Monitor, MonitoredChannel, MONITOR_TICK,
-};
+use crate::monitor::{BlockGuard, BlockKind, ChannelIoStats, Monitor, MonitoredChannel};
+use crate::sim::{HistoryRecorder, SimScheduler};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -117,10 +116,21 @@ pub(crate) struct Shared {
     readable: Condvar,
     writable: Condvar,
     monitor: Option<Arc<Monitor>>,
+    /// When set, blocking on this channel parks in the simulation scheduler
+    /// instead of the condvars (deterministic mode, see [`crate::sim`]).
+    sim: Option<Arc<SimScheduler>>,
+    /// When set, every byte pushed through the ring buffer is appended to
+    /// the recorder slot (the determinacy oracle's channel history).
+    recorder: Option<(Arc<HistoryRecorder>, usize)>,
 }
 
 impl Shared {
-    fn new(capacity: usize, monitor: Option<Arc<Monitor>>) -> Arc<Self> {
+    fn new(
+        capacity: usize,
+        monitor: Option<Arc<Monitor>>,
+        sim: Option<Arc<SimScheduler>>,
+        recorder: Option<(Arc<HistoryRecorder>, usize)>,
+    ) -> Arc<Self> {
         Arc::new(Shared {
             id: NEXT_CHANNEL_ID.fetch_add(1, Ordering::Relaxed),
             state: Mutex::new(BufState {
@@ -139,7 +149,33 @@ impl Shared {
             readable: Condvar::new(),
             writable: Condvar::new(),
             monitor,
+            sim,
+            recorder,
         })
+    }
+
+    /// Park keys for the sim scheduler: one per condvar, so sim waiters and
+    /// condvar waiters share the same wake points.
+    fn read_key(&self) -> usize {
+        &self.readable as *const Condvar as usize
+    }
+
+    fn write_key(&self) -> usize {
+        &self.writable as *const Condvar as usize
+    }
+
+    /// Wakes sim tasks parked where `readable.notify_*` would wake threads.
+    fn unpark_readers(&self) {
+        if let Some(s) = &self.sim {
+            s.unpark_all(self.read_key());
+        }
+    }
+
+    /// Wakes sim tasks parked where `writable.notify_*` would wake threads.
+    fn unpark_writers(&self) {
+        if let Some(s) = &self.sim {
+            s.unpark_all(self.write_key());
+        }
     }
 }
 
@@ -198,6 +234,7 @@ impl MonitoredChannel for Shared {
         drop(st);
         if wake {
             self.writable.notify_all();
+            self.unpark_writers();
         }
         Some((old, new))
     }
@@ -212,9 +249,11 @@ impl MonitoredChannel for Shared {
         drop(st);
         if wake_readers {
             self.readable.notify_all();
+            self.unpark_readers();
         }
         if wake_writers {
             self.writable.notify_all();
+            self.unpark_writers();
         }
     }
 
@@ -257,10 +296,31 @@ impl LocalSink {
             match &sh.monitor {
                 Some(m) => {
                     let guard = BlockGuard::enter(m, BlockKind::Write, sh.id)?;
+                    if let Some(sim) = sh.sim.as_ref().filter(|s| s.is_current()) {
+                        // Deterministic mode: park in the scheduler. No lost
+                        // wakeup is possible between unlocking the state and
+                        // parking — the parking task holds the run token, so
+                        // nothing else executes until park() dispatches.
+                        let mut st = sh.state.lock();
+                        st.write_waiters += 1;
+                        while st.buf.is_full() && !st.read_closed && !st.poisoned {
+                            drop(st);
+                            sim.park(sh.write_key());
+                            st = sh.state.lock();
+                        }
+                        st.write_waiters -= 1;
+                        drop(st);
+                        drop(guard);
+                        continue;
+                    }
+                    // Clamp: a zero tick (sim timing) on the condvar path —
+                    // a non-sim thread touching a sim network's channel —
+                    // must not busy-spin the monitor.
+                    let tick = m.timing().tick.max(std::time::Duration::from_millis(1));
                     let mut st = sh.state.lock();
                     st.write_waiters += 1;
                     while st.buf.is_full() && !st.read_closed && !st.poisoned {
-                        let timed_out = sh.writable.wait_for(&mut st, MONITOR_TICK).timed_out();
+                        let timed_out = sh.writable.wait_for(&mut st, tick).timed_out();
                         if timed_out {
                             drop(st);
                             m.tick();
@@ -287,6 +347,11 @@ impl LocalSink {
 impl Sink for LocalSink {
     fn write_all(&mut self, mut buf: &[u8]) -> Result<()> {
         let sh = self.shared.clone();
+        // Preemption point: under sim every channel operation is a place
+        // the schedule may switch tasks. One Option check when sim is off.
+        if let Some(sim) = &sh.sim {
+            crate::sim::yield_point(sim);
+        }
         // An empty write still surfaces a closed/poisoned channel promptly.
         if buf.is_empty() {
             let st = sh.state.lock();
@@ -308,6 +373,9 @@ impl Sink for LocalSink {
                 return Err(Error::WriteClosed);
             }
             let n = st.buf.push(buf);
+            if let Some((rec, slot)) = &sh.recorder {
+                rec.record(*slot, &buf[..n]);
+            }
             buf = &buf[n..];
             st.bytes_written += n as u64;
             st.peak_occupancy = st.peak_occupancy.max(st.buf.len());
@@ -315,6 +383,7 @@ impl Sink for LocalSink {
             drop(st);
             if wake {
                 sh.readable.notify_one();
+                sh.unpark_readers();
             }
         }
         Ok(())
@@ -333,6 +402,7 @@ impl Sink for LocalSink {
         drop(st);
         if wake {
             self.shared.readable.notify_all();
+            self.shared.unpark_readers();
         }
     }
 
@@ -351,6 +421,7 @@ impl Sink for LocalSink {
         drop(st);
         if wake {
             self.shared.readable.notify_all();
+            self.shared.unpark_readers();
         }
         Ok(())
     }
@@ -372,6 +443,10 @@ impl Source for LocalSource {
     fn read(&mut self, out: &mut [u8]) -> Result<SourceRead> {
         debug_assert!(!out.is_empty());
         let sh = self.shared.clone();
+        // Preemption point (see the matching hook in `write_all`).
+        if let Some(sim) = &sh.sim {
+            crate::sim::yield_point(sim);
+        }
         loop {
             let mut st = sh.state.lock();
             if st.poisoned {
@@ -383,6 +458,7 @@ impl Source for LocalSource {
                 drop(st);
                 if wake {
                     sh.writable.notify_one();
+                    sh.unpark_writers();
                 }
                 return Ok(SourceRead::Data(n));
             }
@@ -404,10 +480,24 @@ impl Source for LocalSource {
             match &sh.monitor {
                 Some(m) => {
                     let guard = BlockGuard::enter(m, BlockKind::Read, sh.id)?;
+                    if let Some(sim) = sh.sim.as_ref().filter(|s| s.is_current()) {
+                        let mut st = sh.state.lock();
+                        st.read_waiters += 1;
+                        while st.buf.is_empty() && !st.write_closed && !st.poisoned {
+                            drop(st);
+                            sim.park(sh.read_key());
+                            st = sh.state.lock();
+                        }
+                        st.read_waiters -= 1;
+                        drop(st);
+                        drop(guard);
+                        continue;
+                    }
+                    let tick = m.timing().tick.max(std::time::Duration::from_millis(1));
                     let mut st = sh.state.lock();
                     st.read_waiters += 1;
                     while st.buf.is_empty() && !st.write_closed && !st.poisoned {
-                        let timed_out = sh.readable.wait_for(&mut st, MONITOR_TICK).timed_out();
+                        let timed_out = sh.readable.wait_for(&mut st, tick).timed_out();
                         if timed_out {
                             drop(st);
                             m.tick();
@@ -442,6 +532,7 @@ impl Source for LocalSource {
         };
         if wake {
             self.shared.writable.notify_all();
+            self.shared.unpark_writers();
         }
         // Dropping a pending continuation closes it, cancelling upstream.
         drop(cont);
@@ -932,7 +1023,22 @@ pub fn channel_with(
     capacity: usize,
     monitor: Option<Arc<Monitor>>,
 ) -> (ChannelWriter, ChannelReader) {
-    let shared = Shared::new(capacity, monitor.clone());
+    channel_with_parts(capacity, monitor, None, None)
+}
+
+/// Full-control constructor used by [`crate::Network`]: monitor plus the
+/// simulation scheduler and history recorder of deterministic mode.
+pub(crate) fn channel_with_parts(
+    capacity: usize,
+    monitor: Option<Arc<Monitor>>,
+    sim: Option<Arc<SimScheduler>>,
+    recorder: Option<Arc<HistoryRecorder>>,
+) -> (ChannelWriter, ChannelReader) {
+    let recorder = recorder.map(|r| {
+        let slot = r.register();
+        (r, slot)
+    });
+    let shared = Shared::new(capacity, monitor.clone(), sim, recorder);
     if let Some(m) = &monitor {
         let weak: Weak<dyn MonitoredChannel> = {
             let w: Weak<Shared> = Arc::downgrade(&shared);
@@ -1405,6 +1511,90 @@ mod tests {
         r.unread(Vec::new());
         let mut buf = [0u8; 1];
         assert_eq!(r.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn unread_interacts_with_append_in_stream_order() {
+        // unread bytes sit in front of the current source; appended tails
+        // come after everything — and a later unread still jumps the queue.
+        let (mut w1, mut r1) = channel();
+        let (mut w2, r2) = channel();
+        w1.write_all(b"mid").unwrap();
+        w2.write_all(b"tail").unwrap();
+        drop(w1);
+        drop(w2);
+        r1.append(r2);
+        r1.unread(b"front".to_vec());
+        let mut buf = [0u8; 12];
+        r1.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"frontmidtail");
+        r1.unread(b"again".to_vec());
+        let mut buf2 = [0u8; 5];
+        r1.read_exact(&mut buf2).unwrap();
+        assert_eq!(&buf2, b"again");
+        assert_eq!(r1.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn unread_survives_splice_boundary() {
+        // Push-back issued right at a retirement splice: the unread bytes
+        // must come before the spliced upstream's data.
+        let (mut up_w, up_r) = channel();
+        let (down_w, mut down_r) = channel();
+        up_w.write_all(b"up").unwrap();
+        down_w.retire(up_r).unwrap();
+        drop(up_w);
+        down_r.unread(b"pushback".to_vec());
+        let mut buf = [0u8; 10];
+        down_r.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"pushbackup");
+    }
+
+    #[test]
+    fn retire_mid_buffered_write_to_closed_reader_cancels_upstream() {
+        // A buffered writer with private (unflushed) bytes retires after
+        // its reader vanished: the retire must fail, not hang, and must
+        // cancel the upstream it was handed.
+        let (mut up_w, up_r) = channel();
+        let (mut down_w, down_r) = channel();
+        down_w.ensure_buffered(1024);
+        down_w.write_all(b"private").unwrap(); // still in the private buffer
+        drop(down_r);
+        assert!(down_w.retire(up_r).is_err());
+        assert!(matches!(up_w.write_all(b"x"), Err(Error::WriteClosed)));
+    }
+
+    #[test]
+    fn retire_after_close_reports_write_closed() {
+        let (mut w, _r) = channel();
+        let (_uw, ur) = channel();
+        w.close();
+        assert!(matches!(w.retire(ur), Err(Error::WriteClosed)));
+    }
+
+    #[test]
+    fn reader_close_is_idempotent_and_final() {
+        let (mut w, mut r) = channel();
+        w.write_all(b"x").unwrap();
+        r.close();
+        r.close(); // second close must be a no-op, not a panic
+        let mut buf = [0u8; 1];
+        assert_eq!(r.read(&mut buf).unwrap(), 0, "closed reader reads EOF");
+        assert!(matches!(w.write_all(b"y"), Err(Error::WriteClosed)));
+    }
+
+    #[test]
+    fn double_close_both_ends_any_order() {
+        let (mut w, mut r) = channel();
+        w.close();
+        r.close();
+        w.close();
+        r.close();
+        let (mut w2, mut r2) = channel();
+        r2.close();
+        w2.close();
+        r2.close();
+        w2.close();
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod graphs;
 pub mod monitor;
 pub mod network;
 pub mod process;
+pub mod sim;
 pub mod stdlib;
 pub mod stream;
 
@@ -73,7 +74,11 @@ pub use channel::{
 pub use error::{Error, Result};
 pub use monitor::{
     BlockKind, ChannelIoStats, DeadlockPolicy, ExternalBlockGuard, Monitor, MonitorSnapshot,
-    MonitorStats,
+    MonitorStats, MonitorTiming,
+};
+pub use sim::{
+    check_determinacy, compare_histories, explore_dfs, run_sim, ChannelKey, DfsReport,
+    HistoryCheck, HistoryRecorder, SchedulePolicy, ScheduleTrace, SimRun, SimScheduler,
 };
 pub use network::{Network, NetworkConfig, NetworkHandle, NetworkReport};
 pub use process::{CompositeProcess, FnProcess, Iterative, IterativeProcess, Process, ProcessCtx};

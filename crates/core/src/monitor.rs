@@ -29,12 +29,59 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 
-/// How long a blocked channel operation waits before re-running detection.
+/// Default for [`MonitorTiming::tick`].
 pub(crate) const MONITOR_TICK: Duration = Duration::from_millis(20);
 
-/// Settling delay used to confirm that an apparent all-blocked state is
-/// stable before acting on it.
+/// Default for [`MonitorTiming::settle`].
 const SETTLE: Duration = Duration::from_millis(2);
+
+/// The monitor's two timing knobs, injectable per network via
+/// [`crate::NetworkConfig::monitor_timing`]. The defaults favour low
+/// steady-state overhead; tests that provoke many deadlocks can shrink
+/// them ([`MonitorTiming::fast`]), and the deterministic simulator runs
+/// with both at zero ([`MonitorTiming::zero`]) because under a serial
+/// scheduler there are no settling races to reject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorTiming {
+    /// How long a blocked channel operation waits before re-running
+    /// detection (the belt-and-braces fallback behind the event-driven
+    /// path).
+    pub tick: Duration,
+    /// Settling delay used to confirm that an apparent all-blocked state
+    /// is stable before acting on it.
+    pub settle: Duration,
+}
+
+impl Default for MonitorTiming {
+    fn default() -> Self {
+        MonitorTiming {
+            tick: MONITOR_TICK,
+            settle: SETTLE,
+        }
+    }
+}
+
+impl MonitorTiming {
+    /// Aggressive timing for tests that provoke deadlocks on purpose:
+    /// detection latency drops from tens of milliseconds to hundreds of
+    /// microseconds at the cost of more frequent wakeups while blocked.
+    pub fn fast() -> Self {
+        MonitorTiming {
+            tick: Duration::from_millis(1),
+            settle: Duration::from_micros(200),
+        }
+    }
+
+    /// No waiting at all. Only sound when channel operations are
+    /// serialized (the sim scheduler), where an all-blocked observation
+    /// cannot be a transient race.
+    pub fn zero() -> Self {
+        MonitorTiming {
+            tick: Duration::ZERO,
+            settle: Duration::ZERO,
+        }
+    }
+}
 
 /// What to do when every process in the network is blocked.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -208,6 +255,7 @@ struct MonState {
 pub struct Monitor {
     state: Mutex<MonState>,
     policy: DeadlockPolicy,
+    timing: MonitorTiming,
     /// Callbacks run when the network aborts, *after* local channels are
     /// poisoned. Used by the distributed layer to interrupt threads
     /// blocked on transports the monitor cannot poison (TCP reads,
@@ -238,13 +286,24 @@ fn is_process_thread() -> bool {
 }
 
 impl Monitor {
-    /// Creates a monitor with the given policy.
+    /// Creates a monitor with the given policy and default timing.
     pub fn new(policy: DeadlockPolicy) -> Arc<Self> {
+        Self::with_timing(policy, MonitorTiming::default())
+    }
+
+    /// Creates a monitor with explicit timing knobs.
+    pub fn with_timing(policy: DeadlockPolicy, timing: MonitorTiming) -> Arc<Self> {
         Arc::new(Monitor {
             state: Mutex::new(MonState::default()),
             policy,
+            timing,
             abort_hooks: Mutex::new(Vec::new()),
         })
+    }
+
+    /// The timing knobs this monitor runs with.
+    pub fn timing(&self) -> MonitorTiming {
+        self.timing
     }
 
     /// Registers a callback to run when the network aborts (after local
@@ -545,7 +604,9 @@ impl Monitor {
                 }
             }
         }
-        std::thread::sleep(SETTLE);
+        if !self.timing.settle.is_zero() {
+            std::thread::sleep(self.timing.settle);
+        }
         // Decide under the lock; act on channels after releasing it
         // (channel poison/grow takes the channel lock — never hold both).
         enum Act {
@@ -568,6 +629,10 @@ impl Monitor {
                         // *full* channel that has a blocked writer (Parks'
                         // procedure). Stale blocked entries can reference
                         // channels that have since drained; skip those.
+                        // Capacity ties break on channel id so the choice
+                        // does not depend on HashMap iteration order — the
+                        // sim scheduler's replay guarantee needs growth
+                        // decisions to be a function of network state alone.
                         let mut best: Option<(usize, u64, Arc<dyn MonitoredChannel>)> = None;
                         for info in st.blocked.values() {
                             if info.kind != BlockKind::Write {
@@ -578,9 +643,11 @@ impl Monitor {
                                     continue;
                                 }
                                 let cap = ch.capacity();
-                                let smaller =
-                                    best.as_ref().map(|(c, _, _)| cap < *c).unwrap_or(true);
-                                if smaller {
+                                let better = best
+                                    .as_ref()
+                                    .map(|(c, id, _)| (cap, info.chan) < (*c, *id))
+                                    .unwrap_or(true);
+                                if better {
                                     best = Some((cap, info.chan, ch));
                                 }
                             }

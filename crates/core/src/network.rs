@@ -7,10 +7,11 @@
 //! Unlike the Java version there is no ambient runtime — the [`Network`]
 //! owns the deadlock [`Monitor`] and the join bookkeeping.
 
-use crate::channel::{channel_with, ChannelReader, ChannelWriter, DEFAULT_CAPACITY};
+use crate::channel::{channel_with_parts, ChannelReader, ChannelWriter, DEFAULT_CAPACITY};
 use crate::error::{Error, Result};
-use crate::monitor::{mark_process_thread, DeadlockPolicy, Monitor, MonitorStats};
+use crate::monitor::{mark_process_thread, DeadlockPolicy, Monitor, MonitorStats, MonitorTiming};
 use crate::process::{FnProcess, Iterative, IterativeProcess, Process, ProcessCtx};
+use crate::sim::{ChannelKey, HistoryRecorder, SimScheduler};
 use parking_lot::Mutex;
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
@@ -23,6 +24,16 @@ pub struct NetworkConfig {
     pub default_capacity: usize,
     /// What to do when every process is blocked (§3.5).
     pub deadlock_policy: DeadlockPolicy,
+    /// Deadlock-monitor cadence (tick / settle). Tests shrink this to keep
+    /// wall-clock time down; forced to [`MonitorTiming::zero`] under sim.
+    pub monitor_timing: MonitorTiming,
+    /// Run the whole network under this deterministic scheduler (see
+    /// [`crate::sim`]). Process threads then execute one at a time in the
+    /// order the schedule dictates.
+    pub sim: Option<Arc<SimScheduler>>,
+    /// Record every local channel's byte history for the determinacy
+    /// oracle ([`Network::histories`]).
+    pub record_history: bool,
 }
 
 impl Default for NetworkConfig {
@@ -30,6 +41,9 @@ impl Default for NetworkConfig {
         NetworkConfig {
             default_capacity: DEFAULT_CAPACITY,
             deadlock_policy: DeadlockPolicy::default(),
+            monitor_timing: MonitorTiming::default(),
+            sim: None,
+            record_history: false,
         }
     }
 }
@@ -37,6 +51,7 @@ impl Default for NetworkConfig {
 struct NetworkInner {
     config: NetworkConfig,
     monitor: Arc<Monitor>,
+    recorder: Option<Arc<HistoryRecorder>>,
     handles: Mutex<Vec<JoinHandle<()>>>,
     pending: Mutex<Vec<Box<dyn Process>>>,
     errors: Mutex<Vec<(String, Error)>>,
@@ -58,7 +73,12 @@ impl NetworkHandle {
 
     /// Creates a monitored channel with an explicit capacity.
     pub fn channel_with_capacity(&self, capacity: usize) -> (ChannelWriter, ChannelReader) {
-        channel_with(capacity, Some(self.inner.monitor.clone()))
+        channel_with_parts(
+            capacity,
+            Some(self.inner.monitor.clone()),
+            self.inner.config.sim.clone(),
+            self.inner.recorder.clone(),
+        )
     }
 
     /// Spawns a process thread immediately.
@@ -77,11 +97,22 @@ impl NetworkHandle {
         let inner = self.inner.clone();
         *inner.processes_run.lock() += 1;
         let name = p.name();
+        // Register with the sim scheduler on the *spawning* thread, before
+        // the OS thread exists: task ids then follow program order, which
+        // keeps them stable across replays of the same schedule.
+        let sim_task = inner
+            .config
+            .sim
+            .as_ref()
+            .map(|s| (s.clone(), s.register_task(&name)));
         let thread_inner = inner.clone();
         let handle = std::thread::Builder::new()
             .name(format!("kpn:{name}"))
             .spawn(move || {
                 mark_process_thread(true);
+                if let Some((sched, tid)) = &sim_task {
+                    sched.attach(*tid); // blocks until the schedule picks us
+                }
                 let ctx = ProcessCtx::new(NetworkHandle {
                     inner: thread_inner.clone(),
                 });
@@ -95,7 +126,13 @@ impl NetworkHandle {
                         .lock()
                         .push((name, Error::Graph("process panicked".into()))),
                 }
+                // Finish bookkeeping while still holding the sim token, so
+                // the monitor's end-of-process deadlock check runs under the
+                // same serialization as everything else.
                 thread_inner.monitor.process_finished();
+                if let Some((sched, _)) = &sim_task {
+                    sched.finish_current();
+                }
             })
             .expect("failed to spawn process thread");
         inner.handles.lock().push(handle);
@@ -147,12 +184,27 @@ impl Network {
 
     /// A network with an explicit configuration.
     pub fn with_config(config: NetworkConfig) -> Self {
-        let monitor = Monitor::new(config.deadlock_policy);
+        // Under sim the monitor needs no settling delay: only one task
+        // executes at a time, so no concurrent activity can race a
+        // deadlock verdict. Its tick also runs from the scheduler's idle
+        // hook rather than timeouts.
+        let timing = if config.sim.is_some() {
+            MonitorTiming::zero()
+        } else {
+            config.monitor_timing
+        };
+        let monitor = Monitor::with_timing(config.deadlock_policy, timing);
+        if let Some(sim) = &config.sim {
+            let m = monitor.clone();
+            sim.add_idle_hook(Box::new(move || m.tick()));
+        }
+        let recorder = config.record_history.then(HistoryRecorder::new);
         Network {
             handle: NetworkHandle {
                 inner: Arc::new(NetworkInner {
                     config,
                     monitor,
+                    recorder,
                     handles: Mutex::new(Vec::new()),
                     pending: Mutex::new(Vec::new()),
                     errors: Mutex::new(Vec::new()),
@@ -202,6 +254,11 @@ impl Network {
         }
         for p in pending {
             self.handle.spawn_reserved(p);
+        }
+        // Open the schedule only once the whole initial batch is
+        // registered, so the first decision sees every task.
+        if let Some(sim) = &self.handle.inner.config.sim {
+            sim.release();
         }
     }
 
@@ -279,6 +336,13 @@ impl Network {
     /// (bytes, blocking episodes, peak occupancy, current capacity).
     pub fn channel_report(&self) -> Vec<(u64, crate::monitor::ChannelIoStats)> {
         self.handle.monitor().channel_report()
+    }
+
+    /// Recorded channel histories, sorted by [`ChannelKey`]. `None` unless
+    /// [`NetworkConfig::record_history`] was set. Complete once the network
+    /// has joined.
+    pub fn histories(&self) -> Option<Vec<(ChannelKey, Vec<u8>)>> {
+        self.handle.inner.recorder.as_ref().map(|r| r.histories())
     }
 
     /// A cloneable handle for spawning from outside a process (used by the

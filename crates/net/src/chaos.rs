@@ -30,8 +30,8 @@ use crate::builder::GraphBuilder;
 use crate::control::ServerHandle;
 use crate::node::Node;
 use crate::transport::{
-    install_profile, remove_profile, FaultPlan, FaultProfile, FaultyFactory, NetProfile,
-    ReconnectPolicy,
+    install_profile, remove_profile, ChaosClock, FaultPlan, FaultProfile, FaultyFactory,
+    NetProfile, ReconnectPolicy,
 };
 use kpn_core::{DataReader, DataWriter, Error, Result};
 use std::sync::Arc;
@@ -69,8 +69,22 @@ impl ChaosGuard {
     /// deterministically derived from `seed`, with endpoints recovering
     /// under `policy`.
     pub fn new(seed: u64, profile: FaultProfile, policy: ReconnectPolicy) -> Self {
+        ChaosGuard::with_clock(seed, profile, policy, ChaosClock::Wall)
+    }
+
+    /// Like [`ChaosGuard::new`], but stalls pass time on `clock` — the
+    /// sim-clock mode. With [`ChaosClock::virtual_clock`], stall durations
+    /// accumulate on a counter instead of blocking threads, so the fault
+    /// schedule stays deterministic in op counts *and* costs no wall time,
+    /// composing with `kpn_core::sim` interleaving schedules.
+    pub fn with_clock(
+        seed: u64,
+        profile: FaultProfile,
+        policy: ReconnectPolicy,
+        clock: ChaosClock,
+    ) -> Self {
         ChaosGuard {
-            plan: FaultPlan::new(seed, profile),
+            plan: FaultPlan::with_clock(seed, profile, clock),
             policy,
             addrs: Vec::new(),
         }
@@ -162,7 +176,21 @@ impl ChaosCluster {
         profile: FaultProfile,
         policy: ReconnectPolicy,
     ) -> Result<Self> {
-        let mut guard = ChaosGuard::new(seed, profile, policy);
+        Self::with_faults_on_clock(servers, seed, profile, policy, ChaosClock::Wall)
+    }
+
+    /// Like [`ChaosCluster::with_faults`], but stalls pass time on `clock`
+    /// (see [`ChaosGuard::with_clock`]). Pass a clone of a
+    /// [`ChaosClock::virtual_clock`] to keep a handle for reading elapsed
+    /// virtual time.
+    pub fn with_faults_on_clock(
+        servers: usize,
+        seed: u64,
+        profile: FaultProfile,
+        policy: ReconnectPolicy,
+        clock: ChaosClock,
+    ) -> Result<Self> {
+        let mut guard = ChaosGuard::with_clock(seed, profile, policy, clock);
         let client = Node::serve_with_profile("127.0.0.1:0", guard.net_profile())?;
         guard.cover(client.addr().to_string());
         let mut nodes = Vec::new();
@@ -398,6 +426,39 @@ mod tests {
         })
         .expect("determinacy");
         assert!(faults > 0, "fault schedule never fired");
+    }
+
+    #[test]
+    fn virtual_clock_stalls_cost_no_wall_time() {
+        use std::time::Instant;
+        // Every op fault is a stall, and each stall is far longer than the
+        // whole test budget in wall mode — only a virtual clock lets this
+        // schedule run to completion quickly. Frames batch many values, so
+        // the op gap must be tiny for the schedule to fire at all.
+        let profile = FaultProfile {
+            mean_ops_between_faults: 2,
+            stall_ratio: 1,
+            stall: Duration::from_secs(2),
+            refuse_connects: 0,
+            max_faults: 6,
+        };
+        let clock = ChaosClock::virtual_clock();
+        let cluster =
+            ChaosCluster::with_faults_on_clock(2, 0x51C, profile, chaos_policy(), clock.clone())
+                .expect("cluster");
+        let start = Instant::now();
+        let primes = sieve_history(&cluster, 50).expect("sieve run");
+        assert_eq!(primes, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47]);
+        assert!(cluster.injected() > 0, "fault schedule never fired");
+        assert!(
+            clock.virtual_nanos().unwrap() > 0,
+            "stalls never advanced the virtual clock"
+        );
+        // 6 stalls x 2s would blow well past this bound if they slept.
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "virtual-clock stalls must not block wall time"
+        );
     }
 
     #[test]

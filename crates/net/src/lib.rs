@@ -64,7 +64,8 @@ pub use remote::{
 };
 pub use spec::{ChannelSpec, GraphSpec, InputSpec, OutputSpec, ProcessSpec};
 pub use transport::{
-    install_profile, profile_for, recovery_stats, remove_profile, FaultKind, FaultPlan,
-    FaultProfile, FaultyFactory, FaultyTransport, NetProfile, ReconnectPolicy, TcpFactory,
+    install_profile, profile_for, recovery_stats, remove_profile, ChaosClock, FaultKind,
+    FaultPlan, FaultProfile, FaultyFactory, FaultyTransport, NetProfile, ReconnectPolicy,
+    TcpFactory,
     TcpTransport, Transport, TransportFactory,
 };

@@ -187,11 +187,57 @@ impl Default for FaultProfile {
     }
 }
 
+/// How fault stalls let time pass.
+///
+/// [`Wall`](ChaosClock::Wall) (the default) sleeps the faulting thread
+/// for the stall duration — realistic, but wall-clock-bound. `Virtual` is
+/// the **sim-clock mode**: a stall adds its duration (in nanoseconds) to
+/// a shared counter and returns immediately. Fault *points* are already a
+/// pure function of the seed and per-connection op counts; with a virtual
+/// clock the stall *durations* stop depending on real time too, so a
+/// fault schedule composes with the deterministic interleaving schedules
+/// of `kpn_core::sim` without either waiting on the other.
+#[derive(Debug, Clone)]
+pub enum ChaosClock {
+    /// Stalls block the thread with `std::thread::sleep`.
+    Wall,
+    /// Stalls advance this nanosecond counter instead of sleeping.
+    Virtual(Arc<AtomicU64>),
+}
+
+impl ChaosClock {
+    /// A fresh virtual clock starting at zero.
+    pub fn virtual_clock() -> Self {
+        ChaosClock::Virtual(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Virtual nanoseconds elapsed; `None` in wall mode.
+    pub fn virtual_nanos(&self) -> Option<u64> {
+        match self {
+            ChaosClock::Wall => None,
+            ChaosClock::Virtual(n) => Some(n.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Lets `d` pass on this clock: a real sleep in wall mode, a counter
+    /// bump in virtual mode.
+    fn advance(&self, d: Duration) {
+        match self {
+            ChaosClock::Wall => std::thread::sleep(d),
+            ChaosClock::Virtual(n) => {
+                let nanos = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+                n.fetch_add(nanos, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
 /// Shared state of one seeded fault plan (one per [`FaultyFactory`]).
 #[derive(Debug)]
 pub struct FaultPlan {
     seed: u64,
     profile: FaultProfile,
+    clock: ChaosClock,
     remaining: AtomicU64,
     /// Reconnect attempts seen per endpoint token: keys the per-connection
     /// schedule so it is independent of unrelated connections' timing.
@@ -201,15 +247,26 @@ pub struct FaultPlan {
 }
 
 impl FaultPlan {
-    /// A fresh plan for `seed`.
+    /// A fresh plan for `seed`, stalling in real time.
     pub fn new(seed: u64, profile: FaultProfile) -> Arc<Self> {
+        FaultPlan::with_clock(seed, profile, ChaosClock::Wall)
+    }
+
+    /// A fresh plan for `seed` whose stalls pass time on `clock`.
+    pub fn with_clock(seed: u64, profile: FaultProfile, clock: ChaosClock) -> Arc<Self> {
         Arc::new(FaultPlan {
             seed,
             remaining: AtomicU64::new(profile.max_faults),
             profile,
+            clock,
             attempts: Mutex::new(HashMap::new()),
             injected: AtomicU64::new(0),
         })
+    }
+
+    /// The clock this plan's stalls run on.
+    pub fn clock(&self) -> &ChaosClock {
+        &self.clock
     }
 
     /// Takes one fault from the budget; false once the plan is spent.
@@ -296,11 +353,11 @@ impl FaultyTransport {
                 Some(t) if t < profile.stall => {
                     // The endpoint's op timeout expires mid-stall: emulate
                     // the kernel surfacing a timeout.
-                    std::thread::sleep(t);
+                    self.plan.clock.advance(t);
                     return Err(std::io::Error::from(std::io::ErrorKind::TimedOut));
                 }
                 _ => {
-                    std::thread::sleep(profile.stall);
+                    self.plan.clock.advance(profile.stall);
                     return Ok(());
                 }
             }

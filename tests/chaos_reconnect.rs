@@ -32,6 +32,7 @@ fn aggressive(profile_ops: u64, max_faults: u64) -> FaultProfile {
 }
 
 #[test]
+#[ignore = "chaos: run with --ignored"]
 fn relay_history_is_deterministic_under_all_seeds() {
     let faults = check_determinacy(2, &SEEDS, aggressive(10, 12), chaos_policy(), |c| {
         relay_history(c, 64)
@@ -41,6 +42,7 @@ fn relay_history_is_deterministic_under_all_seeds() {
 }
 
 #[test]
+#[ignore = "chaos: run with --ignored"]
 fn sieve_history_is_deterministic_under_all_seeds() {
     let faults = check_determinacy(2, &SEEDS, aggressive(25, 12), chaos_policy(), |c| {
         sieve_history(c, 200)
@@ -50,6 +52,7 @@ fn sieve_history_is_deterministic_under_all_seeds() {
 }
 
 #[test]
+#[ignore = "chaos: run with --ignored"]
 fn hamming_history_is_deterministic_under_all_seeds() {
     let faults = check_determinacy(2, &SEEDS, aggressive(25, 12), chaos_policy(), |c| {
         hamming_history(c, 60)
@@ -59,6 +62,7 @@ fn hamming_history_is_deterministic_under_all_seeds() {
 }
 
 #[test]
+#[ignore = "chaos: run with --ignored"]
 fn reset_mid_frame_is_replayed_exactly_once() {
     // Frames are up to 64 KiB and faults fire every ~6 transport ops, so
     // resets land inside frame payloads; the replay buffer plus the
@@ -89,6 +93,7 @@ fn reset_mid_frame_is_replayed_exactly_once() {
 }
 
 #[test]
+#[ignore = "chaos: run with --ignored"]
 fn redirect_splice_survives_resets() {
     // §4.3 migration under fire: the Redirect marker's delivery-ack
     // handshake runs on a link that keeps resetting, and the successor
@@ -136,6 +141,7 @@ fn redirect_splice_survives_resets() {
 }
 
 #[test]
+#[ignore = "chaos: run with --ignored"]
 fn dead_link_exhausts_budget_and_cascades() {
     // A link that dies and never comes back: the writer must burn its
     // reconnect budget and surface a terminal error (§3.4 cascade), not
@@ -189,6 +195,7 @@ fn dead_link_exhausts_budget_and_cascades() {
 }
 
 #[test]
+#[ignore = "chaos: run with --ignored"]
 fn deliberate_close_wins_over_reconnection() {
     // The race the Stop notice exists for: the reader closes on purpose
     // while the writer's link is being reset under it. The writer's next
