@@ -26,9 +26,10 @@
 use crate::buffer::RingBuffer;
 use crate::error::{Error, Result};
 use crate::flush::{self, Flushable};
+use crate::exec::Exec;
 use crate::monitor::{BlockGuard, BlockKind, ChannelIoStats, Monitor, MonitoredChannel};
-use crate::sim::{HistoryRecorder, SimScheduler};
-use parking_lot::{Condvar, Mutex};
+use crate::sim::HistoryRecorder;
+use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
@@ -95,10 +96,10 @@ struct BufState {
     read_closed: bool,
     poisoned: bool,
     continuation: Option<ChannelReader>,
-    // Condvar waiter counts: notifies are skipped entirely when nobody is
+    // Waiter counts per side: unparks are skipped entirely when nobody is
     // parked, which removes a syscall-bound wakeup from the uncontended
     // fast path. Sound because waiters re-check their predicate under this
-    // same mutex before (and after) every wait.
+    // same mutex before (and after) every park.
     read_waiters: u32,
     write_waiters: u32,
     // I/O counters (ChannelIoStats).
@@ -113,12 +114,11 @@ struct BufState {
 pub(crate) struct Shared {
     id: u64,
     state: Mutex<BufState>,
-    readable: Condvar,
-    writable: Condvar,
     monitor: Option<Arc<Monitor>>,
-    /// When set, blocking on this channel parks in the simulation scheduler
-    /// instead of the condvars (deterministic mode, see [`crate::sim`]).
-    sim: Option<Arc<SimScheduler>>,
+    /// The executor every blocking operation on this channel parks through
+    /// — the single scheduling seam (thread, pooled, or sim; see
+    /// [`crate::exec`]).
+    exec: Arc<dyn Exec>,
     /// When set, every byte pushed through the ring buffer is appended to
     /// the recorder slot (the determinacy oracle's channel history).
     recorder: Option<(Arc<HistoryRecorder>, usize)>,
@@ -128,7 +128,7 @@ impl Shared {
     fn new(
         capacity: usize,
         monitor: Option<Arc<Monitor>>,
-        sim: Option<Arc<SimScheduler>>,
+        exec: Arc<dyn Exec>,
         recorder: Option<(Arc<HistoryRecorder>, usize)>,
     ) -> Arc<Self> {
         Arc::new(Shared {
@@ -146,36 +146,85 @@ impl Shared {
                 read_blocks: 0,
                 peak_occupancy: 0,
             }),
-            readable: Condvar::new(),
-            writable: Condvar::new(),
             monitor,
-            sim,
+            exec,
             recorder,
         })
     }
 
-    /// Park keys for the sim scheduler: one per condvar, so sim waiters and
-    /// condvar waiters share the same wake points.
+    /// Park keys, one per side, derived from this allocation's address
+    /// (unique for the channel's lifetime, which is as long as anyone can
+    /// be parked on it).
     fn read_key(&self) -> usize {
-        &self.readable as *const Condvar as usize
+        self as *const Shared as usize
     }
 
     fn write_key(&self) -> usize {
-        &self.writable as *const Condvar as usize
+        self as *const Shared as usize + 8
     }
 
-    /// Wakes sim tasks parked where `readable.notify_*` would wake threads.
-    fn unpark_readers(&self) {
-        if let Some(s) = &self.sim {
-            s.unpark_all(self.read_key());
-        }
+    /// Wakes every task parked waiting for this channel to become readable.
+    fn wake_readers(&self) {
+        self.exec.unpark_all(self.read_key());
     }
 
-    /// Wakes sim tasks parked where `writable.notify_*` would wake threads.
-    fn unpark_writers(&self) {
-        if let Some(s) = &self.sim {
-            s.unpark_all(self.write_key());
+    /// Wakes every task parked waiting for this channel to become writable.
+    fn wake_writers(&self) {
+        self.exec.unpark_all(self.write_key());
+    }
+
+    /// The blocking seam: parks the current task while `pred` holds (it is
+    /// evaluated under the state lock). Maintains the side's waiter count;
+    /// timed-out waits re-run the monitor's detection tick. Returns an
+    /// error only when the executor refuses to block this context
+    /// (cross-executor use).
+    fn park_while(
+        &self,
+        side: BlockKind,
+        timeout: Option<std::time::Duration>,
+        pred: impl Fn(&BufState) -> bool,
+    ) -> Result<()> {
+        let key = match side {
+            BlockKind::Read => self.read_key(),
+            BlockKind::Write => self.write_key(),
+        };
+        let mut st = self.state.lock();
+        match side {
+            BlockKind::Read => st.read_waiters += 1,
+            BlockKind::Write => st.write_waiters += 1,
         }
+        let mut res = Ok(());
+        loop {
+            if !pred(&st) {
+                break;
+            }
+            // The token is read under the state lock with the predicate
+            // still true: any wake that happens after we release the lock
+            // bumps the generation, and `park` returns immediately on a
+            // stale token — no lost wakeups, no wait-loop in the executor.
+            let token = self.exec.park_token(key);
+            drop(st);
+            match self.exec.park(key, token, timeout) {
+                Ok(timed_out) => {
+                    if timed_out {
+                        if let Some(m) = &self.monitor {
+                            m.tick();
+                        }
+                    }
+                }
+                Err(e) => {
+                    st = self.state.lock();
+                    res = Err(e);
+                    break;
+                }
+            }
+            st = self.state.lock();
+        }
+        match side {
+            BlockKind::Read => st.read_waiters -= 1,
+            BlockKind::Write => st.write_waiters -= 1,
+        }
+        res
     }
 }
 
@@ -233,8 +282,7 @@ impl MonitoredChannel for Shared {
         let wake = st.write_waiters > 0;
         drop(st);
         if wake {
-            self.writable.notify_all();
-            self.unpark_writers();
+            self.wake_writers();
         }
         Some((old, new))
     }
@@ -242,18 +290,16 @@ impl MonitoredChannel for Shared {
     fn poison(&self) {
         let mut st = self.state.lock();
         st.poisoned = true;
-        // Wake only the sides that actually have parked threads: poisoning
+        // Wake only the sides that actually have parked tasks: poisoning
         // an idle channel (the common case when a whole network aborts)
-        // costs two flag reads instead of two broadcast syscalls.
+        // costs two flag reads instead of two broadcast wakeups.
         let (wake_readers, wake_writers) = (st.read_waiters > 0, st.write_waiters > 0);
         drop(st);
         if wake_readers {
-            self.readable.notify_all();
-            self.unpark_readers();
+            self.wake_readers();
         }
         if wake_writers {
-            self.writable.notify_all();
-            self.unpark_writers();
+            self.wake_writers();
         }
     }
 
@@ -293,52 +339,24 @@ impl LocalSink {
             }
             st.write_blocks += 1;
             drop(st);
+            let pred =
+                |st: &BufState| st.buf.is_full() && !st.read_closed && !st.poisoned;
             match &sh.monitor {
                 Some(m) => {
+                    // Register with the monitor *before* re-checking the
+                    // predicate inside `park_while`: if our registration
+                    // completes an all-blocked picture and detection grows
+                    // this channel, the re-check sees the new capacity.
                     let guard = BlockGuard::enter(m, BlockKind::Write, sh.id)?;
-                    if let Some(sim) = sh.sim.as_ref().filter(|s| s.is_current()) {
-                        // Deterministic mode: park in the scheduler. No lost
-                        // wakeup is possible between unlocking the state and
-                        // parking — the parking task holds the run token, so
-                        // nothing else executes until park() dispatches.
-                        let mut st = sh.state.lock();
-                        st.write_waiters += 1;
-                        while st.buf.is_full() && !st.read_closed && !st.poisoned {
-                            drop(st);
-                            sim.park(sh.write_key());
-                            st = sh.state.lock();
-                        }
-                        st.write_waiters -= 1;
-                        drop(st);
-                        drop(guard);
-                        continue;
-                    }
-                    // Clamp: a zero tick (sim timing) on the condvar path —
-                    // a non-sim thread touching a sim network's channel —
-                    // must not busy-spin the monitor.
+                    // The timeout is the monitor's detection fallback; the
+                    // clamp keeps a zero tick from busy-spinning (executors
+                    // that cannot honor timeouts tick via idle hooks
+                    // instead).
                     let tick = m.timing().tick.max(std::time::Duration::from_millis(1));
-                    let mut st = sh.state.lock();
-                    st.write_waiters += 1;
-                    while st.buf.is_full() && !st.read_closed && !st.poisoned {
-                        let timed_out = sh.writable.wait_for(&mut st, tick).timed_out();
-                        if timed_out {
-                            drop(st);
-                            m.tick();
-                            st = sh.state.lock();
-                        }
-                    }
-                    st.write_waiters -= 1;
-                    drop(st);
+                    sh.park_while(BlockKind::Write, Some(tick), pred)?;
                     drop(guard);
                 }
-                None => {
-                    let mut st = sh.state.lock();
-                    st.write_waiters += 1;
-                    while st.buf.is_full() && !st.read_closed && !st.poisoned {
-                        sh.writable.wait(&mut st);
-                    }
-                    st.write_waiters -= 1;
-                }
+                None => sh.park_while(BlockKind::Write, None, pred)?,
             }
         }
     }
@@ -348,10 +366,8 @@ impl Sink for LocalSink {
     fn write_all(&mut self, mut buf: &[u8]) -> Result<()> {
         let sh = self.shared.clone();
         // Preemption point: under sim every channel operation is a place
-        // the schedule may switch tasks. One Option check when sim is off.
-        if let Some(sim) = &sh.sim {
-            crate::sim::yield_point(sim);
-        }
+        // the schedule may switch tasks (a no-op on other executors).
+        sh.exec.yield_point();
         // An empty write still surfaces a closed/poisoned channel promptly.
         if buf.is_empty() {
             let st = sh.state.lock();
@@ -382,8 +398,7 @@ impl Sink for LocalSink {
             let wake = n > 0 && st.read_waiters > 0;
             drop(st);
             if wake {
-                sh.readable.notify_one();
-                sh.unpark_readers();
+                sh.wake_readers();
             }
         }
         Ok(())
@@ -401,8 +416,7 @@ impl Sink for LocalSink {
         let wake = st.read_waiters > 0;
         drop(st);
         if wake {
-            self.shared.readable.notify_all();
-            self.shared.unpark_readers();
+            self.shared.wake_readers();
         }
     }
 
@@ -420,8 +434,7 @@ impl Sink for LocalSink {
         let wake = st.read_waiters > 0;
         drop(st);
         if wake {
-            self.shared.readable.notify_all();
-            self.shared.unpark_readers();
+            self.shared.wake_readers();
         }
         Ok(())
     }
@@ -444,9 +457,7 @@ impl Source for LocalSource {
         debug_assert!(!out.is_empty());
         let sh = self.shared.clone();
         // Preemption point (see the matching hook in `write_all`).
-        if let Some(sim) = &sh.sim {
-            crate::sim::yield_point(sim);
-        }
+        sh.exec.yield_point();
         loop {
             let mut st = sh.state.lock();
             if st.poisoned {
@@ -457,8 +468,7 @@ impl Source for LocalSource {
                 let wake = st.write_waiters > 0;
                 drop(st);
                 if wake {
-                    sh.writable.notify_one();
-                    sh.unpark_writers();
+                    sh.wake_writers();
                 }
                 return Ok(SourceRead::Data(n));
             }
@@ -477,45 +487,16 @@ impl Source for LocalSource {
             // cannot see it either — without this hook, buffering would turn
             // live networks into falsely "true" deadlocks.
             flush::flush_before_block();
+            let pred =
+                |st: &BufState| st.buf.is_empty() && !st.write_closed && !st.poisoned;
             match &sh.monitor {
                 Some(m) => {
                     let guard = BlockGuard::enter(m, BlockKind::Read, sh.id)?;
-                    if let Some(sim) = sh.sim.as_ref().filter(|s| s.is_current()) {
-                        let mut st = sh.state.lock();
-                        st.read_waiters += 1;
-                        while st.buf.is_empty() && !st.write_closed && !st.poisoned {
-                            drop(st);
-                            sim.park(sh.read_key());
-                            st = sh.state.lock();
-                        }
-                        st.read_waiters -= 1;
-                        drop(st);
-                        drop(guard);
-                        continue;
-                    }
                     let tick = m.timing().tick.max(std::time::Duration::from_millis(1));
-                    let mut st = sh.state.lock();
-                    st.read_waiters += 1;
-                    while st.buf.is_empty() && !st.write_closed && !st.poisoned {
-                        let timed_out = sh.readable.wait_for(&mut st, tick).timed_out();
-                        if timed_out {
-                            drop(st);
-                            m.tick();
-                            st = sh.state.lock();
-                        }
-                    }
-                    st.read_waiters -= 1;
-                    drop(st);
+                    sh.park_while(BlockKind::Read, Some(tick), pred)?;
                     drop(guard);
                 }
-                None => {
-                    let mut st = sh.state.lock();
-                    st.read_waiters += 1;
-                    while st.buf.is_empty() && !st.write_closed && !st.poisoned {
-                        sh.readable.wait(&mut st);
-                    }
-                    st.read_waiters -= 1;
-                }
+                None => sh.park_while(BlockKind::Read, None, pred)?,
             }
         }
     }
@@ -531,8 +512,7 @@ impl Source for LocalSource {
             (st.continuation.take(), st.write_waiters > 0)
         };
         if wake {
-            self.shared.writable.notify_all();
-            self.shared.unpark_writers();
+            self.shared.wake_writers();
         }
         // Dropping a pending continuation closes it, cancelling upstream.
         drop(cont);
@@ -649,7 +629,7 @@ impl Flushable for BufferedShared {
 /// are never invisible to a blocked consumer or to the deadlock monitor.
 struct BufferedSink {
     shared: Arc<BufferedShared>,
-    /// Thread token this sink last registered under (0 = never).
+    /// Task token this sink last registered under (0 = never).
     registered_for: u64,
 }
 
@@ -669,10 +649,10 @@ impl BufferedSink {
         }
     }
 
-    /// Registers with the calling thread's flush registry and takes
-    /// ownership, once per thread the sink is written from.
+    /// Registers with the calling task's flush registry and takes
+    /// ownership, once per task the sink is written from.
     fn adopt(&mut self) -> u64 {
-        let tok = flush::thread_token();
+        let tok = flush::task_token();
         if self.registered_for != tok {
             self.registered_for = tok;
             flush::register(Arc::downgrade(&self.shared) as std::sync::Weak<dyn Flushable>);
@@ -1023,22 +1003,23 @@ pub fn channel_with(
     capacity: usize,
     monitor: Option<Arc<Monitor>>,
 ) -> (ChannelWriter, ChannelReader) {
-    channel_with_parts(capacity, monitor, None, None)
+    let exec = crate::exec::default_exec().clone() as Arc<dyn Exec>;
+    channel_with_parts(capacity, monitor, exec, None)
 }
 
 /// Full-control constructor used by [`crate::Network`]: monitor plus the
-/// simulation scheduler and history recorder of deterministic mode.
+/// network's executor and the history recorder of deterministic mode.
 pub(crate) fn channel_with_parts(
     capacity: usize,
     monitor: Option<Arc<Monitor>>,
-    sim: Option<Arc<SimScheduler>>,
+    exec: Arc<dyn Exec>,
     recorder: Option<Arc<HistoryRecorder>>,
 ) -> (ChannelWriter, ChannelReader) {
     let recorder = recorder.map(|r| {
         let slot = r.register();
         (r, slot)
     });
-    let shared = Shared::new(capacity, monitor.clone(), sim, recorder);
+    let shared = Shared::new(capacity, monitor.clone(), exec, recorder);
     if let Some(m) = &monitor {
         let weak: Weak<dyn MonitoredChannel> = {
             let w: Weak<Shared> = Arc::downgrade(&shared);

@@ -19,68 +19,62 @@
 //! unbuffered. Determinacy (Kahn) and artificial-deadlock accounting (Parks)
 //! are therefore preserved.
 //!
-//! Mechanically, every buffered sink registers itself with a thread-local
-//! registry keyed by a per-thread token. The blocking paths of the local
-//! channel transport (and the remote transports in `kpn-net`) call
-//! [`flush_before_block`] just before parking, which walks the current
-//! thread's registry and flushes every sink the thread owns. Ownership
-//! follows the *last writer thread*: processes are typically constructed on
-//! the main thread and moved to their spawn thread, so a sink re-registers
-//! lazily whenever it is written from a new thread. Stale registrations on
-//! the old thread are skipped by an owner-token check and pruned as their
-//! weak references die.
+//! Mechanically, every buffered sink registers itself with a *task-local*
+//! registry carried by the current task's identity record (under
+//! the pooled executor one OS thread runs many tasks, so a thread-local
+//! registry would conflate sinks across processes; under thread-per-process
+//! a task *is* a thread and the behavior is the paper's). The blocking paths
+//! of the local channel transport (and the remote transports in `kpn-net`)
+//! call [`flush_before_block`] just before parking, which walks the current
+//! task's registry and flushes every sink the task owns. Ownership follows
+//! the *last writer task*: processes are typically constructed on the main
+//! thread and moved to their spawned task, so a sink re-registers lazily
+//! whenever it is written from a new task. Stale registrations on the old
+//! task are skipped by an owner-token check and pruned as their weak
+//! references die.
 
 use crate::error::Result;
-use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Weak;
 
 /// A sink with a private buffer that can be flushed by the flush registry.
 ///
 /// Implementations must be cheap to probe when clean and must *never* block
-/// on a lock that another thread's flush could hold (use `try_lock` and skip:
-/// a sink mid-write on another thread is by definition not owned by us).
+/// on a lock that another task's flush could hold (use `try_lock` and skip:
+/// a sink mid-write on another task is by definition not owned by us).
 pub trait Flushable: Send + Sync {
     /// Flushes the private buffer toward the consumer *if* the sink is
-    /// currently owned by the thread with token `owner`. Non-owners and
+    /// currently owned by the task with token `owner`. Non-owners and
     /// clean sinks return `Ok(())` without side effects.
     fn flush_owned(&self, owner: u64) -> Result<()>;
 }
 
-static NEXT_THREAD_TOKEN: AtomicU64 = AtomicU64::new(1);
-
-thread_local! {
-    static THREAD_TOKEN: u64 = NEXT_THREAD_TOKEN.fetch_add(1, Ordering::Relaxed);
-    static SINKS: RefCell<Vec<Weak<dyn Flushable>>> = const { RefCell::new(Vec::new()) };
+/// A small, unique, never-reused identifier for the calling task (a process
+/// under any executor, or a foreign thread touching channels from outside).
+pub fn task_token() -> u64 {
+    crate::exec::task_token()
 }
 
-/// A small, unique, never-reused identifier for the calling thread.
-pub fn thread_token() -> u64 {
-    THREAD_TOKEN.with(|t| *t)
-}
-
-/// Registers a buffered sink with the *calling* thread's flush registry.
+/// Registers a buffered sink with the *calling* task's flush registry.
 /// Dead entries are pruned opportunistically on each registration.
 pub fn register(sink: Weak<dyn Flushable>) {
-    SINKS.with(|s| {
-        let mut v = s.borrow_mut();
+    crate::exec::with_current(|locals| {
+        let mut v = locals.sinks.lock();
         v.retain(|w| w.strong_count() > 0);
         v.push(sink);
     });
 }
 
-/// Flushes every live buffered sink owned by the calling thread, returning
+/// Flushes every live buffered sink owned by the calling task, returning
 /// the first error encountered (all sinks are still attempted). This is what
 /// [`crate::ProcessCtx::flush_sinks`] calls after each `Iterative::step`.
-pub fn flush_thread_sinks() -> Result<()> {
-    let me = thread_token();
+pub fn flush_task_sinks() -> Result<()> {
     // Snapshot strong handles first: flushing can block (a full channel), and
-    // we must not hold the registry borrow across that (a write performed by
-    // a woken process on this thread would re-enter `register`).
-    let handles: Vec<_> = SINKS.with(|s| {
-        let mut v = s.borrow_mut();
+    // we must not hold the registry lock across that (a write performed by
+    // a woken process on this task would re-enter `register`).
+    let (me, handles): (u64, Vec<_>) = crate::exec::with_current(|locals| {
+        let mut v = locals.sinks.lock();
         v.retain(|w| w.strong_count() > 0);
-        v.iter().filter_map(Weak::upgrade).collect()
+        (locals.token, v.iter().filter_map(Weak::upgrade).collect())
     });
     let mut first_err = None;
     for h in handles {
@@ -101,13 +95,13 @@ pub fn flush_thread_sinks() -> Result<()> {
 /// write (§3.4's "exception on the next write" semantics); the *read* that
 /// triggered the flush must still be allowed to proceed and drain data.
 pub fn flush_before_block() {
-    let _ = flush_thread_sinks();
+    let _ = flush_task_sinks();
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
     struct Probe {
@@ -130,27 +124,27 @@ mod tests {
     }
 
     #[test]
-    fn tokens_are_unique_per_thread() {
-        let mine = thread_token();
-        let theirs = std::thread::spawn(thread_token).join().unwrap();
+    fn tokens_are_unique_per_task() {
+        let mine = task_token();
+        let theirs = std::thread::spawn(task_token).join().unwrap();
         assert_ne!(mine, theirs);
-        assert_eq!(mine, thread_token(), "stable within a thread");
+        assert_eq!(mine, task_token(), "stable within a task");
     }
 
     #[test]
     fn flush_skips_foreign_owners_and_drops_dead_entries() {
         let mine = Arc::new(Probe {
-            owner: thread_token(),
+            owner: task_token(),
             flushes: AtomicUsize::new(0),
             fail: false,
         });
         let foreign = Arc::new(Probe {
-            owner: thread_token() + 1_000_000,
+            owner: task_token() + 1_000_000,
             flushes: AtomicUsize::new(0),
             fail: false,
         });
         let dead = Arc::new(Probe {
-            owner: thread_token(),
+            owner: task_token(),
             flushes: AtomicUsize::new(0),
             fail: false,
         });
@@ -158,7 +152,7 @@ mod tests {
         register(Arc::downgrade(&foreign) as Weak<dyn Flushable>);
         register(Arc::downgrade(&dead) as Weak<dyn Flushable>);
         drop(dead);
-        flush_thread_sinks().unwrap();
+        flush_task_sinks().unwrap();
         assert_eq!(mine.flushes.load(Ordering::SeqCst), 1);
         assert_eq!(foreign.flushes.load(Ordering::SeqCst), 0);
     }
@@ -166,18 +160,18 @@ mod tests {
     #[test]
     fn first_error_wins_but_all_sinks_run() {
         let a = Arc::new(Probe {
-            owner: thread_token(),
+            owner: task_token(),
             flushes: AtomicUsize::new(0),
             fail: true,
         });
         let b = Arc::new(Probe {
-            owner: thread_token(),
+            owner: task_token(),
             flushes: AtomicUsize::new(0),
             fail: false,
         });
         register(Arc::downgrade(&a) as Weak<dyn Flushable>);
         register(Arc::downgrade(&b) as Weak<dyn Flushable>);
-        assert!(flush_thread_sinks().is_err());
+        assert!(flush_task_sinks().is_err());
         assert_eq!(a.flushes.load(Ordering::SeqCst), 1);
         assert_eq!(b.flushes.load(Ordering::SeqCst), 1, "error does not halt the sweep");
     }

@@ -4,9 +4,12 @@
 //!
 //! * [`mod@channel`]s are FIFO **byte** streams with blocking reads (Kahn's
 //!   determinacy condition, §2) and bounded, blocking writes (§3.5);
-//! * [`process`]es run one-per-thread, built from the
-//!   [`process::Iterative`] pattern (`onStart`/`step`/`onStop`, Figure 4);
-//! * [`network::Network`] owns the graph, the threads, and the
+//! * [`process`]es run as tasks of a pluggable [`exec::Exec`]utor —
+//!   one-per-thread (the paper's model), multiplexed onto a fixed worker
+//!   pool, or serialized under the deterministic [`sim`] scheduler — built
+//!   from the [`process::Iterative`] pattern (`onStart`/`step`/`onStop`,
+//!   Figure 4);
+//! * [`network::Network`] owns the graph, the executor, and the
 //!   [`monitor::Monitor`] implementing Parks' bounded scheduling: artificial
 //!   deadlocks are resolved by growing the smallest full channel, true
 //!   deadlocks abort the network;
@@ -25,8 +28,8 @@
 //! [`channel::DEFAULT_STREAM_BUFFER`]) — the `BufferedOutputStream` layer
 //! Java's implementation got for free. Batching is invisible to program
 //! semantics because of one rule, enforced by the runtime (see [`flush`]):
-//! **all of a thread's buffered sinks are flushed automatically before the
-//! thread parks on a blocking read**, and again at the end of every
+//! **all of a task's buffered sinks are flushed automatically before the
+//! task parks on a blocking read**, and again at the end of every
 //! [`process::Iterative::step`].
 //!
 //! Why this preserves the paper's guarantees:
@@ -58,6 +61,7 @@
 mod buffer;
 pub mod channel;
 pub mod error;
+pub mod exec;
 pub mod flush;
 pub mod graphs;
 pub mod monitor;
@@ -72,6 +76,7 @@ pub use channel::{
     SourceRead, DEFAULT_CAPACITY, DEFAULT_STREAM_BUFFER,
 };
 pub use error::{Error, Result};
+pub use exec::{blocking_region, Exec, ExecMode, PooledExec, ThreadExec};
 pub use monitor::{
     BlockKind, ChannelIoStats, DeadlockPolicy, ExternalBlockGuard, Monitor, MonitorSnapshot,
     MonitorStats, MonitorTiming,

@@ -25,7 +25,6 @@
 use crate::error::{Error, Result};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 
@@ -263,26 +262,18 @@ pub struct Monitor {
     abort_hooks: Mutex<Vec<Box<dyn Fn() + Send + Sync>>>,
 }
 
-static THREAD_TOKEN: AtomicU64 = AtomicU64::new(1);
-
-thread_local! {
-    static TOKEN: u64 = THREAD_TOKEN.fetch_add(1, Ordering::Relaxed);
-    /// Set for threads spawned as network processes; used to distinguish
-    /// process threads from foreign threads in the live count.
-    static IS_PROCESS: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
-}
-
+/// The monitor keys its blocked-set by *task*, not OS thread: under the
+/// pooled executor one worker thread runs many tasks (and a task may
+/// migrate between workers between its enter/exit pair), so identity comes
+/// from the executor's task-locals.
 fn thread_token() -> u64 {
-    TOKEN.with(|t| *t)
+    crate::exec::task_token()
 }
 
-/// Marks the current thread as a network process thread for its lifetime.
-pub(crate) fn mark_process_thread(on: bool) {
-    IS_PROCESS.with(|c| c.set(on));
-}
-
+/// True when the caller is a network process task (any executor); foreign
+/// threads touching channels from outside register as external blocks.
 fn is_process_thread() -> bool {
-    IS_PROCESS.with(|c| c.get())
+    crate::exec::is_process_task()
 }
 
 impl Monitor {
@@ -868,7 +859,7 @@ mod tests {
         for &(chan, kind) in blocks {
             let m2 = m.clone();
             std::thread::spawn(move || {
-                mark_process_thread(true);
+                crate::exec::install_process_locals("blocked");
                 let _ = m2.enter_block(kind, chan);
             })
             .join()
@@ -933,7 +924,7 @@ mod tests {
         // One live process that is NOT blocked...
         let m1 = m.clone();
         std::thread::spawn(move || {
-            mark_process_thread(true);
+            crate::exec::install_process_locals("live");
             m1.process_started();
         })
         .join()
@@ -962,7 +953,7 @@ mod tests {
         m.register_channel(1, Arc::downgrade(&c) as Weak<dyn MonitoredChannel>);
         let m2 = m.clone();
         std::thread::spawn(move || {
-            mark_process_thread(true);
+            crate::exec::install_process_locals("writer");
             m2.process_started();
             m2.enter_block(BlockKind::Write, 1).unwrap();
         })

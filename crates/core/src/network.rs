@@ -1,21 +1,22 @@
-//! The network runner: builds a program graph, spawns one thread per
-//! process, tracks dynamically spawned processes, and reports the outcome.
+//! The network runner: builds a program graph, spawns each process as a
+//! task of the configured executor ([`ExecMode`]), tracks dynamically
+//! spawned processes, and reports the outcome.
 //!
 //! This plays the role of the paper's top-level graph-construction code
 //! (Figure 6): channels are created, processes are added and wired by
 //! moving channel endpoints into them, and the whole graph is started.
 //! Unlike the Java version there is no ambient runtime — the [`Network`]
-//! owns the deadlock [`Monitor`] and the join bookkeeping.
+//! owns the deadlock [`Monitor`], the executor, and the join bookkeeping.
 
 use crate::channel::{channel_with_parts, ChannelReader, ChannelWriter, DEFAULT_CAPACITY};
 use crate::error::{Error, Result};
-use crate::monitor::{mark_process_thread, DeadlockPolicy, Monitor, MonitorStats, MonitorTiming};
+use crate::exec::{Exec, ExecMode};
+use crate::monitor::{DeadlockPolicy, Monitor, MonitorStats, MonitorTiming};
 use crate::process::{FnProcess, Iterative, IterativeProcess, Process, ProcessCtx};
-use crate::sim::{ChannelKey, HistoryRecorder, SimScheduler};
-use parking_lot::Mutex;
+use crate::sim::{ChannelKey, HistoryRecorder};
+use parking_lot::{Condvar, Mutex};
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 /// Configuration for a [`Network`].
 #[derive(Debug, Clone)]
@@ -27,10 +28,11 @@ pub struct NetworkConfig {
     /// Deadlock-monitor cadence (tick / settle). Tests shrink this to keep
     /// wall-clock time down; forced to [`MonitorTiming::zero`] under sim.
     pub monitor_timing: MonitorTiming,
-    /// Run the whole network under this deterministic scheduler (see
-    /// [`crate::sim`]). Process threads then execute one at a time in the
-    /// order the schedule dictates.
-    pub sim: Option<Arc<SimScheduler>>,
+    /// Which executor runs the processes: one OS thread per process
+    /// (paper-faithful default), a fixed worker pool multiplexing many
+    /// processes, or the deterministic simulation scheduler. Defaults from
+    /// the `KPN_EXEC` environment variable (see [`ExecMode::from_env`]).
+    pub mode: ExecMode,
     /// Record every local channel's byte history for the determinacy
     /// oracle ([`Network::histories`]).
     pub record_history: bool,
@@ -42,7 +44,7 @@ impl Default for NetworkConfig {
             default_capacity: DEFAULT_CAPACITY,
             deadlock_policy: DeadlockPolicy::default(),
             monitor_timing: MonitorTiming::default(),
-            sim: None,
+            mode: ExecMode::default(),
             record_history: false,
         }
     }
@@ -51,11 +53,26 @@ impl Default for NetworkConfig {
 struct NetworkInner {
     config: NetworkConfig,
     monitor: Arc<Monitor>,
+    exec: Arc<dyn Exec>,
     recorder: Option<Arc<HistoryRecorder>>,
-    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Tasks spawned but not yet finished. Incremented on the *spawning*
+    /// task before the new task exists, so a parent that spawns children
+    /// keeps the count positive until every descendant is done — the
+    /// executor detaches tasks, so join waits on this counter instead of
+    /// OS join handles.
+    active: Mutex<usize>,
+    done_cv: Condvar,
     pending: Mutex<Vec<Box<dyn Process>>>,
     errors: Mutex<Vec<(String, Error)>>,
     processes_run: Mutex<usize>,
+}
+
+impl Drop for NetworkInner {
+    fn drop(&mut self) {
+        // Lets a pooled executor retire its idle workers; a no-op for the
+        // shared thread executor and for sim.
+        self.exec.shutdown();
+    }
 }
 
 /// Cheaply cloneable handle used by running processes (via
@@ -76,7 +93,7 @@ impl NetworkHandle {
         channel_with_parts(
             capacity,
             Some(self.inner.monitor.clone()),
-            self.inner.config.sim.clone(),
+            self.inner.exec.clone(),
             self.inner.recorder.clone(),
         )
     }
@@ -96,46 +113,41 @@ impl NetworkHandle {
     pub(crate) fn spawn_reserved(&self, p: Box<dyn Process>) {
         let inner = self.inner.clone();
         *inner.processes_run.lock() += 1;
+        // Count the task on the *spawning* side, before it exists: join can
+        // then never observe a window where a parent finished but its
+        // freshly spawned child is not yet counted.
+        *inner.active.lock() += 1;
         let name = p.name();
-        // Register with the sim scheduler on the *spawning* thread, before
-        // the OS thread exists: task ids then follow program order, which
-        // keeps them stable across replays of the same schedule.
-        let sim_task = inner
-            .config
-            .sim
-            .as_ref()
-            .map(|s| (s.clone(), s.register_task(&name)));
-        let thread_inner = inner.clone();
-        let handle = std::thread::Builder::new()
-            .name(format!("kpn:{name}"))
-            .spawn(move || {
-                mark_process_thread(true);
-                if let Some((sched, tid)) = &sim_task {
-                    sched.attach(*tid); // blocks until the schedule picks us
-                }
+        let task_inner = inner.clone();
+        let task_name = name.clone();
+        inner.exec.spawn(
+            &name,
+            Box::new(move || {
                 let ctx = ProcessCtx::new(NetworkHandle {
-                    inner: thread_inner.clone(),
+                    inner: task_inner.clone(),
                 });
                 let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| p.run(&ctx)));
                 match outcome {
                     Ok(Ok(())) => {}
                     Ok(Err(e)) if e.is_graceful() => {}
-                    Ok(Err(e)) => thread_inner.errors.lock().push((name, e)),
-                    Err(_) => thread_inner
+                    Ok(Err(e)) => task_inner.errors.lock().push((task_name, e)),
+                    Err(_) => task_inner
                         .errors
                         .lock()
-                        .push((name, Error::Graph("process panicked".into()))),
+                        .push((task_name, Error::Graph("process panicked".into()))),
                 }
-                // Finish bookkeeping while still holding the sim token, so
-                // the monitor's end-of-process deadlock check runs under the
-                // same serialization as everything else.
-                thread_inner.monitor.process_finished();
-                if let Some((sched, _)) = &sim_task {
-                    sched.finish_current();
+                // Finish bookkeeping before the task body returns: under sim
+                // the scheduler's run token is still held here, so the
+                // monitor's end-of-process deadlock check runs under the same
+                // serialization as everything else.
+                task_inner.monitor.process_finished();
+                let mut active = task_inner.active.lock();
+                *active -= 1;
+                if *active == 0 {
+                    task_inner.done_cv.notify_all();
                 }
-            })
-            .expect("failed to spawn process thread");
-        inner.handles.lock().push(handle);
+            }),
+        );
     }
 
     /// The network's deadlock monitor.
@@ -188,24 +200,28 @@ impl Network {
         // executes at a time, so no concurrent activity can race a
         // deadlock verdict. Its tick also runs from the scheduler's idle
         // hook rather than timeouts.
-        let timing = if config.sim.is_some() {
+        let timing = if config.mode.is_sim() {
             MonitorTiming::zero()
         } else {
             config.monitor_timing
         };
         let monitor = Monitor::with_timing(config.deadlock_policy, timing);
-        if let Some(sim) = &config.sim {
-            let m = monitor.clone();
-            sim.add_idle_hook(Box::new(move || m.tick()));
-        }
+        let exec = config.mode.build();
+        // Executors with their own quiescence detection (sim's idle hook,
+        // the pool's all-workers-idle tick) drive the monitor from there;
+        // the thread executor ignores this and relies on park timeouts.
+        let m = monitor.clone();
+        exec.add_idle_hook(Box::new(move || m.tick()));
         let recorder = config.record_history.then(HistoryRecorder::new);
         Network {
             handle: NetworkHandle {
                 inner: Arc::new(NetworkInner {
                     config,
                     monitor,
+                    exec,
                     recorder,
-                    handles: Mutex::new(Vec::new()),
+                    active: Mutex::new(0),
+                    done_cv: Condvar::new(),
                     pending: Mutex::new(Vec::new()),
                     errors: Mutex::new(Vec::new()),
                     processes_run: Mutex::new(0),
@@ -256,10 +272,8 @@ impl Network {
             self.handle.spawn_reserved(p);
         }
         // Open the schedule only once the whole initial batch is
-        // registered, so the first decision sees every task.
-        if let Some(sim) = &self.handle.inner.config.sim {
-            sim.release();
-        }
+        // registered, so (under sim) the first decision sees every task.
+        self.handle.inner.exec.release();
     }
 
     /// Waits for every process — including dynamically spawned ones — to
@@ -286,16 +300,11 @@ impl Network {
     /// Joins every process and builds the report without classifying the
     /// outcome (shared by [`Network::join`] and [`Network::run_report`]).
     fn join_report(&self) -> NetworkReport {
-        loop {
-            let batch: Vec<JoinHandle<()>> = {
-                let mut handles = self.handle.inner.handles.lock();
-                handles.drain(..).collect()
-            };
-            if batch.is_empty() {
-                break;
-            }
-            for h in batch {
-                let _ = h.join();
+        {
+            let inner = &self.handle.inner;
+            let mut active = inner.active.lock();
+            while *active > 0 {
+                inner.done_cv.wait(&mut active);
             }
         }
         let inner = &self.handle.inner;

@@ -57,7 +57,7 @@ impl ProcessCtx {
         &self.net
     }
 
-    /// Flushes every buffered sink owned by the calling thread (see
+    /// Flushes every buffered sink owned by the calling task (see
     /// [`crate::flush`]): buffered typed tokens become visible to their
     /// consumers immediately instead of waiting for a chunk boundary.
     ///
@@ -71,7 +71,7 @@ impl ProcessCtx {
     /// ([`crate::Error::WriteClosed`] once a consumer has stopped — the
     /// normal termination cascade of §3.4).
     pub fn flush_sinks(&self) -> Result<()> {
-        crate::flush::flush_thread_sinks()
+        crate::flush::flush_task_sinks()
     }
 }
 

@@ -191,8 +191,8 @@ struct SchedState {
 }
 
 /// The deterministic cooperative scheduler. Create one per simulated run,
-/// pass it via [`crate::NetworkConfig::sim`], and read the
-/// [`ScheduleTrace`] back after the run.
+/// pass it via [`crate::ExecMode::Sim`] in [`crate::NetworkConfig::mode`],
+/// and read the [`ScheduleTrace`] back after the run.
 pub struct SimScheduler {
     state: Mutex<SchedState>,
     cv: Condvar,
@@ -476,10 +476,6 @@ impl SimScheduler {
         Self::trace_locked(&self.state.lock())
     }
 
-    /// The name a task was registered with (history keying).
-    pub(crate) fn task_name(&self, tid: usize) -> String {
-        self.state.lock().tasks[tid].name.clone()
-    }
 }
 
 impl std::fmt::Debug for SimScheduler {
@@ -491,28 +487,6 @@ impl std::fmt::Debug for SimScheduler {
             .field("released", &st.released)
             .finish()
     }
-}
-
-// ---------------------------------------------------------------------------
-// Thread-local hooks used by channel.rs
-// ---------------------------------------------------------------------------
-
-/// Yield at a preemption point of `sched` — no-op unless the calling thread
-/// is one of its tasks.
-pub(crate) fn yield_point(sched: &Arc<SimScheduler>) {
-    if sched.is_current() {
-        sched.yield_now();
-    }
-}
-
-/// The name of the sim task running on this thread (any scheduler), used to
-/// key recorded histories by creator.
-pub(crate) fn current_task_name() -> Option<String> {
-    CURRENT.with(|c| {
-        c.borrow()
-            .as_ref()
-            .map(|(sched, tid)| sched.task_name(*tid))
-    })
 }
 
 // ---------------------------------------------------------------------------
@@ -546,10 +520,13 @@ impl HistoryRecorder {
         })
     }
 
-    /// Registers a channel created by the current thread's task (or
-    /// "main"); returns the slot the channel records into.
+    /// Registers a channel created by the current task (or "main" for
+    /// foreign threads); returns the slot the channel records into. Task
+    /// names come from the executor layer, so the keying is identical
+    /// under thread, pooled, and sim execution — what lets the exec-matrix
+    /// tests compare histories across modes.
     pub(crate) fn register(&self) -> usize {
-        let creator = current_task_name().unwrap_or_else(|| "main".to_string());
+        let creator = crate::exec::current_task_name().unwrap_or_else(|| "main".to_string());
         let mut st = self.state.lock();
         let seq = st.per_creator.entry(creator.clone()).or_insert(0);
         let key = (creator, *seq);
@@ -661,7 +638,7 @@ where
 {
     let sched = SimScheduler::new(policy);
     let config = crate::NetworkConfig {
-        sim: Some(sched.clone()),
+        mode: crate::ExecMode::Sim(sched.clone()),
         record_history: true,
         ..Default::default()
     };

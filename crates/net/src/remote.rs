@@ -518,9 +518,15 @@ impl SinkCore {
         if !self.policy.enabled || self.acked >= target {
             return Ok(());
         }
-        // Reading acks can block: publish this thread's buffered output
+        // Reading acks can block: publish this task's buffered output
         // first (same deadlock-safety rule as local channels).
         kpn_core::flush::flush_before_block();
+        // Socket waits hold an OS thread, not just a task: tell the executor
+        // so a pooled worker is compensated for while we sit in `read`.
+        kpn_core::exec::blocking_region(|| self.wait_acked_inner(target, marker_wait))
+    }
+
+    fn wait_acked_inner(&mut self, target: u64, marker_wait: bool) -> Result<()> {
         let mut tmp = [0u8; 256];
         loop {
             if self.acked >= target {
@@ -1118,11 +1124,12 @@ impl RemoteSource {
 
 impl Source for RemoteSource {
     fn read(&mut self, buf: &mut [u8]) -> Result<SourceRead> {
-        // A socket read can block indefinitely: publish this thread's
+        // A socket read can block indefinitely: publish this task's
         // buffered output first (same deadlock-safety rule as local
-        // channels — see `kpn_core::flush`).
+        // channels — see `kpn_core::flush`), and enter a blocking region so
+        // a pooled executor backfills the worker this wait occupies.
         kpn_core::flush::flush_before_block();
-        loop {
+        kpn_core::exec::blocking_region(|| loop {
             match self.try_read(buf) {
                 Ok(r) => return Ok(r),
                 Err(e) if self.policy.enabled && !self.closed && link_failure(&e) => {
@@ -1130,7 +1137,7 @@ impl Source for RemoteSource {
                 }
                 Err(e) => return Err(e),
             }
-        }
+        })
     }
 
     fn close(&mut self) {
@@ -1187,9 +1194,10 @@ impl Source for PendingSource {
     fn read(&mut self, _buf: &mut [u8]) -> Result<SourceRead> {
         // Waiting for a connection is a blocking read: flush first so the
         // peer (who may need our buffered output to make progress before
-        // connecting back) can proceed.
+        // connecting back) can proceed, and mark the wait as a blocking
+        // region so a pooled executor keeps its worker count whole.
         kpn_core::flush::flush_before_block();
-        match self.pending.rx.recv() {
+        match kpn_core::exec::blocking_region(|| self.pending.rx.recv()) {
             Ok(transport) => {
                 let policy = self.acceptor.profile().policy.clone();
                 let source = RemoteSource::adopt(

@@ -669,19 +669,23 @@ pub fn notify_probe() {
 /// condvar-based replacement for the probe's former fixed-interval sleep.
 /// Returns `true` if woken by an event.
 pub fn probe_wait(timeout: Duration) -> bool {
-    let w = waker();
-    let mut events = w.events.lock();
-    let before = *events;
-    if *events != before {
-        return true;
-    }
-    let deadline = Instant::now() + timeout;
-    while *events == before {
-        if w.cond.wait_until(&mut events, deadline).timed_out() {
-            return *events != before;
+    // A condvar wait pins an OS thread; announce it so a pooled executor
+    // running the probe as a task backfills the occupied worker.
+    kpn_core::exec::blocking_region(|| {
+        let w = waker();
+        let mut events = w.events.lock();
+        let before = *events;
+        if *events != before {
+            return true;
         }
-    }
-    true
+        let deadline = Instant::now() + timeout;
+        while *events == before {
+            if w.cond.wait_until(&mut events, deadline).timed_out() {
+                return *events != before;
+            }
+        }
+        true
+    })
 }
 
 /// Classification of an I/O error for the recovery logic: `true` means
