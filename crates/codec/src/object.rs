@@ -31,6 +31,7 @@ pub struct ObjectWriter {
 impl ObjectWriter {
     /// Wraps a channel writer, buffering it if it is not already.
     pub fn new(mut inner: ChannelWriter) -> Self {
+        inner.declare_framing(kpn_core::StreamFraming::Object);
         inner.ensure_buffered(DEFAULT_STREAM_BUFFER);
         ObjectWriter {
             inner,
@@ -84,6 +85,7 @@ pub struct ObjectReader {
 impl ObjectReader {
     /// Wraps a channel reader.
     pub fn new(inner: ChannelReader) -> Self {
+        inner.declare_framing(kpn_core::StreamFraming::Object);
         ObjectReader { inner }
     }
 

@@ -549,6 +549,7 @@ fn replay(e: &Error) -> Error {
         Error::Io(io) => Error::Io(std::io::Error::new(io.kind(), io.to_string())),
         Error::Codec(s) => Error::Codec(s.clone()),
         Error::Graph(s) => Error::Graph(s.clone()),
+        Error::Lint(ds) => Error::Lint(ds.clone()),
     }
 }
 
@@ -759,6 +760,10 @@ pub struct ChannelWriter {
     sink: Option<Box<dyn Sink>>,
     /// True when `sink` is a [`BufferedSink`]; prevents double-wrapping.
     buffered: bool,
+    /// Back-link into the owning network's topology registry, when this
+    /// endpoint was created through a [`crate::Network`]. Pure metadata for
+    /// the lint pass; never affects data flow.
+    topo: Option<crate::topology::EndpointTopo>,
 }
 
 impl ChannelWriter {
@@ -767,6 +772,50 @@ impl ChannelWriter {
         ChannelWriter {
             sink: Some(sink),
             buffered: false,
+            topo: None,
+        }
+    }
+
+    /// Declares that this endpoint is owned by the process identified by
+    /// `tag`. Called by the stdlib process constructors; custom processes
+    /// may do the same (see [`crate::Process::lint_tag`]). Metadata only.
+    pub fn attach(&self, tag: &crate::topology::ProcessTag) {
+        tag.note_attachment();
+        if let Some(t) = &self.topo {
+            t.attach(tag);
+        }
+    }
+
+    /// Declares that this endpoint is intentionally driven from outside the
+    /// network (e.g. a main thread feeding the graph), exempting it from the
+    /// L001 dangling-endpoint lint.
+    pub fn declare_external(&self) {
+        if let Some(t) = &self.topo {
+            t.mark(crate::topology::SideState::External);
+        }
+    }
+
+    /// Declares the element type this endpoint produces, for the L002
+    /// typed-stream contract lint. `size` is the encoded size in bytes.
+    pub fn declare_item<T>(&self, size: usize) {
+        if let Some(t) = &self.topo {
+            t.declare_item(std::any::type_name::<T>(), size);
+        }
+    }
+
+    /// Declares the stream framing installed over this endpoint (typed data
+    /// stream vs. length-prefixed object stream), for the L002 lint.
+    pub fn declare_framing(&self, framing: crate::topology::StreamFraming) {
+        if let Some(t) = &self.topo {
+            t.declare_framing(framing);
+        }
+    }
+
+    /// Declares a fixed SDF rate (tokens written per firing) for the L005
+    /// balance-equation lint.
+    pub fn declare_rate(&self, rate: u64) {
+        if let Some(t) = &self.topo {
+            t.declare_rate(rate);
         }
     }
 
@@ -814,6 +863,9 @@ impl ChannelWriter {
     pub fn close(&mut self) {
         if let Some(mut s) = self.sink.take() {
             s.close();
+            if let Some(t) = &self.topo {
+                t.mark(crate::topology::SideState::Closed);
+            }
         }
     }
 
@@ -822,7 +874,18 @@ impl ChannelWriter {
     /// downstream reader continues without losing or repeating a byte.
     pub fn retire(mut self, upstream: ChannelReader) -> Result<()> {
         match self.sink.take() {
-            Some(s) => s.retire(upstream),
+            Some(s) => {
+                // The downstream reader now continues from `upstream`'s
+                // bytes: both this write side and the consumed upstream read
+                // side survive as a splice, not a dangle.
+                if let Some(t) = &self.topo {
+                    t.mark(crate::topology::SideState::Spliced);
+                }
+                if let Some(t) = &upstream.topo {
+                    t.mark(crate::topology::SideState::Spliced);
+                }
+                s.retire(upstream)
+            }
             None => Err(Error::WriteClosed),
         }
     }
@@ -875,6 +938,10 @@ impl std::fmt::Debug for ChannelWriter {
 /// Dropping it closes the stream: writers fail on their next write.
 pub struct ChannelReader {
     sources: VecDeque<Box<dyn Source>>,
+    /// Back-link into the owning network's topology registry, when this
+    /// endpoint was created through a [`crate::Network`]. Pure metadata for
+    /// the lint pass; never affects data flow.
+    topo: Option<crate::topology::EndpointTopo>,
 }
 
 impl ChannelReader {
@@ -882,13 +949,60 @@ impl ChannelReader {
     pub fn from_source(source: Box<dyn Source>) -> Self {
         let mut sources = VecDeque::with_capacity(1);
         sources.push_back(source);
-        ChannelReader { sources }
+        ChannelReader {
+            sources,
+            topo: None,
+        }
     }
 
     /// An already-exhausted reader (EOF immediately).
     pub fn empty() -> Self {
         ChannelReader {
             sources: VecDeque::new(),
+            topo: None,
+        }
+    }
+
+    /// Declares that this endpoint is owned by the process identified by
+    /// `tag`. Called by the stdlib process constructors; custom processes
+    /// may do the same (see [`crate::Process::lint_tag`]). Metadata only.
+    pub fn attach(&self, tag: &crate::topology::ProcessTag) {
+        tag.note_attachment();
+        if let Some(t) = &self.topo {
+            t.attach(tag);
+        }
+    }
+
+    /// Declares that this endpoint is intentionally driven from outside the
+    /// network (e.g. a main thread draining results), exempting it from the
+    /// L001 dangling-endpoint lint.
+    pub fn declare_external(&self) {
+        if let Some(t) = &self.topo {
+            t.mark(crate::topology::SideState::External);
+        }
+    }
+
+    /// Declares the element type this endpoint expects, for the L002
+    /// typed-stream contract lint. `size` is the encoded size in bytes.
+    pub fn declare_item<T>(&self, size: usize) {
+        if let Some(t) = &self.topo {
+            t.declare_item(std::any::type_name::<T>(), size);
+        }
+    }
+
+    /// Declares the stream framing installed over this endpoint (typed data
+    /// stream vs. length-prefixed object stream), for the L002 lint.
+    pub fn declare_framing(&self, framing: crate::topology::StreamFraming) {
+        if let Some(t) = &self.topo {
+            t.declare_framing(framing);
+        }
+    }
+
+    /// Declares a fixed SDF rate (tokens read per firing) for the L005
+    /// balance-equation lint.
+    pub fn declare_rate(&self, rate: u64) {
+        if let Some(t) = &self.topo {
+            t.declare_rate(rate);
         }
     }
 
@@ -936,6 +1050,9 @@ impl ChannelReader {
     /// Appends another reader's sources after this one's: after this reader
     /// reaches the end of its current data, it continues with `tail`.
     pub fn append(&mut self, tail: ChannelReader) {
+        if let Some(t) = &tail.topo {
+            t.mark(crate::topology::SideState::Spliced);
+        }
         self.sources.extend(tail.into_sources());
     }
 
@@ -957,6 +1074,9 @@ impl ChannelReader {
     pub fn close(&mut self) {
         for mut s in self.sources.drain(..) {
             s.close();
+        }
+        if let Some(t) = &self.topo {
+            t.mark(crate::topology::SideState::Closed);
         }
     }
 
@@ -1004,16 +1124,18 @@ pub fn channel_with(
     monitor: Option<Arc<Monitor>>,
 ) -> (ChannelWriter, ChannelReader) {
     let exec = crate::exec::default_exec().clone() as Arc<dyn Exec>;
-    channel_with_parts(capacity, monitor, exec, None)
+    channel_with_parts(capacity, monitor, exec, None, None)
 }
 
 /// Full-control constructor used by [`crate::Network`]: monitor plus the
-/// network's executor and the history recorder of deterministic mode.
+/// network's executor, the history recorder of deterministic mode, and the
+/// topology registry feeding the lint pass.
 pub(crate) fn channel_with_parts(
     capacity: usize,
     monitor: Option<Arc<Monitor>>,
     exec: Arc<dyn Exec>,
     recorder: Option<Arc<HistoryRecorder>>,
+    topo: Option<Arc<crate::topology::Topology>>,
 ) -> (ChannelWriter, ChannelReader) {
     let recorder = recorder.map(|r| {
         let slot = r.register();
@@ -1027,14 +1149,30 @@ pub(crate) fn channel_with_parts(
         };
         m.register_channel(shared.id, weak);
     }
-    let writer = ChannelWriter::from_sink(Box::new(LocalSink {
+    if let Some(t) = &topo {
+        let weak: Weak<dyn MonitoredChannel> = {
+            let w: Weak<Shared> = Arc::downgrade(&shared);
+            w
+        };
+        t.register_channel(shared.id, capacity, weak);
+    }
+    let endpoint = |side| {
+        topo.as_ref().map(|t| crate::topology::EndpointTopo {
+            topo: t.clone(),
+            channel: shared.id,
+            side,
+        })
+    };
+    let mut writer = ChannelWriter::from_sink(Box::new(LocalSink {
         shared: shared.clone(),
         closed: false,
     }));
-    let reader = ChannelReader::from_source(Box::new(LocalSource {
-        shared,
+    writer.topo = endpoint(crate::topology::Side::Write);
+    let mut reader = ChannelReader::from_source(Box::new(LocalSource {
+        shared: shared.clone(),
         closed: false,
     }));
+    reader.topo = endpoint(crate::topology::Side::Read);
     (writer, reader)
 }
 

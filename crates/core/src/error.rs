@@ -34,6 +34,10 @@ pub enum Error {
     /// Graph construction or migration error (bad spec, unknown process
     /// type, unroutable endpoint).
     Graph(String),
+    /// The static lint pass found structural defects and the network is
+    /// configured with [`crate::topology::LintLevel::Deny`]. Carries every
+    /// finding from the run.
+    Lint(Vec<crate::topology::Diagnostic>),
 }
 
 impl fmt::Display for Error {
@@ -46,6 +50,13 @@ impl fmt::Display for Error {
             Error::Io(e) => write!(f, "transport error: {e}"),
             Error::Codec(why) => write!(f, "codec error: {why}"),
             Error::Graph(why) => write!(f, "graph error: {why}"),
+            Error::Lint(diags) => {
+                write!(f, "lint found {} issue(s)", diags.len())?;
+                for d in diags {
+                    write!(f, "; {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }

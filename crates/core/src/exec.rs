@@ -494,7 +494,7 @@ impl Exec for SimExec {
 // Stackful fibers (x86_64): the continuations behind PooledExec
 // ---------------------------------------------------------------------------
 
-#[cfg(target_arch = "x86_64")]
+#[cfg(all(target_arch = "x86_64", not(miri)))]
 mod fiber {
     //! Minimal stackful coroutines: a fiber is a heap stack plus a saved
     //! stack pointer. Switching saves the six SysV callee-saved registers
@@ -690,7 +690,7 @@ mod fiber {
     }
 }
 
-#[cfg(not(target_arch = "x86_64"))]
+#[cfg(any(not(target_arch = "x86_64"), miri))]
 mod fiber {
     //! Fallback for targets without the context-switch assembly: the
     //! pooled executor degrades to thread-per-task (see
@@ -924,7 +924,7 @@ impl PooledExec {
 }
 
 impl Exec for PooledExec {
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     fn spawn(&self, name: &str, body: Box<dyn FnOnce() + Send>) {
         let locals = TaskLocals::new(
             name,
@@ -945,7 +945,7 @@ impl Exec for PooledExec {
         self.work_cv.notify_one();
     }
 
-    #[cfg(not(target_arch = "x86_64"))]
+    #[cfg(any(not(target_arch = "x86_64"), miri))]
     fn spawn(&self, name: &str, body: Box<dyn FnOnce() + Send>) {
         // Thread-per-task fallback: parking uses the thread-waiter path.
         let locals = TaskLocals::new(

@@ -70,6 +70,7 @@ pub mod process;
 pub mod sim;
 pub mod stdlib;
 pub mod stream;
+pub mod topology;
 
 pub use channel::{
     channel, channel_with_capacity, Channel, ChannelReader, ChannelWriter, Sink, Source,
@@ -88,3 +89,8 @@ pub use sim::{
 pub use network::{Network, NetworkConfig, NetworkHandle, NetworkReport};
 pub use process::{CompositeProcess, FnProcess, Iterative, IterativeProcess, Process, ProcessCtx};
 pub use stream::{DataReader, DataWriter};
+pub use topology::{
+    check_builtin, register_lint_pass, run_lint, ChannelShape, DiagCode, Diagnostic,
+    EndpointShape, LintLevel, LintScope, ProcessShape, ProcessTag, SideState, StreamFraming,
+    TopologySnapshot,
+};

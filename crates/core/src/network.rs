@@ -14,6 +14,7 @@ use crate::exec::{Exec, ExecMode};
 use crate::monitor::{DeadlockPolicy, Monitor, MonitorStats, MonitorTiming};
 use crate::process::{FnProcess, Iterative, IterativeProcess, Process, ProcessCtx};
 use crate::sim::{ChannelKey, HistoryRecorder};
+use crate::topology::{Diagnostic, LintLevel, LintScope, Topology, TopologySnapshot};
 use parking_lot::{Condvar, Mutex};
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
@@ -36,6 +37,11 @@ pub struct NetworkConfig {
     /// Record every local channel's byte history for the determinacy
     /// oracle ([`Network::histories`]).
     pub record_history: bool,
+    /// Enforcement level of the static lint pass run before
+    /// [`Network::start`] and after every dynamic spawn. Defaults from the
+    /// `KPN_LINT` environment variable (see [`LintLevel::from_env`];
+    /// unset means [`LintLevel::Warn`]).
+    pub lint: LintLevel,
 }
 
 impl Default for NetworkConfig {
@@ -46,6 +52,7 @@ impl Default for NetworkConfig {
             monitor_timing: MonitorTiming::default(),
             mode: ExecMode::default(),
             record_history: false,
+            lint: LintLevel::default(),
         }
     }
 }
@@ -65,6 +72,36 @@ struct NetworkInner {
     pending: Mutex<Vec<Box<dyn Process>>>,
     errors: Mutex<Vec<(String, Error)>>,
     processes_run: Mutex<usize>,
+    topology: Arc<Topology>,
+}
+
+impl NetworkInner {
+    fn lint(&self, scope: LintScope) -> Vec<Diagnostic> {
+        crate::topology::run_lint(&self.topology.snapshot(), scope)
+    }
+
+    /// Applies the configured lint level to a scope. `Ok(())` means
+    /// proceed; `Err(Error::Lint)` means the caller must not spawn.
+    fn enforce_lint(&self, scope: LintScope) -> Result<()> {
+        let level = self.config.lint;
+        if level == LintLevel::Off {
+            return Ok(());
+        }
+        let diags = self.lint(scope);
+        if diags.is_empty() {
+            return Ok(());
+        }
+        match level {
+            LintLevel::Warn => {
+                for d in &diags {
+                    eprintln!("kpn-lint warning: {d}");
+                }
+                Ok(())
+            }
+            LintLevel::Deny => Err(Error::Lint(diags)),
+            LintLevel::Off => unreachable!(),
+        }
+    }
 }
 
 impl Drop for NetworkInner {
@@ -89,17 +126,56 @@ impl NetworkHandle {
     }
 
     /// Creates a monitored channel with an explicit capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a zero-capacity channel can never
+    /// transfer a byte and never grows, so every write on it stalls
+    /// forever. Use [`NetworkHandle::try_channel_with_capacity`] for a
+    /// fallible variant.
     pub fn channel_with_capacity(&self, capacity: usize) -> (ChannelWriter, ChannelReader) {
-        channel_with_parts(
+        match self.try_channel_with_capacity(capacity) {
+            Ok(pair) => pair,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a monitored channel with an explicit capacity, rejecting a
+    /// zero capacity with [`Error::Graph`].
+    pub fn try_channel_with_capacity(
+        &self,
+        capacity: usize,
+    ) -> Result<(ChannelWriter, ChannelReader)> {
+        if capacity == 0 {
+            return Err(Error::Graph(
+                "channel capacity must be at least 1 byte: a zero-capacity channel \
+                 can never transfer data and is never grown by the monitor"
+                    .into(),
+            ));
+        }
+        Ok(channel_with_parts(
             capacity,
             Some(self.inner.monitor.clone()),
             self.inner.exec.clone(),
             self.inner.recorder.clone(),
-        )
+            Some(self.inner.topology.clone()),
+        ))
     }
 
-    /// Spawns a process thread immediately.
+    /// Spawns a process thread immediately, after re-running the lint pass
+    /// over the reconfigured topology (the incremental half of the static
+    /// verifier: every Sift insertion and Cons splice is re-checked). Under
+    /// [`LintLevel::Deny`] a finding records an [`Error::Lint`] against the
+    /// process and skips the spawn instead of running a defective graph.
     pub fn spawn(&self, p: Box<dyn Process>) {
+        self.inner.topology.register_process(p.lint_tag());
+        let scope = LintScope::Reconfigure(p.lint_tag().map(|t| t.id()));
+        if let Err(e) = self.inner.enforce_lint(scope) {
+            // No monitor abort here: join() must surface the lint error
+            // itself, not a masking `Deadlocked`.
+            self.inner.errors.lock().push((p.name(), e));
+            return;
+        }
         // Count the process as live *before* its thread exists, so a
         // partially-started graph can never be mistaken for all-blocked.
         self.inner.monitor.process_started();
@@ -225,6 +301,7 @@ impl Network {
                     pending: Mutex::new(Vec::new()),
                     errors: Mutex::new(Vec::new()),
                     processes_run: Mutex::new(0),
+                    topology: Topology::new(),
                 }),
             },
         }
@@ -236,8 +313,22 @@ impl Network {
     }
 
     /// Creates a monitored channel with an explicit capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (see
+    /// [`NetworkHandle::channel_with_capacity`]).
     pub fn channel_with_capacity(&self, capacity: usize) -> (ChannelWriter, ChannelReader) {
         self.handle.channel_with_capacity(capacity)
+    }
+
+    /// Creates a monitored channel with an explicit capacity, rejecting a
+    /// zero capacity with [`Error::Graph`].
+    pub fn try_channel_with_capacity(
+        &self,
+        capacity: usize,
+    ) -> Result<(ChannelWriter, ChannelReader)> {
+        self.handle.try_channel_with_capacity(capacity)
     }
 
     /// Adds an [`Iterative`] process to run when the network starts.
@@ -247,6 +338,7 @@ impl Network {
 
     /// Adds a boxed [`Process`].
     pub fn add_process(&self, p: Box<dyn Process>) {
+        self.handle.inner.topology.register_process(p.lint_tag());
         self.handle.inner.pending.lock().push(p);
     }
 
@@ -261,7 +353,22 @@ impl Network {
     /// Spawns all pending processes. Can be called repeatedly; processes
     /// added after `start` must be started again or spawned via
     /// [`NetworkHandle::spawn`].
+    ///
+    /// Runs the static lint pass first. Under [`LintLevel::Deny`] a finding
+    /// keeps every pending process unspawned and records the
+    /// [`Error::Lint`] for [`Network::join`] to return; use
+    /// [`Network::try_start`] to observe it directly.
     pub fn start(&self) {
+        if let Err(e) = self.try_start() {
+            self.handle.inner.errors.lock().push(("kpn-lint".into(), e));
+        }
+    }
+
+    /// Like [`Network::start`], but surfaces a [`LintLevel::Deny`] verdict
+    /// as `Err(Error::Lint)` instead of deferring it to `join`. On error no
+    /// process has been spawned.
+    pub fn try_start(&self) -> Result<()> {
+        self.handle.inner.enforce_lint(LintScope::Startup)?;
         let pending: Vec<_> = self.handle.inner.pending.lock().drain(..).collect();
         // Reserve the live-count for the whole batch before any thread
         // runs; see `spawn_reserved`.
@@ -274,6 +381,20 @@ impl Network {
         // Open the schedule only once the whole initial batch is
         // registered, so (under sim) the first decision sees every task.
         self.handle.inner.exec.release();
+        Ok(())
+    }
+
+    /// Runs the full static lint (built-in checks plus registered extra
+    /// passes such as `kpn-lint`'s L005) over the current topology and
+    /// returns every finding, regardless of [`NetworkConfig::lint`].
+    pub fn lint_diagnostics(&self) -> Vec<Diagnostic> {
+        self.handle.inner.lint(LintScope::Startup)
+    }
+
+    /// A consistent snapshot of the network's topology metadata, as seen by
+    /// the lint pass.
+    pub fn topology_snapshot(&self) -> TopologySnapshot {
+        self.handle.inner.topology.snapshot()
     }
 
     /// Waits for every process — including dynamically spawned ones — to
@@ -281,7 +402,22 @@ impl Network {
     /// monitor declared a true deadlock, or [`Error::Graph`] if any process
     /// failed non-gracefully.
     pub fn join(&self) -> Result<NetworkReport> {
-        let report = self.join_report();
+        let mut report = self.join_report();
+        // A lint denial takes precedence over everything else: a skipped
+        // spawn routinely strands its peers (that is exactly what the lint
+        // predicted), and reporting the resulting stall as `Deadlocked`
+        // would bury the actionable finding.
+        let mut lint: Vec<Diagnostic> = Vec::new();
+        report.errors.retain(|(_, e)| match e {
+            Error::Lint(ds) => {
+                lint.extend(ds.iter().cloned());
+                false
+            }
+            _ => true,
+        });
+        if !lint.is_empty() {
+            return Err(Error::Lint(lint));
+        }
         if self.handle.inner.monitor.is_aborted() {
             return Err(Error::Deadlocked);
         }

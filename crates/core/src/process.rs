@@ -16,6 +16,7 @@
 use crate::channel::{ChannelReader, ChannelWriter};
 use crate::error::Result;
 use crate::network::NetworkHandle;
+use crate::topology::ProcessTag;
 
 /// Execution context handed to a running process: lets self-modifying
 /// graphs create channels and spawn new processes at run time (§3.3 —
@@ -37,8 +38,22 @@ impl ProcessCtx {
     }
 
     /// Creates a new monitored channel with an explicit capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (see
+    /// [`NetworkHandle::channel_with_capacity`]).
     pub fn channel_with_capacity(&self, capacity: usize) -> (ChannelWriter, ChannelReader) {
         self.net.channel_with_capacity(capacity)
+    }
+
+    /// Creates a new monitored channel with an explicit capacity, rejecting
+    /// a zero capacity with [`crate::Error::Graph`].
+    pub fn try_channel_with_capacity(
+        &self,
+        capacity: usize,
+    ) -> Result<(ChannelWriter, ChannelReader)> {
+        self.net.try_channel_with_capacity(capacity)
     }
 
     /// Spawns a process into the running network (dynamic reconfiguration:
@@ -87,6 +102,18 @@ pub trait Process: Send + 'static {
     /// (with any result) drops the process and thereby closes all of its
     /// channel endpoints — the paper's `onStop` behaviour.
     fn run(self: Box<Self>, ctx: &ProcessCtx) -> Result<()>;
+
+    /// The process's lint declaration, if it participates in the static
+    /// verifier. A declared process creates a [`ProcessTag`] in its
+    /// constructor, calls [`crate::ChannelWriter::attach`] /
+    /// [`crate::ChannelReader::attach`] on every endpoint it owns, and
+    /// returns the tag here. The default `None` marks the process *opaque*:
+    /// network-wide endpoint accounting (the L001 dangling-endpoint check)
+    /// is suppressed, since an opaque process may own any endpoint
+    /// invisibly. Every stdlib process is declared.
+    fn lint_tag(&self) -> Option<&ProcessTag> {
+        None
+    }
 }
 
 /// The `IterativeProcess` pattern (§3.2, Figure 4): one-time start/stop
@@ -114,6 +141,12 @@ pub trait Iterative: Send + 'static {
     /// One-time cleanup, invoked as execution ends (even after an error).
     /// Channel endpoints are closed automatically when the process drops.
     fn on_stop(&mut self) {}
+
+    /// Lint declaration, forwarded by [`IterativeProcess`]; see
+    /// [`Process::lint_tag`].
+    fn lint_tag(&self) -> Option<&ProcessTag> {
+        None
+    }
 }
 
 /// Adapter running an [`Iterative`] under the [`Process`] contract.
@@ -131,6 +164,10 @@ impl<T: Iterative> IterativeProcess<T> {
 impl<T: Iterative> Process for IterativeProcess<T> {
     fn name(&self) -> String {
         self.inner.name()
+    }
+
+    fn lint_tag(&self) -> Option<&ProcessTag> {
+        self.inner.lint_tag()
     }
 
     fn run(mut self: Box<Self>, ctx: &ProcessCtx) -> Result<()> {

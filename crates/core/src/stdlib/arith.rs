@@ -6,21 +6,33 @@ use crate::channel::{ChannelReader, ChannelWriter};
 use crate::error::Result;
 use crate::process::{Iterative, ProcessCtx};
 use crate::stream::{DataReader, DataWriter};
+use crate::topology::ProcessTag;
 
 /// Adds two `i64` streams element-wise (Figure 2).
 pub struct Add {
     a: DataReader,
     b: DataReader,
     out: DataWriter,
+    tag: ProcessTag,
 }
 
 impl Add {
     /// `out[i] = a[i] + b[i]`.
     pub fn new(a: ChannelReader, b: ChannelReader, out: ChannelWriter) -> Self {
+        let tag = ProcessTag::new("Add");
+        for r in [&a, &b] {
+            r.attach(&tag);
+            r.declare_item::<i64>(8);
+            r.declare_rate(1);
+        }
+        out.attach(&tag);
+        out.declare_item::<i64>(8);
+        out.declare_rate(1);
         Add {
             a: DataReader::new(a),
             b: DataReader::new(b),
             out: DataWriter::new(out),
+            tag,
         }
     }
 }
@@ -28,6 +40,9 @@ impl Add {
 impl Iterative for Add {
     fn name(&self) -> String {
         "Add".into()
+    }
+    fn lint_tag(&self) -> Option<&ProcessTag> {
+        Some(&self.tag)
     }
     fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
         let x = self.a.read_i64()?;
@@ -41,15 +56,24 @@ pub struct Scale {
     factor: i64,
     input: DataReader,
     out: DataWriter,
+    tag: ProcessTag,
 }
 
 impl Scale {
     /// `out[i] = factor * input[i]`.
     pub fn new(factor: i64, input: ChannelReader, out: ChannelWriter) -> Self {
+        let tag = ProcessTag::new(format!("Scale(x{factor})"));
+        input.attach(&tag);
+        input.declare_item::<i64>(8);
+        input.declare_rate(1);
+        out.attach(&tag);
+        out.declare_item::<i64>(8);
+        out.declare_rate(1);
         Scale {
             factor,
             input: DataReader::new(input),
             out: DataWriter::new(out),
+            tag,
         }
     }
 }
@@ -57,6 +81,9 @@ impl Scale {
 impl Iterative for Scale {
     fn name(&self) -> String {
         format!("Scale(x{})", self.factor)
+    }
+    fn lint_tag(&self) -> Option<&ProcessTag> {
+        Some(&self.tag)
     }
     fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
         let v = self.input.read_i64()?;
@@ -69,15 +96,26 @@ pub struct Divide {
     num: DataReader,
     den: DataReader,
     out: DataWriter,
+    tag: ProcessTag,
 }
 
 impl Divide {
     /// `out[i] = num[i] / den[i]`.
     pub fn new(num: ChannelReader, den: ChannelReader, out: ChannelWriter) -> Self {
+        let tag = ProcessTag::new("Divide");
+        for r in [&num, &den] {
+            r.attach(&tag);
+            r.declare_item::<f64>(8);
+            r.declare_rate(1);
+        }
+        out.attach(&tag);
+        out.declare_item::<f64>(8);
+        out.declare_rate(1);
         Divide {
             num: DataReader::new(num),
             den: DataReader::new(den),
             out: DataWriter::new(out),
+            tag,
         }
     }
 }
@@ -85,6 +123,9 @@ impl Divide {
 impl Iterative for Divide {
     fn name(&self) -> String {
         "Divide".into()
+    }
+    fn lint_tag(&self) -> Option<&ProcessTag> {
+        Some(&self.tag)
     }
     fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
         let n = self.num.read_f64()?;
@@ -99,15 +140,26 @@ pub struct Average {
     a: DataReader,
     b: DataReader,
     out: DataWriter,
+    tag: ProcessTag,
 }
 
 impl Average {
     /// `out[i] = (a[i] + b[i]) / 2`.
     pub fn new(a: ChannelReader, b: ChannelReader, out: ChannelWriter) -> Self {
+        let tag = ProcessTag::new("Average");
+        for r in [&a, &b] {
+            r.attach(&tag);
+            r.declare_item::<f64>(8);
+            r.declare_rate(1);
+        }
+        out.attach(&tag);
+        out.declare_item::<f64>(8);
+        out.declare_rate(1);
         Average {
             a: DataReader::new(a),
             b: DataReader::new(b),
             out: DataWriter::new(out),
+            tag,
         }
     }
 }
@@ -115,6 +167,9 @@ impl Average {
 impl Iterative for Average {
     fn name(&self) -> String {
         "Average".into()
+    }
+    fn lint_tag(&self) -> Option<&ProcessTag> {
+        Some(&self.tag)
     }
     fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
         let x = self.a.read_f64()?;
@@ -129,15 +184,26 @@ pub struct Equal {
     a: DataReader,
     b: DataReader,
     out: DataWriter,
+    tag: ProcessTag,
 }
 
 impl Equal {
     /// `out[i] = (a[i] == b[i])` as a boolean byte.
     pub fn new(a: ChannelReader, b: ChannelReader, out: ChannelWriter) -> Self {
+        let tag = ProcessTag::new("Equal");
+        for r in [&a, &b] {
+            r.attach(&tag);
+            r.declare_item::<f64>(8);
+            r.declare_rate(1);
+        }
+        out.attach(&tag);
+        out.declare_item::<bool>(1);
+        out.declare_rate(1);
         Equal {
             a: DataReader::new(a),
             b: DataReader::new(b),
             out: DataWriter::new(out),
+            tag,
         }
     }
 }
@@ -145,6 +211,9 @@ impl Equal {
 impl Iterative for Equal {
     fn name(&self) -> String {
         "Equal".into()
+    }
+    fn lint_tag(&self) -> Option<&ProcessTag> {
+        Some(&self.tag)
     }
     fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
         let x = self.a.read_f64()?;

@@ -5,6 +5,7 @@
 use crate::channel::{ChannelReader, ChannelWriter};
 use crate::error::{Error, Result};
 use crate::process::{Iterative, ProcessCtx};
+use crate::topology::ProcessTag;
 
 const COPY_CHUNK: usize = 1024;
 
@@ -13,15 +14,22 @@ pub struct Identity {
     input: ChannelReader,
     output: ChannelWriter,
     buf: Vec<u8>,
+    tag: ProcessTag,
 }
 
 impl Identity {
     /// An identity process between `input` and `output`.
     pub fn new(input: ChannelReader, output: ChannelWriter) -> Self {
+        let tag = ProcessTag::new("Identity");
+        input.attach(&tag);
+        output.attach(&tag);
+        // Byte-level processes declare no element type: they are
+        // type-independent by design (§3.1).
         Identity {
             input,
             output,
             buf: vec![0u8; COPY_CHUNK],
+            tag,
         }
     }
 }
@@ -29,6 +37,9 @@ impl Identity {
 impl Iterative for Identity {
     fn name(&self) -> String {
         "Identity".into()
+    }
+    fn lint_tag(&self) -> Option<&ProcessTag> {
+        Some(&self.tag)
     }
     fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
         let n = self.input.read(&mut self.buf)?;
@@ -50,17 +61,23 @@ pub struct Cons {
     output: Option<ChannelWriter>,
     remove_self: bool,
     buf: Vec<u8>,
+    tag: ProcessTag,
 }
 
 impl Cons {
     /// A cons process that keeps copying for its whole life.
     pub fn new(first: ChannelReader, rest: ChannelReader, output: ChannelWriter) -> Self {
+        let tag = ProcessTag::new("Cons");
+        first.attach(&tag);
+        rest.attach(&tag);
+        output.attach(&tag);
         Cons {
             first: Some(first),
             rest: Some(rest),
             output: Some(output),
             remove_self: false,
             buf: vec![0u8; COPY_CHUNK],
+            tag,
         }
     }
 
@@ -91,6 +108,10 @@ impl Cons {
 impl Iterative for Cons {
     fn name(&self) -> String {
         "Cons".into()
+    }
+
+    fn lint_tag(&self) -> Option<&ProcessTag> {
+        Some(&self.tag)
     }
 
     fn on_start(&mut self, _ctx: &ProcessCtx) -> Result<()> {
@@ -131,17 +152,24 @@ pub struct Duplicate {
     outputs: Vec<Option<ChannelWriter>>,
     resilient: bool,
     buf: Vec<u8>,
+    tag: ProcessTag,
 }
 
 impl Duplicate {
     /// Duplicates `input` onto each writer in `outputs`.
     pub fn new(input: ChannelReader, outputs: Vec<ChannelWriter>) -> Self {
         assert!(!outputs.is_empty(), "Duplicate needs at least one output");
+        let tag = ProcessTag::new(format!("Duplicate(x{})", outputs.len()));
+        input.attach(&tag);
+        for out in &outputs {
+            out.attach(&tag);
+        }
         Duplicate {
             input,
             outputs: outputs.into_iter().map(Some).collect(),
             resilient: false,
             buf: vec![0u8; COPY_CHUNK],
+            tag,
         }
     }
 
@@ -161,6 +189,10 @@ impl Duplicate {
 impl Iterative for Duplicate {
     fn name(&self) -> String {
         format!("Duplicate(x{})", self.outputs.len())
+    }
+
+    fn lint_tag(&self) -> Option<&ProcessTag> {
+        Some(&self.tag)
     }
 
     fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {

@@ -5,6 +5,7 @@ use crate::channel::{ChannelReader, ChannelWriter};
 use crate::error::{Error, Result};
 use crate::process::{Iterative, ProcessCtx};
 use crate::stream::{DataReader, DataWriter};
+use crate::topology::ProcessTag;
 
 /// Passes `f64` data to its output when the paired control value is true
 /// and discards it otherwise. Optionally stops after passing the first
@@ -15,16 +16,26 @@ pub struct Guard {
     control: DataReader,
     out: DataWriter,
     stop_after_true: bool,
+    tag: ProcessTag,
 }
 
 impl Guard {
     /// A guard over a data stream and a boolean control stream.
     pub fn new(data: ChannelReader, control: ChannelReader, out: ChannelWriter) -> Self {
+        let tag = ProcessTag::new("Guard");
+        data.attach(&tag);
+        data.declare_item::<f64>(8);
+        control.attach(&tag);
+        control.declare_item::<bool>(1);
+        out.attach(&tag);
+        out.declare_item::<f64>(8);
+        // No rate annotations: Guard's output rate is data-dependent.
         Guard {
             data: DataReader::new(data),
             control: DataReader::new(control),
             out: DataWriter::new(out),
             stop_after_true: false,
+            tag,
         }
     }
 
@@ -39,6 +50,10 @@ impl Guard {
 impl Iterative for Guard {
     fn name(&self) -> String {
         "Guard".into()
+    }
+
+    fn lint_tag(&self) -> Option<&ProcessTag> {
+        Some(&self.tag)
     }
 
     fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {

@@ -6,6 +6,7 @@ use crate::channel::{ChannelReader, ChannelWriter};
 use crate::error::{Error, Result};
 use crate::process::{Iterative, ProcessCtx};
 use crate::stream::{DataReader, DataWriter};
+use crate::topology::ProcessTag;
 
 /// Performs an ordered merge of N ascending `i64` streams, optionally
 /// eliminating duplicates (Figure 12: "the Merge process performs an
@@ -21,12 +22,22 @@ pub struct OrderedMerge {
     dedup: bool,
     last: Option<i64>,
     primed: bool,
+    tag: ProcessTag,
 }
 
 impl OrderedMerge {
     /// An ordered, duplicate-eliminating merge.
     pub fn new(inputs: Vec<ChannelReader>, out: ChannelWriter) -> Self {
         assert!(inputs.len() >= 2, "OrderedMerge needs at least two inputs");
+        let tag = ProcessTag::new(format!("OrderedMerge(x{})", inputs.len()));
+        for input in &inputs {
+            input.attach(&tag);
+            input.declare_item::<i64>(8);
+        }
+        out.attach(&tag);
+        out.declare_item::<i64>(8);
+        // No rate annotations: consumption is data-dependent (only inputs
+        // holding the minimum advance each step).
         let heads = vec![None; inputs.len()];
         OrderedMerge {
             inputs: inputs.into_iter().map(DataReader::new).collect(),
@@ -35,6 +46,7 @@ impl OrderedMerge {
             dedup: true,
             last: None,
             primed: false,
+            tag,
         }
     }
 
@@ -61,6 +73,10 @@ impl OrderedMerge {
 impl Iterative for OrderedMerge {
     fn name(&self) -> String {
         format!("OrderedMerge(x{})", self.inputs.len())
+    }
+
+    fn lint_tag(&self) -> Option<&ProcessTag> {
+        Some(&self.tag)
     }
 
     fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
@@ -108,6 +124,7 @@ pub struct ModRouter {
     input: DataReader,
     multiples: DataWriter,
     others: DataWriter,
+    tag: ProcessTag,
 }
 
 impl ModRouter {
@@ -119,11 +136,21 @@ impl ModRouter {
         others: ChannelWriter,
     ) -> Self {
         assert!(divisor > 0, "divisor must be positive");
+        let tag = ProcessTag::new(format!("ModRouter({divisor})"));
+        input.attach(&tag);
+        input.declare_item::<i64>(8);
+        multiples.attach(&tag);
+        multiples.declare_item::<i64>(8);
+        others.attach(&tag);
+        others.declare_item::<i64>(8);
+        // No rate annotations: routing is data-dependent (Figure 13's
+        // asymmetry is a property of the *values*, not the graph).
         ModRouter {
             divisor,
             input: DataReader::new(input),
             multiples: DataWriter::new(multiples),
             others: DataWriter::new(others),
+            tag,
         }
     }
 }
@@ -131,6 +158,9 @@ impl ModRouter {
 impl Iterative for ModRouter {
     fn name(&self) -> String {
         format!("ModRouter({})", self.divisor)
+    }
+    fn lint_tag(&self) -> Option<&ProcessTag> {
+        Some(&self.tag)
     }
     fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
         let v = self.input.read_i64()?;

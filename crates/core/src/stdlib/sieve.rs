@@ -12,21 +12,31 @@ use crate::channel::{ChannelReader, ChannelWriter};
 use crate::error::Result;
 use crate::process::{Iterative, ProcessCtx};
 use crate::stream::{DataReader, DataWriter};
+use crate::topology::ProcessTag;
 
 /// Filters out multiples of a constant from an `i64` stream (Figure 7).
 pub struct Modulo {
     divisor: i64,
     input: DataReader,
     out: DataWriter,
+    tag: ProcessTag,
 }
 
 impl Modulo {
     /// Passes through values not divisible by `divisor`.
     pub fn new(divisor: i64, input: ChannelReader, out: ChannelWriter) -> Self {
+        let tag = ProcessTag::new(format!("Modulo({divisor})"));
+        input.attach(&tag);
+        input.declare_item::<i64>(8);
+        out.attach(&tag);
+        out.declare_item::<i64>(8);
+        // No rate annotations: Modulo's output rate is data-dependent
+        // (multiples of the divisor are dropped), so it is not SDF.
         Modulo {
             divisor,
             input: DataReader::new(input),
             out: DataWriter::new(out),
+            tag,
         }
     }
 }
@@ -34,6 +44,9 @@ impl Modulo {
 impl Iterative for Modulo {
     fn name(&self) -> String {
         format!("Modulo({})", self.divisor)
+    }
+    fn lint_tag(&self) -> Option<&ProcessTag> {
+        Some(&self.tag)
     }
     fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
         let v = self.input.read_i64()?;
@@ -53,15 +66,22 @@ impl Iterative for Modulo {
 pub struct Sift {
     input: Option<ChannelReader>,
     out: DataWriter,
+    tag: ProcessTag,
 }
 
 impl Sift {
     /// A sieve head reading candidates from `input` and emitting primes on
     /// `out`.
     pub fn new(input: ChannelReader, out: ChannelWriter) -> Self {
+        let tag = ProcessTag::new("Sift");
+        input.attach(&tag);
+        input.declare_item::<i64>(8);
+        out.attach(&tag);
+        out.declare_item::<i64>(8);
         Sift {
             input: Some(input),
             out: DataWriter::new(out),
+            tag,
         }
     }
 }
@@ -69,6 +89,10 @@ impl Sift {
 impl Iterative for Sift {
     fn name(&self) -> String {
         "Sift".into()
+    }
+
+    fn lint_tag(&self) -> Option<&ProcessTag> {
+        Some(&self.tag)
     }
 
     fn step(&mut self, ctx: &ProcessCtx) -> Result<()> {
@@ -84,6 +108,10 @@ impl Iterative for Sift {
         self.out.write_i64(prime)?;
         // Insert Modulo(prime) ahead of ourselves (Figure 8's step method).
         let (fresh_w, fresh_r) = ctx.channel();
+        // Adopt the fresh read end before the spawn-time lint re-check, so
+        // the reconfigured topology is fully attributed when it runs.
+        fresh_r.attach(&self.tag);
+        fresh_r.declare_item::<i64>(8);
         ctx.spawn_iterative(Modulo::new(prime, current.into_inner(), fresh_w));
         self.input = Some(fresh_r);
         Ok(())

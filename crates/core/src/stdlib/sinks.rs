@@ -12,6 +12,7 @@ use crate::channel::ChannelReader;
 use crate::error::{Error, Result};
 use crate::process::{Iterative, ProcessCtx};
 use crate::stream::DataReader;
+use crate::topology::ProcessTag;
 use std::sync::{Arc, Mutex};
 
 /// Prints each `i64` read from its input to stdout.
@@ -19,15 +20,21 @@ pub struct Print {
     input: DataReader,
     label: String,
     limit: Option<u64>,
+    tag: ProcessTag,
 }
 
 impl Print {
     /// Prints every value until EOF.
     pub fn new(input: ChannelReader) -> Self {
+        let tag = ProcessTag::new("Print");
+        input.attach(&tag);
+        input.declare_item::<i64>(8);
+        input.declare_rate(1);
         Print {
             input: DataReader::new(input),
             label: String::new(),
             limit: None,
+            tag,
         }
     }
 
@@ -51,6 +58,9 @@ impl Iterative for Print {
     fn limit(&self) -> Option<u64> {
         self.limit
     }
+    fn lint_tag(&self) -> Option<&ProcessTag> {
+        Some(&self.tag)
+    }
     fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
         let v = self.input.read_i64()?;
         if self.label.is_empty() {
@@ -68,15 +78,21 @@ pub struct Collect {
     input: DataReader,
     out: Arc<Mutex<Vec<i64>>>,
     limit: Option<u64>,
+    tag: ProcessTag,
 }
 
 impl Collect {
     /// Collects every value until EOF.
     pub fn new(input: ChannelReader, out: Arc<Mutex<Vec<i64>>>) -> Self {
+        let tag = ProcessTag::new("Collect");
+        input.attach(&tag);
+        input.declare_item::<i64>(8);
+        input.declare_rate(1);
         Collect {
             input: DataReader::new(input),
             out,
             limit: None,
+            tag,
         }
     }
 
@@ -94,6 +110,9 @@ impl Iterative for Collect {
     fn limit(&self) -> Option<u64> {
         self.limit
     }
+    fn lint_tag(&self) -> Option<&ProcessTag> {
+        Some(&self.tag)
+    }
     fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
         let v = self.input.read_i64()?;
         self.out.lock().expect("collector poisoned").push(v);
@@ -106,15 +125,21 @@ pub struct CollectF64 {
     input: DataReader,
     out: Arc<Mutex<Vec<f64>>>,
     limit: Option<u64>,
+    tag: ProcessTag,
 }
 
 impl CollectF64 {
     /// Collects every value until EOF.
     pub fn new(input: ChannelReader, out: Arc<Mutex<Vec<f64>>>) -> Self {
+        let tag = ProcessTag::new("CollectF64");
+        input.attach(&tag);
+        input.declare_item::<f64>(8);
+        input.declare_rate(1);
         CollectF64 {
             input: DataReader::new(input),
             out,
             limit: None,
+            tag,
         }
     }
 
@@ -132,6 +157,9 @@ impl Iterative for CollectF64 {
     fn limit(&self) -> Option<u64> {
         self.limit
     }
+    fn lint_tag(&self) -> Option<&ProcessTag> {
+        Some(&self.tag)
+    }
     fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
         let v = self.input.read_f64()?;
         self.out.lock().expect("collector poisoned").push(v);
@@ -143,14 +171,18 @@ impl Iterative for CollectF64 {
 pub struct Discard {
     input: ChannelReader,
     buf: Vec<u8>,
+    tag: ProcessTag,
 }
 
 impl Discard {
     /// Discards everything written to `input`.
     pub fn new(input: ChannelReader) -> Self {
+        let tag = ProcessTag::new("Discard");
+        input.attach(&tag);
         Discard {
             input,
             buf: vec![0u8; 1024],
+            tag,
         }
     }
 }
@@ -158,6 +190,9 @@ impl Discard {
 impl Iterative for Discard {
     fn name(&self) -> String {
         "Discard".into()
+    }
+    fn lint_tag(&self) -> Option<&ProcessTag> {
+        Some(&self.tag)
     }
     fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
         let n = self.input.read(&mut self.buf)?;

@@ -4,6 +4,7 @@ use crate::channel::ChannelWriter;
 use crate::error::Result;
 use crate::process::{Iterative, ProcessCtx};
 use crate::stream::DataWriter;
+use crate::topology::ProcessTag;
 
 /// Emits a constant `i64` value, a fixed number of times (or forever).
 /// The paper's `Constant(1, ab.getOutputStream(), 1)` (Figure 6) becomes
@@ -12,15 +13,21 @@ pub struct Constant {
     value: i64,
     out: DataWriter,
     limit: Option<u64>,
+    tag: ProcessTag,
 }
 
 impl Constant {
     /// A constant source with no iteration limit.
     pub fn new(value: i64, out: ChannelWriter) -> Self {
+        let tag = ProcessTag::new(format!("Constant({value})"));
+        out.attach(&tag);
+        out.declare_item::<i64>(8);
+        out.declare_rate(1);
         Constant {
             value,
             out: DataWriter::new(out),
             limit: None,
+            tag,
         }
     }
 
@@ -38,6 +45,9 @@ impl Iterative for Constant {
     fn limit(&self) -> Option<u64> {
         self.limit
     }
+    fn lint_tag(&self) -> Option<&ProcessTag> {
+        Some(&self.tag)
+    }
     fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
         self.out.write_i64(self.value)
     }
@@ -48,15 +58,21 @@ pub struct ConstantF64 {
     value: f64,
     out: DataWriter,
     limit: Option<u64>,
+    tag: ProcessTag,
 }
 
 impl ConstantF64 {
     /// A constant source with no iteration limit.
     pub fn new(value: f64, out: ChannelWriter) -> Self {
+        let tag = ProcessTag::new(format!("ConstantF64({value})"));
+        out.attach(&tag);
+        out.declare_item::<f64>(8);
+        out.declare_rate(1);
         ConstantF64 {
             value,
             out: DataWriter::new(out),
             limit: None,
+            tag,
         }
     }
 
@@ -74,6 +90,9 @@ impl Iterative for ConstantF64 {
     fn limit(&self) -> Option<u64> {
         self.limit
     }
+    fn lint_tag(&self) -> Option<&ProcessTag> {
+        Some(&self.tag)
+    }
     fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
         self.out.write_f64(self.value)
     }
@@ -86,24 +105,30 @@ pub struct Sequence {
     next: i64,
     out: DataWriter,
     limit: Option<u64>,
+    tag: ProcessTag,
 }
 
 impl Sequence {
     /// Emits `count` consecutive integers starting at `start`.
     pub fn new(start: i64, count: u64, out: ChannelWriter) -> Self {
-        Sequence {
-            next: start,
-            out: DataWriter::new(out),
-            limit: Some(count),
-        }
+        Self::build(start, Some(count), out)
     }
 
     /// Emits integers forever (until the downstream reader closes).
     pub fn unbounded(start: i64, out: ChannelWriter) -> Self {
+        Self::build(start, None, out)
+    }
+
+    fn build(start: i64, limit: Option<u64>, out: ChannelWriter) -> Self {
+        let tag = ProcessTag::new(format!("Sequence(from {start})"));
+        out.attach(&tag);
+        out.declare_item::<i64>(8);
+        out.declare_rate(1);
         Sequence {
             next: start,
             out: DataWriter::new(out),
-            limit: None,
+            limit,
+            tag,
         }
     }
 }
@@ -114,6 +139,9 @@ impl Iterative for Sequence {
     }
     fn limit(&self) -> Option<u64> {
         self.limit
+    }
+    fn lint_tag(&self) -> Option<&ProcessTag> {
+        Some(&self.tag)
     }
     fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
         self.out.write_i64(self.next)?;

@@ -49,6 +49,7 @@ impl DataWriter {
     /// of zero leaves the writer unbuffered (every token is a channel
     /// transfer, the pre-buffering behaviour).
     pub fn with_buffer_capacity(mut inner: ChannelWriter, capacity: usize) -> Self {
+        inner.declare_framing(crate::topology::StreamFraming::Data);
         inner.ensure_buffered(capacity);
         DataWriter { inner }
     }
@@ -57,6 +58,7 @@ impl DataWriter {
     /// `with_buffer_capacity(inner, 0)`; useful for latency-critical single
     /// tokens and for benchmarking the unbatched path.
     pub fn unbuffered(inner: ChannelWriter) -> Self {
+        inner.declare_framing(crate::topology::StreamFraming::Data);
         DataWriter { inner }
     }
 
@@ -181,6 +183,7 @@ impl DataReader {
     /// Wraps a channel reader with an explicit read-ahead capacity. Zero
     /// disables read-ahead (every token is a channel transfer).
     pub fn with_buffer_capacity(inner: ChannelReader, capacity: usize) -> Self {
+        inner.declare_framing(crate::topology::StreamFraming::Data);
         DataReader {
             inner,
             buf: vec![0u8; capacity].into_boxed_slice(),

@@ -1,0 +1,56 @@
+//! Checks serialized graph partitions before deployment.
+//!
+//! ```text
+//! kpn-lint <spec-file>...
+//! ```
+//!
+//! Each argument is a `kpn-codec`-encoded [`kpn_net::GraphSpec`]
+//! (the bytes a deployment pipeline would ship to a `kpn-server`). All
+//! files are checked together as one deployment, so remote endpoint
+//! tokens must pair up *across* files.
+//!
+//! Exit status: 0 clean, 1 findings reported, 2 usage or read error.
+
+use std::process::ExitCode;
+
+use kpn_net::GraphSpec;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
+        eprintln!("usage: kpn-lint <spec-file>...");
+        eprintln!("checks kpn-codec encoded GraphSpec partitions as one deployment");
+        return ExitCode::from(2);
+    }
+    let mut specs: Vec<(String, GraphSpec)> = Vec::new();
+    for path in &args {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("kpn-lint: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match kpn_codec::from_bytes::<GraphSpec>(&bytes) {
+            Ok(spec) => specs.push((path.clone(), spec)),
+            Err(e) => {
+                eprintln!("kpn-lint: {path} is not a valid graph spec: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let diags = kpn_lint::check_specs(&specs);
+    for d in &diags {
+        eprintln!("{d}");
+    }
+    if diags.is_empty() {
+        eprintln!(
+            "kpn-lint: {} partition(s), {} process(es): no findings",
+            specs.len(),
+            specs.iter().map(|(_, s)| s.processes.len()).sum::<usize>()
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,276 @@
+//! Pre-deployment checking of serialized graph partitions.
+//!
+//! A distributed deployment is a set of [`GraphSpec`] partitions, one per
+//! node, wired together by remote endpoint tokens (§4.2: an output's
+//! `Remote { addr, token }` connects to the input listening for the same
+//! `token` on another node's acceptor). Nothing validates that wiring
+//! until every node is up — a mistyped token then presents as a silent
+//! stall, the distributed analogue of the dangling-endpoint defect L001.
+//! [`check_specs`] finds these statically, before anything is shipped.
+
+use std::collections::HashMap;
+
+use kpn_core::{DiagCode, Diagnostic};
+use kpn_net::{GraphSpec, InputSpec, OutputSpec};
+
+fn diag(code: DiagCode, message: String, process: Option<String>) -> Diagnostic {
+    Diagnostic {
+        code,
+        message,
+        process,
+        channel: None,
+    }
+}
+
+/// Statically checks a set of named graph partitions as one deployment.
+///
+/// Per partition: local channel references must be in bounds, every local
+/// channel must have exactly one producer and one consumer (§1's
+/// single-producer/single-consumer law), channel capacities must be
+/// non-zero, and every process must hold at least one endpoint (L004).
+/// Across partitions: every `OutputSpec::Remote` token must have exactly
+/// one listening `InputSpec::Remote`, and vice versa — an unmatched token
+/// is a remote endpoint that will dangle forever (L001).
+///
+/// The partition `name` (typically the file name) prefixes each message so
+/// findings can be traced to the spec that caused them.
+pub fn check_specs(specs: &[(String, GraphSpec)]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    // token -> (#remote writers, #remote readers), with one exemplar
+    // location each for the report.
+    let mut remote: HashMap<u64, (usize, usize, String)> = HashMap::new();
+
+    for (name, spec) in specs {
+        let nch = spec.channels.len();
+        let mut producers = vec![0usize; nch];
+        let mut consumers = vec![0usize; nch];
+
+        for (ci, ch) in spec.channels.iter().enumerate() {
+            if ch.capacity == 0 {
+                out.push(diag(
+                    DiagCode::L003,
+                    format!(
+                        "{name}: channel {ci} has zero capacity; it can never \
+                         transfer data"
+                    ),
+                    None,
+                ));
+            }
+        }
+
+        for (pi, p) in spec.processes.iter().enumerate() {
+            let label = format!("{name}: process {pi} (`{}`)", p.type_name);
+            if p.inputs.is_empty() && p.outputs.is_empty() {
+                out.push(diag(
+                    DiagCode::L004,
+                    format!("{label} holds no endpoints; it can neither produce nor consume data"),
+                    Some(p.type_name.clone()),
+                ));
+            }
+            for input in &p.inputs {
+                match input {
+                    InputSpec::Local(i) => {
+                        if *i >= nch {
+                            out.push(diag(
+                                DiagCode::L001,
+                                format!("{label} reads local channel {i}, but the partition only has {nch} channels"),
+                                Some(p.type_name.clone()),
+                            ));
+                        } else {
+                            consumers[*i] += 1;
+                        }
+                    }
+                    InputSpec::Remote { token } => {
+                        let e = remote.entry(*token).or_insert((0, 0, label.clone()));
+                        e.1 += 1;
+                    }
+                }
+            }
+            for output in &p.outputs {
+                match output {
+                    OutputSpec::Local(i) => {
+                        if *i >= nch {
+                            out.push(diag(
+                                DiagCode::L001,
+                                format!("{label} writes local channel {i}, but the partition only has {nch} channels"),
+                                Some(p.type_name.clone()),
+                            ));
+                        } else {
+                            producers[*i] += 1;
+                        }
+                    }
+                    OutputSpec::Remote { token, .. } => {
+                        let e = remote.entry(*token).or_insert((0, 0, label.clone()));
+                        e.0 += 1;
+                    }
+                }
+            }
+        }
+
+        for ci in 0..nch {
+            if producers[ci] != 1 {
+                out.push(diag(
+                    DiagCode::L001,
+                    format!(
+                        "{name}: channel {ci} has {} producers; a channel needs exactly one \
+                         (its reader {} forever)",
+                        producers[ci],
+                        if producers[ci] == 0 { "blocks" } else { "races" },
+                    ),
+                    None,
+                ));
+            }
+            if consumers[ci] != 1 {
+                out.push(diag(
+                    DiagCode::L001,
+                    format!(
+                        "{name}: channel {ci} has {} consumers; a channel needs exactly one \
+                         (its writer {} once the buffer fills)",
+                        consumers[ci],
+                        if consumers[ci] == 0 { "stalls" } else { "races" },
+                    ),
+                    None,
+                ));
+            }
+        }
+    }
+
+    let mut tokens: Vec<_> = remote.into_iter().collect();
+    tokens.sort_by_key(|(t, _)| *t);
+    for (token, (writers, readers, at)) in tokens {
+        if writers != 1 || readers != 1 {
+            out.push(diag(
+                DiagCode::L001,
+                format!(
+                    "remote endpoint token {token} has {writers} writer(s) and {readers} \
+                     reader(s) across the deployment (first seen at {at}); each token \
+                     must pair exactly one remote output with one remote input"
+                ),
+                None,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpn_net::{ChannelSpec, ProcessSpec};
+
+    fn process(inputs: Vec<InputSpec>, outputs: Vec<OutputSpec>) -> ProcessSpec {
+        ProcessSpec {
+            type_name: "P".into(),
+            params: Vec::new(),
+            inputs,
+            outputs,
+        }
+    }
+
+    fn named(spec: GraphSpec) -> Vec<(String, GraphSpec)> {
+        vec![("part0".into(), spec)]
+    }
+
+    #[test]
+    fn wired_partition_is_clean() {
+        let spec = GraphSpec {
+            channels: vec![ChannelSpec { capacity: 64 }],
+            processes: vec![
+                process(vec![], vec![OutputSpec::Local(0)]),
+                process(vec![InputSpec::Local(0)], vec![]),
+            ],
+        };
+        assert!(check_specs(&named(spec)).is_empty());
+    }
+
+    #[test]
+    fn unconnected_local_channel_flagged() {
+        let spec = GraphSpec {
+            channels: vec![ChannelSpec { capacity: 64 }],
+            processes: vec![process(vec![], vec![OutputSpec::Local(0)])],
+        };
+        let diags = check_specs(&named(spec));
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == DiagCode::L001 && d.message.contains("0 consumers")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_reference_flagged() {
+        let spec = GraphSpec {
+            channels: vec![],
+            processes: vec![process(vec![InputSpec::Local(3)], vec![])],
+        };
+        let diags = check_specs(&named(spec));
+        assert!(diags.iter().any(|d| d.message.contains("only has 0")));
+    }
+
+    #[test]
+    fn zero_capacity_flagged() {
+        let spec = GraphSpec {
+            channels: vec![ChannelSpec { capacity: 0 }],
+            processes: vec![
+                process(vec![], vec![OutputSpec::Local(0)]),
+                process(vec![InputSpec::Local(0)], vec![]),
+            ],
+        };
+        let diags = check_specs(&named(spec));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::L003);
+    }
+
+    #[test]
+    fn matched_remote_tokens_across_partitions_are_clean() {
+        let a = GraphSpec {
+            channels: vec![],
+            processes: vec![process(
+                vec![],
+                vec![OutputSpec::Remote {
+                    addr: "10.0.0.2:9000".into(),
+                    token: 7,
+                }],
+            )],
+        };
+        let b = GraphSpec {
+            channels: vec![],
+            processes: vec![process(vec![InputSpec::Remote { token: 7 }], vec![])],
+        };
+        let specs = vec![("a".to_string(), a), ("b".to_string(), b)];
+        assert!(check_specs(&specs).is_empty());
+    }
+
+    #[test]
+    fn dangling_remote_token_flagged() {
+        let a = GraphSpec {
+            channels: vec![],
+            processes: vec![process(
+                vec![],
+                vec![OutputSpec::Remote {
+                    addr: "10.0.0.2:9000".into(),
+                    token: 9,
+                }],
+            )],
+        };
+        let diags = check_specs(&[("a".to_string(), a)]);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == DiagCode::L001 && d.message.contains("token 9")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn orphan_spec_process_flagged() {
+        let spec = GraphSpec {
+            channels: vec![],
+            processes: vec![process(vec![], vec![])],
+        };
+        let diags = check_specs(&named(spec));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::L004);
+    }
+}

@@ -246,6 +246,12 @@ impl GraphBuilder {
             if ch.producer.is_none() || ch.consumer.is_none() {
                 return Err(Error::Graph(format!("channel {i} is not fully connected")));
             }
+            if ch.capacity == 0 {
+                return Err(Error::Graph(format!(
+                    "channel {i} has zero capacity: a zero-capacity channel can \
+                     never transfer data"
+                )));
+            }
         }
         for p in &self.processes {
             if p.partition != CLIENT && p.partition >= servers.len() {

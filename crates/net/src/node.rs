@@ -167,8 +167,13 @@ impl Node {
         // exactly once (channels are single-producer / single-consumer).
         let mut writers: Vec<Option<ChannelWriter>> = Vec::new();
         let mut readers: Vec<Option<ChannelReader>> = Vec::new();
-        for ch in &spec.channels {
-            let (w, r) = net.channel_with_capacity(ch.capacity);
+        for (ci, ch) in spec.channels.iter().enumerate() {
+            let (w, r) = net.try_channel_with_capacity(ch.capacity).map_err(|_| {
+                Error::Graph(format!(
+                    "spec channel {ci} has zero capacity: a zero-capacity channel \
+                     can never transfer data"
+                ))
+            })?;
             writers.push(Some(w));
             readers.push(Some(r));
         }

@@ -23,6 +23,11 @@
 //!   case of process networks the paper references (§1): repetition
 //!   vectors, periodic schedules, and exact buffer bounds executed on the
 //!   KPN runtime.
+//! * [`lint`] — the static network verifier: the SDF-delegating L005 lint
+//!   pass (install with `kpn::lint::install()`) and the pre-deployment
+//!   graph-spec checker behind the `kpn-lint` binary. The structural
+//!   checks L001–L004 live in [`core`] and run on every network according
+//!   to `NetworkConfig::lint` / the `KPN_LINT` environment variable.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +50,7 @@ pub use kpn_bignum as bignum;
 pub use kpn_cluster as cluster;
 pub use kpn_codec as codec;
 pub use kpn_core as core;
+pub use kpn_lint as lint;
 pub use kpn_net as net;
 pub use kpn_parallel as parallel;
 pub use kpn_sdf as sdf;

@@ -12,7 +12,7 @@
 //! shape the fuzzer draws.
 
 use kpn::core::stdlib::{Collect, Duplicate, Modulo, Scale, Sequence};
-use kpn::core::{DataReader, Error, Network};
+use kpn::core::{DataReader, DiagCode, Error, LintLevel, Network, NetworkConfig};
 use kpn::net::chaos::{chaos_policy, ChaosCluster};
 use kpn::net::{ChanId, FaultProfile, GraphBuilder};
 use proptest::prelude::*;
@@ -200,5 +200,149 @@ proptest! {
             prop_assert_eq!(&lv, &want_left, "left branch diverged under seed {:#x}", seed);
             prop_assert_eq!(&rv, &want_right, "right branch diverged under seed {:#x}", seed);
         }
+    }
+}
+
+/// Builds the same fuzzed pipeline shape as `random_pipelines_match_reference`
+/// into `net`, returning the two branch collectors.
+#[allow(clippy::type_complexity)]
+fn build_pipeline(
+    net: &Network,
+    head: &[Stage],
+    left: &[Stage],
+    right: &[Stage],
+    count: u64,
+    capacity: usize,
+) -> (Arc<Mutex<Vec<i64>>>, Arc<Mutex<Vec<i64>>>) {
+    let (src_w, src_r) = net.channel_with_capacity(capacity);
+    net.add(Sequence::new(1, count, src_w));
+    let mut cursor = src_r;
+    for s in head {
+        let (w, r) = net.channel_with_capacity(capacity);
+        match s {
+            Stage::Scale(k) => net.add(Scale::new(*k, cursor, w)),
+            Stage::Filter(d) => net.add(Modulo::new(*d, cursor, w)),
+        }
+        cursor = r;
+    }
+    let (lw, lr) = net.channel_with_capacity(capacity);
+    let (rw, rr) = net.channel_with_capacity(capacity);
+    net.add(Duplicate::two(cursor, lw, rw));
+    let wire_branch = |stages: &[Stage], mut cursor: kpn::core::ChannelReader| {
+        for s in stages {
+            let (w, r) = net.channel_with_capacity(capacity);
+            match s {
+                Stage::Scale(k) => net.add(Scale::new(*k, cursor, w)),
+                Stage::Filter(d) => net.add(Modulo::new(*d, cursor, w)),
+            }
+            cursor = r;
+        }
+        let out = Arc::new(Mutex::new(Vec::new()));
+        net.add(Collect::new(cursor, out.clone()));
+        out
+    };
+    (wire_branch(left, lr), wire_branch(right, rr))
+}
+
+fn deny_network() -> Network {
+    Network::with_config(NetworkConfig {
+        lint: LintLevel::Deny,
+        ..NetworkConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A fuzzed pipeline that passes lint at `Deny` never reaches the
+    /// deadlock monitor's structural-abort verdict: static cleanliness
+    /// implies the run completes (the verifier's soundness direction over
+    /// this graph family).
+    #[test]
+    fn lint_clean_graphs_never_deadlock(
+        head in proptest::collection::vec(stage_strategy(), 0..4),
+        left in proptest::collection::vec(stage_strategy(), 0..4),
+        right in proptest::collection::vec(stage_strategy(), 0..4),
+        count in 1u64..100,
+        capacity in 8usize..256,
+    ) {
+        let net = deny_network();
+        let (left_out, right_out) = build_pipeline(&net, &head, &left, &right, count, capacity);
+        match net.run() {
+            Ok(_) => {}
+            Err(Error::Lint(diags)) => {
+                // The graph family is fully wired, so lint must accept it.
+                prop_assert!(false, "clean pipeline rejected by lint: {diags:?}");
+            }
+            Err(Error::Deadlocked) => {
+                prop_assert!(false, "lint-clean pipeline hit structural deadlock");
+            }
+            Err(e) => prop_assert!(false, "unexpected failure: {e}"),
+        }
+        let input: Vec<i64> = (1..=count as i64).collect();
+        let after_head = eval(&head, &input);
+        prop_assert_eq!(&*left_out.lock().unwrap(), &eval(&left, &after_head));
+        prop_assert_eq!(&*right_out.lock().unwrap(), &eval(&right, &after_head));
+    }
+
+    /// Seeding an L001 defect (a writer endpoint that no process ever
+    /// receives) into an otherwise-clean fuzzed pipeline is always caught
+    /// at `Deny`, whatever the surrounding graph shape.
+    #[test]
+    fn seeded_dangling_writer_always_flagged(
+        head in proptest::collection::vec(stage_strategy(), 0..4),
+        count in 1u64..50,
+        capacity in 8usize..256,
+    ) {
+        let net = deny_network();
+        let (left_out, right_out) = build_pipeline(&net, &head, &[], &[], count, capacity);
+        // The defect: this channel's reader feeds a Collect, but the
+        // writer stays in the test harness, undeclared — its consumer
+        // would block forever.
+        let (dangling_w, dangling_r) = net.channel_with_capacity(capacity);
+        let orphan_out = Arc::new(Mutex::new(Vec::new()));
+        net.add(Collect::new(dangling_r, orphan_out.clone()));
+        let err = net.run().expect_err("dangling writer must fail lint");
+        match err {
+            Error::Lint(diags) => {
+                prop_assert!(
+                    diags.iter().any(|d| d.code == DiagCode::L001),
+                    "expected L001 in {diags:?}"
+                );
+            }
+            other => prop_assert!(false, "expected lint error, got {other}"),
+        }
+        drop(dangling_w);
+        let _ = (left_out, right_out);
+    }
+
+    /// Seeding an L003 defect (a feedback loop whose channels cannot hold
+    /// one declared token) is always caught at `Deny`.
+    #[test]
+    fn seeded_tiny_cycle_always_flagged(
+        head in proptest::collection::vec(stage_strategy(), 0..4),
+        count in 1u64..50,
+        capacity in 8usize..256,
+        tiny in 1usize..8,
+    ) {
+        let net = deny_network();
+        let (left_out, right_out) = build_pipeline(&net, &head, &[], &[], count, capacity);
+        // The defect: two Scale processes in a loop over channels smaller
+        // than one 8-byte token.
+        let (aw, ar) = net.channel_with_capacity(tiny);
+        let (bw, br) = net.channel_with_capacity(tiny);
+        net.add(Scale::new(1, ar, bw));
+        net.add(Scale::new(1, br, aw));
+        let err = net.run().expect_err("undersized cycle must fail lint");
+        match err {
+            Error::Lint(diags) => {
+                prop_assert!(
+                    diags.iter().any(|d| d.code == DiagCode::L003),
+                    "expected L003 in {diags:?}"
+                );
+            }
+            other => prop_assert!(false, "expected lint error, got {other}"),
+        }
+        let _ = (left_out, right_out);
     }
 }
