@@ -1,0 +1,245 @@
+//! Stackful fibers (x86_64): the continuations behind
+//! [`super::PooledExec`], with a thread-per-task fallback shim for targets
+//! without the context-switch assembly.
+
+#[cfg(all(target_arch = "x86_64", not(miri)))]
+mod imp {
+    //! Minimal stackful coroutines: a fiber is a heap stack plus a saved
+    //! stack pointer. Switching saves the six SysV callee-saved registers
+    //! on the outgoing stack and restores them from the incoming one; all
+    //! caller-saved state is already spilled by the `extern "C"` call
+    //! boundary. No dependencies, ~20 instructions.
+
+    use super::super::TaskLocals;
+    use std::cell::Cell;
+    use std::sync::Arc;
+
+    /// 256 KiB per fiber. Allocated with the global allocator, which mmaps
+    /// chunks this size, so untouched pages cost address space, not RAM —
+    /// 10 000 fibers commit far less than 2.5 GiB.
+    const STACK_SIZE: usize = 256 * 1024;
+    /// Sentinel at the lowest stack address, checked after every switch
+    /// back to the worker; corruption means the fiber overflowed.
+    const CANARY: u64 = 0xDEAD_F1BE_5AFE_C0DE;
+
+    core::arch::global_asm!(
+        ".text",
+        ".balign 16",
+        ".globl kpn_core_fiber_switch",
+        ".hidden kpn_core_fiber_switch",
+        // fn kpn_core_fiber_switch(save: *mut usize /*rdi*/, to: usize /*rsi*/)
+        // Saves the current context into *save, resumes the context whose
+        // stack pointer is `to`.
+        "kpn_core_fiber_switch:",
+        "push rbp",
+        "push rbx",
+        "push r12",
+        "push r13",
+        "push r14",
+        "push r15",
+        "mov [rdi], rsp",
+        "mov rsp, rsi",
+        "pop r15",
+        "pop r14",
+        "pop r13",
+        "pop r12",
+        "pop rbx",
+        "pop rbp",
+        "ret",
+        ".balign 16",
+        ".globl kpn_core_fiber_start",
+        ".hidden kpn_core_fiber_start",
+        // First resume of a new fiber "returns" here (the address is
+        // planted on the fresh stack). r15 carries the Fiber pointer.
+        // rsp is 16-aligned at this point, so the call leaves rsp ≡ 8
+        // (mod 16) at the callee's entry, as the SysV ABI requires.
+        "kpn_core_fiber_start:",
+        "mov rdi, r15",
+        "call kpn_core_fiber_entry",
+        "ud2",
+    );
+
+    extern "C" {
+        fn kpn_core_fiber_switch(save: *mut usize, to: usize);
+        fn kpn_core_fiber_start();
+    }
+
+    struct FiberStack {
+        base: *mut u8,
+    }
+
+    impl FiberStack {
+        fn layout() -> std::alloc::Layout {
+            std::alloc::Layout::from_size_align(STACK_SIZE, 16).unwrap()
+        }
+
+        fn new() -> FiberStack {
+            let base = unsafe { std::alloc::alloc(Self::layout()) };
+            assert!(!base.is_null(), "fiber stack allocation failed");
+            unsafe { (base as *mut u64).write(CANARY) };
+            FiberStack { base }
+        }
+
+        /// Highest usable address, 16-aligned.
+        fn top(&self) -> usize {
+            (self.base as usize + STACK_SIZE) & !15
+        }
+    }
+
+    impl Drop for FiberStack {
+        fn drop(&mut self) {
+            unsafe { std::alloc::dealloc(self.base, Self::layout()) }
+        }
+    }
+
+    /// A parked or runnable task: stack, saved stack pointer, identity.
+    pub(in crate::exec) struct Fiber {
+        stack: FiberStack,
+        /// Saved rsp while suspended; garbage while running.
+        ctx: usize,
+        pub(in crate::exec) locals: Arc<TaskLocals>,
+        entry: Option<Box<dyn FnOnce() + Send>>,
+        pub(in crate::exec) done: bool,
+    }
+
+    // The stack pointer is only dereferenced by the worker currently
+    // running the fiber, and ownership of the Box hands off through
+    // mutex-protected queues.
+    unsafe impl Send for Fiber {}
+
+    impl Fiber {
+        pub(in crate::exec) fn new(
+            locals: Arc<TaskLocals>,
+            entry: Box<dyn FnOnce() + Send>,
+        ) -> Box<Fiber> {
+            let stack = FiberStack::new();
+            let top = stack.top();
+            let mut f = Box::new(Fiber {
+                stack,
+                ctx: 0,
+                locals,
+                entry: Some(entry),
+                done: false,
+            });
+            // Seed the stack so the first switch-in pops zeroed registers
+            // (r15 = Fiber pointer) and "returns" into fiber_start.
+            let ctx = top - 56;
+            unsafe {
+                let p = ctx as *mut usize;
+                p.write(&mut *f as *mut Fiber as usize); // r15
+                p.add(1).write(0); // r14
+                p.add(2).write(0); // r13
+                p.add(3).write(0); // r12
+                p.add(4).write(0); // rbx
+                p.add(5).write(0); // rbp
+                p.add(6).write(kpn_core_fiber_start as *const () as usize); // return addr
+            }
+            f.ctx = ctx;
+            f
+        }
+
+        /// Resume this fiber on the current worker thread. Returns when the
+        /// fiber parks, yields, or finishes.
+        pub(in crate::exec) fn run(&mut self, worker_ctx: &mut usize) {
+            ACTIVE_FIBER.with(|c| c.set(self as *mut Fiber));
+            unsafe { kpn_core_fiber_switch(worker_ctx as *mut usize, self.ctx) };
+            ACTIVE_FIBER.with(|c| c.set(std::ptr::null_mut()));
+            let canary = unsafe { (self.stack.base as *const u64).read() };
+            if canary != CANARY {
+                eprintln!(
+                    "kpn-core: fiber stack overflow detected (task '{}'); aborting",
+                    self.locals.name
+                );
+                std::process::abort();
+            }
+        }
+    }
+
+    thread_local! {
+        /// Points at the running worker's context save slot; fibers switch
+        /// back through it.
+        static WORKER_CTX: Cell<*mut usize> = const { Cell::new(std::ptr::null_mut()) };
+        /// The fiber currently running on this thread, if any.
+        static ACTIVE_FIBER: Cell<*mut Fiber> = const { Cell::new(std::ptr::null_mut()) };
+        /// Set by a parking fiber just before switching out; the worker
+        /// completes the wait-table registration (the fiber must not be
+        /// registered while its stack is still live).
+        pub(in crate::exec) static PARK_REQUEST: Cell<Option<(usize, u64)>> =
+            const { Cell::new(None) };
+    }
+
+    /// True when the calling code is executing on a fiber.
+    pub(in crate::exec) fn on_fiber() -> bool {
+        ACTIVE_FIBER.with(|c| !c.get().is_null())
+    }
+
+    /// Install the worker's save slot for the duration of the worker loop.
+    pub(in crate::exec) fn set_worker_ctx(slot: *mut usize) {
+        WORKER_CTX.with(|c| c.set(slot));
+    }
+
+    /// Suspend the current fiber, returning control to its worker. The
+    /// worker observes `PARK_REQUEST` (set by the caller) or treats the
+    /// suspension as a yield.
+    pub(in crate::exec) fn switch_to_worker() {
+        let f = ACTIVE_FIBER.with(|c| c.get());
+        debug_assert!(!f.is_null(), "switch_to_worker outside a fiber");
+        let slot = WORKER_CTX.with(|c| c.get());
+        unsafe { kpn_core_fiber_switch(&mut (*f).ctx, *slot) };
+    }
+
+    /// Entry point for every fiber; `f` arrives in r15 via fiber_start.
+    #[no_mangle]
+    extern "C" fn kpn_core_fiber_entry(f: *mut Fiber) -> ! {
+        {
+            let fiber = unsafe { &mut *f };
+            let body = fiber.entry.take().expect("fiber entry body");
+            // Never unwind into the assembly trampoline. Process panics are
+            // already caught and recorded by the network's spawn wrapper;
+            // this is the backstop.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+            fiber.done = true;
+        }
+        switch_to_worker();
+        unreachable!("finished fiber resumed")
+    }
+}
+
+#[cfg(any(not(target_arch = "x86_64"), miri))]
+mod imp {
+    //! Fallback for targets without the context-switch assembly: the
+    //! pooled executor degrades to thread-per-task (see
+    //! [`crate::exec::PooledExec`]), so no fiber is ever constructed.
+
+    use super::super::TaskLocals;
+    use std::cell::Cell;
+    use std::sync::Arc;
+
+    pub(in crate::exec) struct Fiber {
+        pub(in crate::exec) locals: Arc<TaskLocals>,
+        pub(in crate::exec) done: bool,
+    }
+
+    impl Fiber {
+        pub(in crate::exec) fn run(&mut self, _worker_ctx: &mut usize) {
+            unreachable!("fibers are not constructed on this target")
+        }
+    }
+
+    thread_local! {
+        pub(in crate::exec) static PARK_REQUEST: Cell<Option<(usize, u64)>> =
+            const { Cell::new(None) };
+    }
+
+    pub(in crate::exec) fn on_fiber() -> bool {
+        false
+    }
+
+    pub(in crate::exec) fn set_worker_ctx(_slot: *mut usize) {}
+
+    pub(in crate::exec) fn switch_to_worker() {
+        unreachable!("fibers are not constructed on this target")
+    }
+}
+
+pub(in crate::exec) use imp::{on_fiber, set_worker_ctx, switch_to_worker, Fiber, PARK_REQUEST};

@@ -175,6 +175,10 @@ pub struct MonitorStats {
     /// The raw material for buffer-management analysis (§6.2): the final
     /// entry per channel is the capacity bounded scheduling settled on.
     pub growth_log: Vec<(u64, usize, usize)>,
+    /// Per-worker scheduler counters, when the network runs on an executor
+    /// that keeps them (the pooled executor); `None` under thread and sim
+    /// execution.
+    pub scheduler: Option<crate::exec::SchedulerStats>,
 }
 
 /// A point-in-time view of a monitor, used by the distributed deadlock
@@ -260,6 +264,12 @@ pub struct Monitor {
     /// blocked on transports the monitor cannot poison (TCP reads,
     /// pending connections).
     abort_hooks: Mutex<Vec<Box<dyn Fn() + Send + Sync>>>,
+    /// Pulls scheduler counters from the network's executor for
+    /// [`Monitor::stats`]/[`Monitor::snapshot`]. A closure (over a weak
+    /// executor handle) rather than an `Arc<dyn Exec>` because the
+    /// executor holds the monitor strongly via its idle hook — a direct
+    /// reference back would leak both.
+    scheduler_source: Mutex<Option<Box<dyn Fn() -> Option<crate::exec::SchedulerStats> + Send + Sync>>>,
 }
 
 /// The monitor keys its blocked-set by *task*, not OS thread: under the
@@ -289,7 +299,24 @@ impl Monitor {
             policy,
             timing,
             abort_hooks: Mutex::new(Vec::new()),
+            scheduler_source: Mutex::new(None),
         })
+    }
+
+    /// Wire up the provider of executor scheduling counters (set by
+    /// [`crate::Network`] when the executor keeps them). The closure is
+    /// called outside the monitor's state lock, so it may itself lock
+    /// executor state.
+    pub fn set_scheduler_source(
+        &self,
+        source: Box<dyn Fn() -> Option<crate::exec::SchedulerStats> + Send + Sync>,
+    ) {
+        *self.scheduler_source.lock() = Some(source);
+    }
+
+    /// Current executor scheduling counters, if any.
+    fn scheduler_stats(&self) -> Option<crate::exec::SchedulerStats> {
+        self.scheduler_source.lock().as_ref().and_then(|f| f())
     }
 
     /// The timing knobs this monitor runs with.
@@ -322,9 +349,15 @@ impl Monitor {
         self.policy
     }
 
-    /// Snapshot of resolution counters.
+    /// Snapshot of resolution counters, including the executor's
+    /// per-worker scheduling counters when it keeps them.
     pub fn stats(&self) -> MonitorStats {
-        self.state.lock().stats.clone()
+        let mut stats = self.state.lock().stats.clone();
+        // Filled after releasing the state lock: the source closure takes
+        // the executor's own locks, and the executor's idle hook calls
+        // back into this monitor.
+        stats.scheduler = self.scheduler_stats();
+        stats
     }
 
     /// Per-channel I/O counters, keyed by channel id — live channels plus
@@ -356,14 +389,17 @@ impl Monitor {
                 BlockKind::Write => writes += 1,
             }
         }
-        MonitorSnapshot {
+        let mut snap = MonitorSnapshot {
             generation: st.generation,
             live: st.live,
             blocked_reads: reads,
             blocked_writes: writes,
             aborted: st.aborted,
             stats: st.stats.clone(),
-        }
+        };
+        drop(st); // scheduler source takes executor locks; see stats()
+        snap.stats.scheduler = self.scheduler_stats();
+        snap
     }
 
     /// Registers the current thread as blocked on a channel the monitor

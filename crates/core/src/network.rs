@@ -57,6 +57,17 @@ impl Default for NetworkConfig {
     }
 }
 
+impl NetworkConfig {
+    /// Run the network on the pooled executor with `n` worker threads
+    /// (0 means `available_parallelism()`). An explicit call here outranks
+    /// both the `KPN_WORKERS` and `KPN_EXEC` environment variables, which
+    /// only shape the [`Default`] mode.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.mode = ExecMode::Pooled { workers: n };
+        self
+    }
+}
+
 struct NetworkInner {
     config: NetworkConfig,
     monitor: Arc<Monitor>,
@@ -288,6 +299,13 @@ impl Network {
         // the thread executor ignores this and relies on park timeouts.
         let m = monitor.clone();
         exec.add_idle_hook(Box::new(move || m.tick()));
+        // Surface executor scheduling counters through MonitorStats. Weak:
+        // the executor already holds the monitor strongly via the idle
+        // hook, so a strong reference back would cycle.
+        let weak_exec = Arc::downgrade(&exec);
+        monitor.set_scheduler_source(Box::new(move || {
+            weak_exec.upgrade().and_then(|e| e.scheduler_stats())
+        }));
         let recorder = config.record_history.then(HistoryRecorder::new);
         Network {
             handle: NetworkHandle {

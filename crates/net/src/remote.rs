@@ -852,6 +852,11 @@ pub struct RemoteSource {
     expected: u64,
     /// Bytes delivered since the last acknowledgement.
     unacked: u64,
+    /// Set when an ack write failed mid-frame: the ack direction may
+    /// carry a partial frame the writer's parser cannot resynchronize
+    /// from, so the connection has been shut down and the next read must
+    /// go straight to recovery instead of the idle wait.
+    ack_poisoned: bool,
     closed: bool,
 }
 
@@ -877,14 +882,31 @@ impl RemoteSource {
             skip: 0,
             expected: 0,
             unacked: 0,
+            ack_poisoned: false,
             closed: false,
         };
         if source.policy.enabled {
             // Adoption ack: a writer already in recovery is waiting for
-            // our resume offset; a fresh writer drains it harmlessly.
-            let _ = source.send_ack();
+            // our resume offset; a fresh writer drains it harmlessly. A
+            // failure here cannot be ignored: the frame may be partially
+            // written, and the reader would otherwise settle into the idle
+            // wait while the writer blocks on an ack that can never parse.
+            if source.send_ack().is_err() {
+                source.retire_ack_channel();
+            }
         }
         source
+    }
+
+    /// Shuts the connection down after a failed ack write. An ack frame
+    /// that errored mid-write may sit partially on the wire, and the
+    /// writer's ack parser has no way to resynchronize past it — so the
+    /// only safe move is to kill the connection (the writer's pending
+    /// handshake sees EOF at once and reconnects) and route this source's
+    /// next read into recovery.
+    fn retire_ack_channel(&mut self) {
+        let _ = self.stream.get_ref().shutdown(Shutdown::Both);
+        self.ack_poisoned = true;
     }
 
     /// Writes `Ack{expected}` on the reverse direction of the transport.
@@ -907,9 +929,13 @@ impl RemoteSource {
         }
         self.unacked += delivered as u64;
         if self.unacked >= ACK_EVERY {
-            // Best-effort: if the link just died, the next read fails and
-            // recovery re-synchronizes.
-            let _ = self.send_ack();
+            // A failed ack is not merely "link died" (where the next read
+            // would fail anyway): a fault can interrupt the frame mid-write
+            // while the link stays up, leaving the ack stream garbled.
+            // Retire the connection so recovery resynchronizes both sides.
+            if self.send_ack().is_err() {
+                self.retire_ack_channel();
+            }
         }
     }
 
@@ -928,6 +954,12 @@ impl RemoteSource {
     }
 
     fn try_read(&mut self, buf: &mut [u8]) -> Result<SourceRead> {
+        if self.ack_poisoned {
+            // A failed ack write retired this connection (see
+            // `retire_ack_channel`); skip the idle wait and reconnect.
+            self.ack_poisoned = false;
+            return Err(Error::Eof);
+        }
         loop {
             if self.remaining > 0 {
                 if self.skip > 0 {

@@ -39,13 +39,17 @@ fn run_mode<T: Clone + Send + 'static>(
     (hist, v)
 }
 
-/// The three modes of the matrix. Two pooled workers on purpose: fewer
-/// workers than processes is exactly the regime where continuation parking
-/// must carry the blocking semantics.
+/// The modes of the matrix. The pool runs at one, two, and four workers:
+/// one worker serializes everything through the hot-slot/local-deque path,
+/// two gives fewer workers than processes (the regime where continuation
+/// parking must carry the blocking semantics), and four adds real steal
+/// traffic between per-worker run queues.
 fn modes() -> Vec<(&'static str, ExecMode)> {
     vec![
         ("thread", ExecMode::Thread),
-        ("pooled", ExecMode::Pooled { workers: 2 }),
+        ("pooled:1", ExecMode::Pooled { workers: 1 }),
+        ("pooled:2", ExecMode::Pooled { workers: 2 }),
+        ("pooled:4", ExecMode::Pooled { workers: 4 }),
         (
             "sim",
             ExecMode::Sim(SimScheduler::new(SchedulePolicy::RandomWalk { seed: 7 })),

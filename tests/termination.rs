@@ -122,6 +122,46 @@ fn true_deadlock_is_detected_and_reported() {
 }
 
 #[test]
+fn true_deadlock_is_detected_under_pooled_executor() {
+    // The same two-process cycle under the work-stealing pool: both
+    // fibers park, the workers' pre-sleep rescan finds no runnable work
+    // (hot slots included), and the quiescence tick must hand the
+    // monitor an accurate all-blocked picture — a deferred-but-runnable
+    // fiber faking quiescence here would make this abort spurious, a
+    // lost wakeup would make it hang.
+    use kpn::core::{DataReader, DataWriter, ExecMode, MonitorTiming};
+    let start = Instant::now();
+    let net = Network::with_config(NetworkConfig {
+        mode: ExecMode::Pooled { workers: 2 },
+        monitor_timing: MonitorTiming::fast(),
+        ..Default::default()
+    });
+    let (aw, ar) = net.channel();
+    let (bw, br) = net.channel();
+    net.add_fn("p1", move |_| {
+        let mut r = DataReader::new(br);
+        let mut w = DataWriter::new(aw);
+        loop {
+            let v = r.read_i64()?;
+            w.write_i64(v)?;
+        }
+    });
+    net.add_fn("p2", move |_| {
+        let mut r = DataReader::new(ar);
+        let mut w = DataWriter::new(bw);
+        loop {
+            let v = r.read_i64()?;
+            w.write_i64(v)?;
+        }
+    });
+    assert!(matches!(net.run(), Err(Error::Deadlocked)));
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "pooled-mode detection must ride the idle-hook tick, not hang"
+    );
+}
+
+#[test]
 fn deadlock_policy_max_capacity_bounds_memory() {
     // A graph needing unbounded buffers, capped: the monitor grows until
     // the cap, then declares a true deadlock instead of eating all memory.

@@ -1,0 +1,293 @@
+//! Offline vendored subset of `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `Bencher::iter`
+//! and `iter_custom`, `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! timing loop instead of criterion's statistical machinery. Each
+//! benchmark runs a short calibrated loop and prints mean ns/iter; there
+//! is no outlier analysis, HTML report, or saved baseline. Good enough
+//! for `cargo bench --no-run` CI legs and for coarse local comparisons.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    /// Target number of timed samples per benchmark.
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI-style configuration; accepted for API compatibility.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(id, self.sample_size, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks with shared configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Records the input size per iteration; accepted for API
+    /// compatibility (no per-byte/per-element rates are reported).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Warm-up budget; accepted for API compatibility.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Measurement budget; accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_bench(&label, self.sample_size, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: IntoBenchmarkId, P: ?Sized, F: FnMut(&mut Bencher, &P)>(
+        &mut self,
+        id: I,
+        input: &P,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_bench(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Anything usable as a benchmark identifier (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Renders the identifier.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Declared per-iteration workload size; retained for API compatibility.
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    /// Mean nanoseconds per iteration, recorded by `iter`/`iter_custom`.
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, calibrating the iteration count so each sample
+    /// takes a measurable amount of time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the batch until one batch takes >= 1 ms or we
+        // hit a cap, so per-iteration timing noise stays bounded.
+        let mut batch: u64 = 1;
+        let batch_floor = Duration::from_millis(1);
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            if start.elapsed() >= batch_floor || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+    }
+
+    /// Times with a caller-controlled loop: `routine` receives the
+    /// iteration count and returns the elapsed time it measured.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let per_sample: u64 = 8;
+        for _ in 0..self.samples {
+            total += routine(per_sample);
+            iters += per_sample;
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    // Keep vendored bench runs quick: a handful of samples is enough for
+    // the coarse comparisons this stub supports.
+    let mut bencher = Bencher {
+        samples: sample_size.min(10),
+        mean_ns: 0.0,
+    };
+    f(&mut bencher);
+    eprintln!("bench {label}: {:.1} ns/iter", bencher.mean_ns);
+}
+
+/// Declares a benchmark group callable from [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups; tolerates the harness CLI
+/// arguments cargo passes (`--bench`, filters) by ignoring them.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        group.bench_function("sum", |b| b.iter(|| (0..4u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.bench_function(BenchmarkId::new("custom", 7), |b| {
+            b.iter_custom(|iters| {
+                let start = std::time::Instant::now();
+                for _ in 0..iters {
+                    black_box(1 + 1);
+                }
+                start.elapsed()
+            })
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        criterion_group!(benches, trivial);
+        benches();
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline vendored subset of `serde`'s core traits.
+//!
+//! The build environment cannot reach a crates.io mirror, so the
+//! workspace vendors the slice of serde it uses: the [`Serialize`] /
+//! [`Deserialize`] traits, the [`Serializer`](ser::Serializer) /
+//! [`Deserializer`](de::Deserializer) driver traits with their compound
+//! access traits, and impls for the std types that cross kpn channels
+//! (integers, floats, strings, `Vec`, `Option`, `Box`, tuples, maps).
+//! The trait shapes match real serde so the `kpn-codec` format
+//! implementation and the vendored derive compile against either.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,529 @@
+//! Offline vendored `Serialize`/`Deserialize` derive.
+//!
+//! The build environment has no crates.io mirror, so this derive is
+//! hand-rolled on top of `proc_macro` alone (no `syn`/`quote`). It
+//! supports exactly what the workspace uses: non-generic structs (named,
+//! tuple, unit) and non-generic enums whose variants are unit, tuple, or
+//! struct shaped, with externally-indexed variants matching real serde's
+//! `variant_index` convention. `#[serde(...)]` attributes are accepted
+//! and ignored — the kpn-codec wire format is positional, so `default`
+//! renaming/skipping hints have no effect on it.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields (count only — types are never needed).
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Input {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// ---- token-stream parsing ----------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skips `#[...]` attribute sequences (including doc comments).
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            match self.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    self.pos += 1;
+                }
+                _ => panic!("serde_derive: malformed attribute"),
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected identifier, found {other:?}"),
+        }
+    }
+
+    /// Consumes type tokens until a `,` at angle-bracket depth zero (the
+    /// comma is consumed too) or the end of the stream. Delimited groups
+    /// are single tokens, so only `<`/`>` need depth tracking.
+    fn skip_type(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        self.pos += 1;
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut cur = Cursor::new(stream);
+    let mut names = Vec::new();
+    while cur.peek().is_some() {
+        cur.skip_attributes();
+        cur.skip_visibility();
+        if cur.peek().is_none() {
+            break;
+        }
+        names.push(cur.expect_ident());
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field name, found {other:?}"),
+        }
+        cur.skip_type();
+    }
+    names
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(stream);
+    let mut count = 0;
+    while cur.peek().is_some() {
+        cur.skip_attributes();
+        cur.skip_visibility();
+        if cur.peek().is_none() {
+            break;
+        }
+        count += 1;
+        cur.skip_type();
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while cur.peek().is_some() {
+        cur.skip_attributes();
+        if cur.peek().is_none() {
+            break;
+        }
+        let name = cur.expect_ident();
+        let fields = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(parse_tuple_fields(g.stream()));
+                cur.pos += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                cur.pos += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Consume up to and including the trailing comma (also skips
+        // explicit discriminants, which the workspace does not use).
+        while let Some(t) = cur.next() {
+            if let TokenTree::Punct(p) = t {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut cur = Cursor::new(input);
+    cur.skip_attributes();
+    cur.skip_visibility();
+    let kind = cur.expect_ident();
+    let name = cur.expect_ident();
+    if let Some(TokenTree::Punct(p)) = cur.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic types are not supported");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match cur.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(parse_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive: unexpected struct body {other:?}"),
+            };
+            Input::Struct { name, fields }
+        }
+        "enum" => {
+            let variants = match cur.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                other => panic!("serde_derive: unexpected enum body {other:?}"),
+            };
+            Input::Enum { name, variants }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+// ---- code generation ----------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let src = match parse_input(input) {
+        Input::Struct { name, fields } => serialize_struct(&name, &fields),
+        Input::Enum { name, variants } => serialize_enum(&name, &variants),
+    };
+    src.parse().expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let src = match parse_input(input) {
+        Input::Struct { name, fields } => deserialize_struct(&name, &fields),
+        Input::Enum { name, variants } => deserialize_enum(&name, &variants),
+    };
+    src.parse().expect("serde_derive: generated invalid Deserialize impl")
+}
+
+fn serialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(names) => {
+            let mut s = format!(
+                "let mut __state = serde::Serializer::serialize_struct(__serializer, \"{name}\", {}usize)?;\n",
+                names.len()
+            );
+            for f in names {
+                s += &format!(
+                    "serde::ser::SerializeStruct::serialize_field(&mut __state, \"{f}\", &self.{f})?;\n"
+                );
+            }
+            s += "serde::ser::SerializeStruct::end(__state)";
+            s
+        }
+        Fields::Tuple(1) => format!(
+            "serde::Serializer::serialize_newtype_struct(__serializer, \"{name}\", &self.0)"
+        ),
+        Fields::Tuple(n) => {
+            let mut s = format!(
+                "let mut __state = serde::Serializer::serialize_tuple_struct(__serializer, \"{name}\", {n}usize)?;\n"
+            );
+            for i in 0..*n {
+                s += &format!(
+                    "serde::ser::SerializeTupleStruct::serialize_field(&mut __state, &self.{i})?;\n"
+                );
+            }
+            s += "serde::ser::SerializeTupleStruct::end(__state)";
+            s
+        }
+        Fields::Unit => {
+            format!("serde::Serializer::serialize_unit_struct(__serializer, \"{name}\")")
+        }
+    };
+    wrap_serialize(name, &body)
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for (idx, v) in variants.iter().enumerate() {
+        let vname = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                arms += &format!(
+                    "{name}::{vname} => serde::Serializer::serialize_unit_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                );
+            }
+            Fields::Tuple(1) => {
+                arms += &format!(
+                    "{name}::{vname}(__f0) => serde::Serializer::serialize_newtype_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+                );
+            }
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let mut arm = format!("{name}::{vname}({}) => {{\n", binds.join(", "));
+                arm += &format!(
+                    "let mut __state = serde::Serializer::serialize_tuple_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", {n}usize)?;\n"
+                );
+                for b in &binds {
+                    arm += &format!(
+                        "serde::ser::SerializeTupleVariant::serialize_field(&mut __state, {b})?;\n"
+                    );
+                }
+                arm += "serde::ser::SerializeTupleVariant::end(__state)\n}\n";
+                arms += &arm;
+            }
+            Fields::Named(fields) => {
+                let mut arm = format!("{name}::{vname} {{ {} }} => {{\n", fields.join(", "));
+                arm += &format!(
+                    "let mut __state = serde::Serializer::serialize_struct_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", {}usize)?;\n",
+                    fields.len()
+                );
+                for f in fields {
+                    arm += &format!(
+                        "serde::ser::SerializeStructVariant::serialize_field(&mut __state, \"{f}\", {f})?;\n"
+                    );
+                }
+                arm += "serde::ser::SerializeStructVariant::end(__state)\n}\n";
+                arms += &arm;
+            }
+        }
+    }
+    wrap_serialize(name, &format!("match self {{\n{arms}}}"))
+}
+
+fn wrap_serialize(name: &str, body: &str) -> String {
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn serialize<__S: serde::Serializer>(&self, __serializer: __S) \
+         -> ::std::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Generates `let __fieldN = ...;` bindings that pull each field out of a
+/// positional sequence, erroring on early end.
+fn seq_field_bindings(count: usize, what: &str) -> String {
+    let mut s = String::new();
+    for i in 0..count {
+        s += &format!(
+            "let __field{i} = match serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+             ::std::option::Option::Some(__v) => __v,\n\
+             ::std::option::Option::None => return ::std::result::Result::Err(\
+             serde::de::Error::custom(\"{what}: missing element {i}\")),\n}};\n"
+        );
+    }
+    s
+}
+
+/// A visitor item (named `visitor_name`) whose `visit_seq` builds
+/// `construct` out of `count` positional fields.
+fn seq_visitor(visitor_name: &str, value_ty: &str, count: usize, construct: &str, what: &str) -> String {
+    format!(
+        "struct {visitor_name};\n\
+         impl<'de> serde::de::Visitor<'de> for {visitor_name} {{\n\
+         type Value = {value_ty};\n\
+         fn expecting(&self, __f: &mut ::std::fmt::Formatter) -> ::std::fmt::Result {{\n\
+         __f.write_str(\"{what}\")\n}}\n\
+         fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+         -> ::std::result::Result<Self::Value, __A::Error> {{\n\
+         {bindings}\
+         ::std::result::Result::Ok({construct})\n}}\n}}\n",
+        bindings = seq_field_bindings(count, what),
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(names) => {
+            let construct = format!(
+                "{name} {{ {} }}",
+                names
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| format!("{f}: __field{i}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            let field_list = names
+                .iter()
+                .map(|f| format!("\"{f}\""))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{visitor}\
+                 serde::Deserializer::deserialize_struct(__deserializer, \"{name}\", &[{field_list}], __Visitor)",
+                visitor = seq_visitor("__Visitor", name, names.len(), &construct, &format!("struct {name}")),
+            )
+        }
+        Fields::Tuple(1) => format!(
+            "struct __Visitor;\n\
+             impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+             type Value = {name};\n\
+             fn expecting(&self, __f: &mut ::std::fmt::Formatter) -> ::std::fmt::Result {{\n\
+             __f.write_str(\"newtype struct {name}\")\n}}\n\
+             fn visit_newtype_struct<__D: serde::Deserializer<'de>>(self, __d: __D) \
+             -> ::std::result::Result<Self::Value, __D::Error> {{\n\
+             ::std::result::Result::Ok({name}(serde::de::Deserialize::deserialize(__d)?))\n}}\n}}\n\
+             serde::Deserializer::deserialize_newtype_struct(__deserializer, \"{name}\", __Visitor)"
+        ),
+        Fields::Tuple(n) => {
+            let construct = format!(
+                "{name}({})",
+                (0..*n)
+                    .map(|i| format!("__field{i}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            format!(
+                "{visitor}\
+                 serde::Deserializer::deserialize_tuple_struct(__deserializer, \"{name}\", {n}usize, __Visitor)",
+                visitor = seq_visitor("__Visitor", name, *n, &construct, &format!("tuple struct {name}")),
+            )
+        }
+        Fields::Unit => format!(
+            "struct __Visitor;\n\
+             impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+             type Value = {name};\n\
+             fn expecting(&self, __f: &mut ::std::fmt::Formatter) -> ::std::fmt::Result {{\n\
+             __f.write_str(\"unit struct {name}\")\n}}\n\
+             fn visit_unit<__E: serde::de::Error>(self) -> ::std::result::Result<Self::Value, __E> {{\n\
+             ::std::result::Result::Ok({name})\n}}\n}}\n\
+             serde::Deserializer::deserialize_unit_struct(__deserializer, \"{name}\", __Visitor)"
+        ),
+    };
+    wrap_deserialize(name, &body)
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let variant_list = variants
+        .iter()
+        .map(|v| format!("\"{}\"", v.name))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let mut inner_visitors = String::new();
+    let mut arms = String::new();
+    for (idx, v) in variants.iter().enumerate() {
+        let vname = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                arms += &format!(
+                    "{idx}u32 => {{\nserde::de::VariantAccess::unit_variant(__variant)?;\n\
+                     ::std::result::Result::Ok({name}::{vname})\n}}\n"
+                );
+            }
+            Fields::Tuple(1) => {
+                arms += &format!(
+                    "{idx}u32 => ::std::result::Result::Ok({name}::{vname}(\
+                     serde::de::VariantAccess::newtype_variant(__variant)?)),\n"
+                );
+            }
+            Fields::Tuple(n) => {
+                let visitor_name = format!("__Variant{idx}Visitor");
+                let construct = format!(
+                    "{name}::{vname}({})",
+                    (0..*n)
+                        .map(|i| format!("__field{i}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                inner_visitors += &seq_visitor(
+                    &visitor_name,
+                    name,
+                    *n,
+                    &construct,
+                    &format!("tuple variant {name}::{vname}"),
+                );
+                arms += &format!(
+                    "{idx}u32 => serde::de::VariantAccess::tuple_variant(__variant, {n}usize, {visitor_name}),\n"
+                );
+            }
+            Fields::Named(fields) => {
+                let visitor_name = format!("__Variant{idx}Visitor");
+                let construct = format!(
+                    "{name}::{vname} {{ {} }}",
+                    fields
+                        .iter()
+                        .enumerate()
+                        .map(|(i, f)| format!("{f}: __field{i}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                let field_list = fields
+                    .iter()
+                    .map(|f| format!("\"{f}\""))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                inner_visitors += &seq_visitor(
+                    &visitor_name,
+                    name,
+                    fields.len(),
+                    &construct,
+                    &format!("struct variant {name}::{vname}"),
+                );
+                arms += &format!(
+                    "{idx}u32 => serde::de::VariantAccess::struct_variant(__variant, &[{field_list}], {visitor_name}),\n"
+                );
+            }
+        }
+    }
+    let body = format!(
+        "struct __Visitor;\n\
+         impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+         type Value = {name};\n\
+         fn expecting(&self, __f: &mut ::std::fmt::Formatter) -> ::std::fmt::Result {{\n\
+         __f.write_str(\"enum {name}\")\n}}\n\
+         fn visit_enum<__A: serde::de::EnumAccess<'de>>(self, __data: __A) \
+         -> ::std::result::Result<Self::Value, __A::Error> {{\n\
+         {inner_visitors}\
+         let (__idx, __variant) = serde::de::EnumAccess::variant::<u32>(__data)?;\n\
+         match __idx {{\n{arms}\
+         _ => ::std::result::Result::Err(serde::de::Error::custom(\
+         \"invalid variant index for enum {name}\")),\n}}\n}}\n}}\n\
+         serde::Deserializer::deserialize_enum(__deserializer, \"{name}\", &[{variant_list}], __Visitor)"
+    );
+    wrap_deserialize(name, &body)
+}
+
+fn wrap_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "impl<'de> serde::de::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D) \
+         -> ::std::result::Result<Self, __D::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
