@@ -1,0 +1,165 @@
+//! Distributed-algorithm scaling benchmark: synchronous communication
+//! rounds per second on the pooled executor.
+//!
+//! Runs bipartite maximal matching (`kpn_dist::Bmm`) on random bipartite
+//! 3-regular graphs of 1 000, 10 000, and 100 000 nodes under the pooled
+//! executor at 1, 2, and 4 workers. Every graph node is one KPN process,
+//! every edge two bounded byte channels; a round is one `u64` sent and
+//! received on every edge, so an n-node run of R rounds moves
+//! `2·edges·R` messages through the full blocking-channel machinery.
+//!
+//! The figure of merit is **rounds/sec** (network-global synchronous
+//! rounds completed per second) and its per-node form
+//! **node-rounds/sec** (`n·R/secs`, the process-step throughput the
+//! executor sustains). Each run is verified against the lockstep
+//! reference simulation before its time is accepted — a fast wrong
+//! answer is not a result.
+//!
+//! ```text
+//! cargo run -p kpn-bench --release --bin dist [-- OUT.json]
+//! ```
+//!
+//! Writes `bench_results/BENCH_dist.json` (or the given path) and prints
+//! the same JSON to stdout.
+
+use kpn_core::{ExecMode, SchedulerStats};
+use kpn_dist::{
+    effective_rounds, random_bipartite_regular, run, simulate, Bmm, DistConfig, DistGraph,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SIZES: [usize; 3] = [1_000, 10_000, 100_000];
+const DEGREE: usize = 3;
+const WORKER_SWEEP: [usize; 3] = [1, 2, 4];
+const SEED: u64 = 0xD15C;
+
+struct Run {
+    workers: usize,
+    secs: f64,
+    sched: Option<SchedulerStats>,
+}
+
+struct Row {
+    n: usize,
+    edges: usize,
+    rounds: u64,
+    matched: usize,
+    sim_secs: f64,
+    runs: Vec<Run>,
+}
+
+fn bench_graph(g: &DistGraph) -> Row {
+    let colors = g.bipartition().expect("bipartite by construction");
+    let rounds = effective_rounds::<Bmm>(g, kpn_dist::DEFAULT_MAX_ROUNDS);
+
+    let start = Instant::now();
+    let reference = simulate::<Bmm>(g, &colors, rounds).expect("reference simulation");
+    let sim_secs = start.elapsed().as_secs_f64();
+    let matched = kpn_dist::check_matching(g, &reference).expect("maximal matching");
+
+    let runs = WORKER_SWEEP
+        .iter()
+        .map(|&workers| {
+            let cfg = DistConfig {
+                mode: ExecMode::Pooled { workers },
+                ..DistConfig::default()
+            };
+            let start = Instant::now();
+            let (out, report) = run::<Bmm>(g, &colors, cfg).expect("pooled run");
+            let secs = start.elapsed().as_secs_f64();
+            assert_eq!(out, reference, "pooled:{workers} diverged from reference");
+            assert_eq!(report.monitor.true_deadlocks, 0);
+            eprintln!(
+                "{} w={workers} {secs:>8.3}s  {:>7.1} rounds/s  {:>10.0} node-rounds/s",
+                g.name(),
+                rounds as f64 / secs,
+                g.n() as f64 * rounds as f64 / secs,
+            );
+            Run {
+                workers,
+                secs,
+                sched: report.monitor.scheduler,
+            }
+        })
+        .collect();
+    Row {
+        n: g.n(),
+        edges: g.edges().len(),
+        rounds,
+        matched,
+        sim_secs,
+        runs,
+    }
+}
+
+fn sched_json(s: &SchedulerStats) -> String {
+    let t = s.totals();
+    format!(
+        "{{\"fiber_switches\": {}, \"hot_hits\": {}, \"local_pops\": {}, \"injector_pops\": {}, \"injector_pushes\": {}, \"steal_attempts\": {}, \"steal_successes\": {}, \"stolen_fibers\": {}, \"foreign_unparks\": {}, \"parks\": {}}}",
+        t.fiber_switches,
+        t.hot_hits,
+        t.local_pops,
+        t.injector_pops,
+        s.injector_pushes,
+        t.steal_attempts,
+        t.steal_successes,
+        t.stolen_fibers,
+        s.foreign_unparks,
+        t.parks,
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "bench_results/BENCH_dist.json".to_string());
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let rows: Vec<Row> = SIZES
+        .iter()
+        .map(|&n| {
+            let g = random_bipartite_regular(n, DEGREE, SEED).expect("generator");
+            bench_graph(&g)
+        })
+        .collect();
+
+    let mut results = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        let mut sweep = String::new();
+        for (j, p) in r.runs.iter().enumerate() {
+            let psep = if j + 1 == r.runs.len() { "" } else { "," };
+            let sched = match &p.sched {
+                Some(s) => sched_json(s),
+                None => "null".to_string(),
+            };
+            let _ = write!(
+                sweep,
+                "        {{\n          \"workers\": {},\n          \"secs\": {:.4},\n          \"rounds_per_sec\": {:.2},\n          \"node_rounds_per_sec\": {:.0},\n          \"scheduler\": {}\n        }}{}\n",
+                p.workers,
+                p.secs,
+                r.rounds as f64 / p.secs,
+                r.n as f64 * r.rounds as f64 / p.secs,
+                sched,
+                psep
+            );
+        }
+        let _ = write!(
+            results,
+            "    \"bmm_n{}\": {{\n      \"nodes\": {},\n      \"edges\": {},\n      \"rounds\": {},\n      \"matched_edges\": {},\n      \"reference_sim_s\": {:.4},\n      \"worker_sweep\": [\n{}      ]\n    }}{}\n",
+            r.n, r.n, r.edges, r.rounds, r.matched, r.sim_secs, sweep, sep
+        );
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"dist_rounds (crates/bench/src/bin/dist.rs)\",\n  \"description\": \"Synchronous communication rounds per second for bipartite maximal matching (kpn_dist::Bmm) on random bipartite {DEGREE}-regular graphs of 1k/10k/100k nodes, pooled executor at 1/2/4 workers. One KPN process per node, two bounded byte channels per edge, one u64 per channel per round; round count is the algorithm's 2*Delta+2 bound. Every run's per-node outputs are asserted equal to the lockstep reference simulation (reference_sim_s) before timing is accepted.\",\n  \"machine\": \"linux x86_64, release build, {hw} hardware threads\",\n  \"date\": \"2026-08-08\",\n  \"seed\": {SEED},\n  \"results\": {{\n{results}  }},\n  \"acceptance\": \"BMM on the 100k-node random graph completes on the pooled executor at every worker count with outputs bit-identical to the reference\",\n  \"notes\": \"Rounds are global: rounds_per_sec = R/secs counts full network sweeps, node_rounds_per_sec = n*R/secs counts process steps. The workload is communication-bound — each process computes a few comparisons per round then blocks on 2*degree channel ops — so this measures the executor's blocking-channel and fiber-switch machinery at scale, not arithmetic. On a single-hardware-thread machine the worker sweep shows scheduling overhead, not speedup. Conformance across thread/pooled/sim executors is pinned by tests/dist_algorithms.rs.\"\n}}\n",
+    );
+    print!("{json}");
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out_path, &json).expect("write results file");
+    eprintln!("wrote {out_path}");
+}

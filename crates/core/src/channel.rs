@@ -1154,7 +1154,7 @@ pub(crate) fn channel_with_parts(
             let w: Weak<Shared> = Arc::downgrade(&shared);
             w
         };
-        t.register_channel(shared.id, capacity, weak);
+        t.register_channel(shared.id, weak);
     }
     let endpoint = |side| {
         topo.as_ref().map(|t| crate::topology::EndpointTopo {
@@ -1420,7 +1420,7 @@ mod tests {
     fn io_trait_interop() {
         use std::io::{Read, Write};
         let (mut w, mut r) = channel();
-        w.write(b"io").unwrap();
+        assert_eq!(w.write(b"io").unwrap(), 2);
         Write::flush(&mut w).unwrap();
         drop(w);
         let mut s = String::new();

@@ -268,7 +268,7 @@ mod tests {
             } else if d.pop().is_some() {
                 seen.fetch_add(1, Ordering::SeqCst);
             }
-            if pushed % 7 == 0 && d.pop().is_some() {
+            if pushed.is_multiple_of(7) && d.pop().is_some() {
                 seen.fetch_add(1, Ordering::SeqCst);
             }
         }

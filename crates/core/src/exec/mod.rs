@@ -52,7 +52,7 @@
 //! Monitors and the flush registry used to key their bookkeeping by OS
 //! thread. Under a pooled executor one worker thread runs many tasks (and
 //! one task may migrate between workers), so identity moves to a
-//! [`TaskLocals`] record carried by the task itself and installed into a
+//! `TaskLocals` record carried by the task itself and installed into a
 //! thread-local by whichever worker is currently running it.
 
 mod deque;

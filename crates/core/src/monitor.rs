@@ -269,8 +269,12 @@ pub struct Monitor {
     /// executor handle) rather than an `Arc<dyn Exec>` because the
     /// executor holds the monitor strongly via its idle hook — a direct
     /// reference back would leak both.
-    scheduler_source: Mutex<Option<Box<dyn Fn() -> Option<crate::exec::SchedulerStats> + Send + Sync>>>,
+    scheduler_source: Mutex<Option<SchedulerSource>>,
 }
+
+/// Closure pulling a [`SchedulerStats`](crate::exec::SchedulerStats)
+/// snapshot from the owning network's executor.
+type SchedulerSource = Box<dyn Fn() -> Option<crate::exec::SchedulerStats> + Send + Sync>;
 
 /// The monitor keys its blocked-set by *task*, not OS thread: under the
 /// pooled executor one worker thread runs many tasks (and a task may

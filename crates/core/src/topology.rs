@@ -325,7 +325,6 @@ impl EndpointInfo {
 
 struct ChanEntry {
     handle: Weak<dyn MonitoredChannel>,
-    capacity: usize,
     writer: EndpointInfo,
     reader: EndpointInfo,
 }
@@ -366,19 +365,13 @@ impl Topology {
         Arc::new(Topology::default())
     }
 
-    pub(crate) fn register_channel(
-        &self,
-        id: u64,
-        capacity: usize,
-        handle: Weak<dyn MonitoredChannel>,
-    ) {
+    pub(crate) fn register_channel(&self, id: u64, handle: Weak<dyn MonitoredChannel>) {
         let mut st = self.state.lock();
         st.order.push(id);
         st.channels.insert(
             id,
             ChanEntry {
                 handle,
-                capacity,
                 writer: EndpointInfo::new(),
                 reader: EndpointInfo::new(),
             },

@@ -1,0 +1,425 @@
+//! Reference distributed algorithms in the port-numbering model, after
+//! the classical PN/LOCAL presentations (Suomela, *Distributed
+//! Algorithms*): bipartite maximal matching, minimum-vertex-cover
+//! 3-approximation via the bipartite double cover, and a never-halting
+//! gossip used to exercise the communication-round limit.
+//!
+//! Message alphabet (fits in the low byte of a `u64`, so the double
+//! cover can pack two messages per edge per round):
+//! `IDLE = 0`, `PROPOSAL = 1`, `MATCHED = 2`, `ACCEPT = 3`.
+
+use crate::graph::DistGraph;
+use crate::round::{NodeAlgorithm, NodeInfo};
+use kpn_core::{Error, Result};
+
+/// No-op message from a node that has logically stopped or has nothing
+/// to say this round.
+pub const IDLE: u64 = 0;
+/// White → black: "will you match with me?"
+pub const PROPOSAL: u64 = 1;
+/// White → all ports: "I am matched; stop waiting for me."
+pub const MATCHED: u64 = 2;
+/// Black → white: "proposal accepted; we are matched."
+pub const ACCEPT: u64 = 3;
+
+/// One side of the bipartite-maximal-matching state machine — reused
+/// verbatim by [`Bmm`] (one instance per node) and [`Mvc3`] (two
+/// instances per node, one per double-cover copy).
+///
+/// Odd round `2k−1`: an unmatched white node proposes on port `k−1`
+/// (ports in increasing order, one per odd round); a matched white node
+/// announces `MATCHED` on every port and stops. Even round `2k`: an
+/// unmatched black node accepts the minimum-port proposal received in
+/// the previous round and stops; a black node whose every port has
+/// announced `MATCHED` stops unmatched. All outputs are final after
+/// `2Δ + 2` rounds.
+#[derive(Debug, Clone)]
+struct BmmCore {
+    /// 0 = white (proposer), anything else = black (acceptor).
+    color: u64,
+    degree: usize,
+    /// Port this node is matched through.
+    matched: Option<usize>,
+    /// White: `MATCHED` announcement already sent (terminal).
+    announced: bool,
+    /// Black: ports whose white endpoint announced `MATCHED`.
+    in_m: Vec<bool>,
+    /// Black: ports with an unanswered `PROPOSAL` from the last odd round.
+    pending: Vec<bool>,
+    /// No further sends or state changes.
+    stopped: bool,
+}
+
+impl BmmCore {
+    fn new(color: u64, degree: usize) -> Self {
+        BmmCore {
+            color,
+            degree,
+            matched: None,
+            announced: false,
+            in_m: vec![false; degree],
+            pending: vec![false; degree],
+            stopped: false,
+        }
+    }
+
+    fn is_white(&self) -> bool {
+        self.color == 0
+    }
+
+    fn send(&mut self, round: u64, outbox: &mut [u64]) {
+        outbox.fill(IDLE);
+        if self.stopped {
+            return;
+        }
+        if self.is_white() {
+            if round % 2 == 1 {
+                if self.matched.is_some() {
+                    outbox.fill(MATCHED);
+                    self.announced = true;
+                    self.stopped = true;
+                } else {
+                    let k = round.div_ceil(2) as usize;
+                    if k <= self.degree {
+                        outbox[k - 1] = PROPOSAL;
+                    } else {
+                        // Every proposal was ignored: terminally unmatched.
+                        self.stopped = true;
+                    }
+                }
+            }
+        } else if round.is_multiple_of(2) {
+            if let Some(port) = self.pending.iter().position(|&p| p) {
+                outbox[port] = ACCEPT;
+                self.matched = Some(port);
+                self.stopped = true;
+            } else if self.in_m.iter().all(|&m| m) {
+                // Every white neighbor is matched elsewhere.
+                self.stopped = true;
+            }
+        }
+    }
+
+    fn receive(&mut self, round: u64, inbox: &[u64]) {
+        if self.stopped {
+            return;
+        }
+        if self.is_white() {
+            if round.is_multiple_of(2) && self.matched.is_none() {
+                if let Some(port) = inbox.iter().position(|&m| m == ACCEPT) {
+                    self.matched = Some(port);
+                }
+            }
+        } else if round % 2 == 1 {
+            for (port, &msg) in inbox.iter().enumerate() {
+                match msg {
+                    PROPOSAL => self.pending[port] = true,
+                    MATCHED => self.in_m[port] = true,
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Matched port + 1, or 0 when unmatched.
+    fn output(&self) -> u64 {
+        self.matched.map_or(0, |p| p as u64 + 1)
+    }
+}
+
+/// Bipartite maximal matching (PN model). Input: the node's color from a
+/// proper 2-coloring ([`DistGraph::bipartition`]) — 0 white, 1 black.
+/// Output: matched port + 1, or 0 when unmatched. The matching is
+/// consistent (both endpoints agree) and maximal (no edge joins two
+/// unmatched nodes); validate with [`check_matching`].
+pub struct Bmm {
+    core: BmmCore,
+}
+
+impl NodeAlgorithm for Bmm {
+    const NAME: &'static str = "bmm";
+
+    fn new(info: NodeInfo) -> Self {
+        Bmm {
+            core: BmmCore::new(info.input, info.degree),
+        }
+    }
+
+    fn round_bound(max_degree: usize) -> Option<u64> {
+        Some(2 * max_degree as u64 + 2)
+    }
+
+    fn send(&mut self, round: u64, outbox: &mut [u64]) {
+        self.core.send(round, outbox);
+    }
+
+    fn receive(&mut self, round: u64, inbox: &[u64]) {
+        self.core.receive(round, inbox);
+    }
+
+    fn output(&self) -> u64 {
+        self.core.output()
+    }
+}
+
+/// Minimum-vertex-cover 3-approximation (LOCAL model, no identifiers
+/// needed): run [`Bmm`] on the bipartite double cover — every node
+/// simulates a white copy and a black copy, every physical edge carries
+/// both copies' messages as a packed pair — and join the cover iff
+/// either copy is matched. Input is unused; output is 1 (in cover) or 0.
+/// Validate with [`check_cover`].
+pub struct Mvc3 {
+    white: BmmCore,
+    black: BmmCore,
+    scratch: Vec<u64>,
+}
+
+impl NodeAlgorithm for Mvc3 {
+    const NAME: &'static str = "mvc3";
+
+    fn new(info: NodeInfo) -> Self {
+        Mvc3 {
+            white: BmmCore::new(0, info.degree),
+            black: BmmCore::new(1, info.degree),
+            scratch: vec![0; info.degree],
+        }
+    }
+
+    fn round_bound(max_degree: usize) -> Option<u64> {
+        Some(2 * max_degree as u64 + 2)
+    }
+
+    fn send(&mut self, round: u64, outbox: &mut [u64]) {
+        // High byte: this node's white copy → neighbor's black copy.
+        // Low byte: this node's black copy → neighbor's white copy.
+        self.white.send(round, outbox);
+        self.black.send(round, &mut self.scratch);
+        for (out, &black_msg) in outbox.iter_mut().zip(&self.scratch) {
+            *out = (*out << 8) | black_msg;
+        }
+    }
+
+    fn receive(&mut self, round: u64, inbox: &[u64]) {
+        // The neighbor's black copy wrote the low byte, addressed to our
+        // white copy, and vice versa.
+        for (slot, &packed) in self.scratch.iter_mut().zip(inbox) {
+            *slot = packed & 0xFF;
+        }
+        self.white.receive(round, &self.scratch);
+        for (slot, &packed) in self.scratch.iter_mut().zip(inbox) {
+            *slot = packed >> 8;
+        }
+        self.black.receive(round, &self.scratch);
+    }
+
+    fn output(&self) -> u64 {
+        u64::from(self.white.matched.is_some() || self.black.matched.is_some())
+    }
+}
+
+/// Never-halting max-gossip: every round, send the largest value seen so
+/// far on every port and fold in the neighbors'. After `R` rounds the
+/// output is the maximum input over the `R`-hop neighborhood, so the
+/// communication-round limit is directly observable in the outputs.
+/// `round_bound` is `None` — only the limit stops it.
+pub struct GossipMax {
+    best: u64,
+}
+
+impl NodeAlgorithm for GossipMax {
+    const NAME: &'static str = "gossip_max";
+
+    fn new(info: NodeInfo) -> Self {
+        GossipMax { best: info.input }
+    }
+
+    fn round_bound(_max_degree: usize) -> Option<u64> {
+        None
+    }
+
+    fn send(&mut self, _round: u64, outbox: &mut [u64]) {
+        outbox.fill(self.best);
+    }
+
+    fn receive(&mut self, _round: u64, inbox: &[u64]) {
+        for &v in inbox {
+            self.best = self.best.max(v);
+        }
+    }
+
+    fn output(&self) -> u64 {
+        self.best
+    }
+}
+
+/// Validates a [`Bmm`] output vector: ports in range, both endpoints of
+/// every matched edge agree, and the matching is maximal. Returns the
+/// number of matched edges.
+pub fn check_matching(graph: &DistGraph, outputs: &[u64]) -> Result<usize> {
+    let adj = graph.adjacency();
+    if outputs.len() != graph.n() {
+        return Err(Error::Graph(format!(
+            "{} outputs for {} nodes",
+            outputs.len(),
+            graph.n()
+        )));
+    }
+    let mut matched_edges = 0usize;
+    for (v, &out) in outputs.iter().enumerate() {
+        if out == 0 {
+            continue;
+        }
+        let port = out as usize - 1;
+        let Some(&(u, back)) = adj[v].get(port) else {
+            return Err(Error::Graph(format!(
+                "node {v} reports matched port {port} but has degree {}",
+                adj[v].len()
+            )));
+        };
+        if outputs[u] != back as u64 + 1 {
+            return Err(Error::Graph(format!(
+                "node {v} claims a match through port {port} to node {u}, \
+                 which reports {} instead of port {back}",
+                outputs[u]
+            )));
+        }
+        matched_edges += 1;
+    }
+    debug_assert_eq!(matched_edges % 2, 0);
+    for &(u, v) in graph.edges() {
+        if outputs[u] == 0 && outputs[v] == 0 {
+            return Err(Error::Graph(format!(
+                "matching is not maximal: edge {u} -- {v} joins two unmatched nodes"
+            )));
+        }
+    }
+    Ok(matched_edges / 2)
+}
+
+/// Validates an [`Mvc3`] output vector: outputs are 0/1 and every edge
+/// has a covered endpoint. Returns the cover size (the 3·OPT bound is
+/// checked against brute force in tests, where OPT is computable).
+pub fn check_cover(graph: &DistGraph, outputs: &[u64]) -> Result<usize> {
+    if outputs.len() != graph.n() {
+        return Err(Error::Graph(format!(
+            "{} outputs for {} nodes",
+            outputs.len(),
+            graph.n()
+        )));
+    }
+    if let Some(v) = outputs.iter().position(|&o| o > 1) {
+        return Err(Error::Graph(format!(
+            "node {v} output {} is not a cover bit",
+            outputs[v]
+        )));
+    }
+    for &(u, v) in graph.edges() {
+        if outputs[u] == 0 && outputs[v] == 0 {
+            return Err(Error::Graph(format!(
+                "edge {u} -- {v} is uncovered"
+            )));
+        }
+    }
+    Ok(outputs.iter().filter(|&&o| o == 1).count())
+}
+
+/// Exact minimum-vertex-cover size by exhaustive search — for asserting
+/// the 3-approximation bound on small graphs only (`n ≤ 24`).
+pub fn min_vertex_cover_size(graph: &DistGraph) -> usize {
+    let n = graph.n();
+    assert!(n <= 24, "brute force is for small graphs");
+    let edges = graph.edges();
+    let mut best = n;
+    for mask in 0u32..(1 << n) {
+        let size = mask.count_ones() as usize;
+        if size >= best {
+            continue;
+        }
+        if edges
+            .iter()
+            .all(|&(u, v)| mask & (1 << u) != 0 || mask & (1 << v) != 0)
+        {
+            best = size;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{grid, path, random_bipartite_regular, random_regular};
+    use crate::round::{effective_rounds, simulate};
+
+    fn run_ref<A: NodeAlgorithm>(graph: &DistGraph, inputs: &[u64]) -> Vec<u64> {
+        let rounds = effective_rounds::<A>(graph, u64::MAX);
+        simulate::<A>(graph, inputs, rounds).unwrap()
+    }
+
+    #[test]
+    fn bmm_single_edge_matches() {
+        let g = path(2).unwrap();
+        let out = run_ref::<Bmm>(&g, &[0, 1]);
+        assert_eq!(out, vec![1, 1]);
+        assert_eq!(check_matching(&g, &out).unwrap(), 1);
+    }
+
+    #[test]
+    fn bmm_is_maximal_and_consistent_on_many_graphs() {
+        for seed in 0..10 {
+            let g = random_bipartite_regular(40, 3, seed).unwrap();
+            let colors = g.bipartition().unwrap();
+            let out = run_ref::<Bmm>(&g, &colors);
+            let size = check_matching(&g, &out).unwrap();
+            assert!(size > 0, "3-regular bipartite graphs have edges to match");
+        }
+        let g = grid(7, 5).unwrap();
+        let colors = g.bipartition().unwrap();
+        let out = run_ref::<Bmm>(&g, &colors);
+        check_matching(&g, &out).unwrap();
+    }
+
+    #[test]
+    fn mvc3_covers_and_is_within_3x_of_optimum() {
+        for g in [
+            grid(4, 3).unwrap(),
+            crate::graph::ring(9).unwrap(),
+            random_regular(16, 3, 5).unwrap(),
+        ] {
+            let inputs = vec![0u64; g.n()];
+            let out = run_ref::<Mvc3>(&g, &inputs);
+            let size = check_cover(&g, &out).unwrap();
+            let opt = min_vertex_cover_size(&g);
+            assert!(
+                size <= 3 * opt,
+                "{}: cover {size} exceeds 3x optimum {opt}",
+                g.name()
+            );
+        }
+    }
+
+    #[test]
+    fn gossip_max_respects_hop_limit() {
+        // On a path, node 0 holds the max; after R rounds it has reached
+        // exactly the R-hop prefix.
+        let g = path(10).unwrap();
+        let mut inputs: Vec<u64> = vec![1; 10];
+        inputs[0] = 99;
+        let out = simulate::<GossipMax>(&g, &inputs, 3).unwrap();
+        for (v, &o) in out.iter().enumerate() {
+            assert_eq!(o, if v <= 3 { 99 } else { 1 }, "node {v}");
+        }
+    }
+
+    #[test]
+    fn validators_reject_bad_outputs() {
+        let g = path(3).unwrap();
+        // Node 1 claims port 1 (toward node 2) but node 2 claims nothing.
+        assert!(check_matching(&g, &[0, 2, 0]).is_err());
+        // Edge 0 -- 1 joins two unmatched nodes under an empty matching.
+        assert!(check_matching(&g, &[0, 0, 0]).is_err());
+        // Middle node alone covers a path of 3.
+        assert_eq!(check_cover(&g, &[0, 1, 0]).unwrap(), 1);
+        assert!(check_cover(&g, &[1, 0, 0]).is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! Distributed-algorithm workloads on Kahn process networks.
+//!
+//! The paper's evaluation stops at pipelines; this crate opens the
+//! workload family the ROADMAP calls for: PN/LOCAL-model distributed
+//! algorithms where every graph node is a KPN process and every edge a
+//! pair of byte channels, executed under synchronous-round semantics.
+//!
+//! * [`graph`] — undirected topologies: generators (rings, paths,
+//!   grids, random d-regular, random bipartite d-regular) and Graphviz
+//!   DOT import/export with exact round-tripping.
+//! * [`round`] — the [`round::RoundSync`] adapter running a
+//!   [`round::NodeAlgorithm`] on all three executors,
+//!   bounded by a communication-round limit, plus the lockstep
+//!   [`round::simulate`] reference oracle.
+//! * [`algorithms`] — bipartite maximal matching (PN model),
+//!   minimum-vertex-cover 3-approximation via the bipartite double
+//!   cover (LOCAL model), never-halting max-gossip, and output
+//!   validators.
+//! * [`spec`] — partitioning a topology into deployable
+//!   [`GraphSpec`](kpn_net::GraphSpec) plans through the distributed
+//!   `GraphBuilder`, validated by `kpn_lint::check_specs`.
+//!
+//! The `kpn-dist` binary wraps it all as a CLI (`gen`, `run`,
+//! `export`); `tests/dist_algorithms.rs` pins per-node output equality
+//! across executors and seeded sim schedules.
+
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod graph;
+pub mod round;
+pub mod spec;
+
+pub use algorithms::{check_cover, check_matching, Bmm, GossipMax, Mvc3};
+pub use graph::{
+    grid, path, random_bipartite_regular, random_regular, ring, DistGraph,
+};
+pub use round::{
+    build_network, effective_rounds, run, simulate, DistConfig, NodeAlgorithm, NodeInfo,
+    RoundSync, DEFAULT_MAX_ROUNDS, MIN_CAPACITY,
+};

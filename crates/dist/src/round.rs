@@ -1,0 +1,345 @@
+//! Synchronous-round execution of node-local algorithms on a KPN.
+//!
+//! The PN/LOCAL models of distributed computing assume *synchronous
+//! rounds*: in every round each node first sends one message on every
+//! incident edge, then receives one message from every incident edge,
+//! then updates its state. [`RoundSync`] runs a [`NodeAlgorithm`] under
+//! exactly those semantics on a Kahn process network — one process per
+//! node, one byte channel per edge direction, one `u64` message per
+//! channel per round.
+//!
+//! Synchrony comes from the blocking-read rule, not from a barrier: a
+//! node cannot finish round `r` until every neighbor has *sent* its
+//! round-`r` messages, and FIFO channels make the `r`-th message on a
+//! channel the round-`r` message by construction. Nodes may therefore
+//! skew (a fast node can run ahead until the bounded channels fill), but
+//! every node observes exactly the message sequence of the lockstep
+//! schedule — which is why per-node outputs are a pure function of the
+//! topology and inputs, independent of the executor (Kahn determinacy,
+//! restated for rounds; see DESIGN.md §5h). [`simulate`] is that
+//! lockstep schedule as a plain loop, usable as a reference oracle
+//! against [`run`] at any scale.
+//!
+//! Every execution is bounded by a communication-round limit: the
+//! adapter runs `min(algorithm bound, max_rounds)` rounds and then stops
+//! every node in the same round, so even a non-terminating algorithm
+//! ([`crate::algorithms::GossipMax`]) halts cleanly with well-defined
+//! partial outputs.
+
+use crate::graph::DistGraph;
+use kpn_core::{
+    DataReader, DataWriter, Error, Iterative, LintLevel, Network, NetworkConfig, NetworkReport,
+    ProcessCtx, ProcessTag, Result,
+};
+use std::sync::{Arc, Mutex};
+
+/// What a node knows at time zero (the port-numbering model): its id,
+/// its degree, and one `u64` of local input (a color, a weight, …).
+#[derive(Debug, Clone, Copy)]
+pub struct NodeInfo {
+    /// Node id in `0..n`. LOCAL-model algorithms may use it as a unique
+    /// identifier; PN-model algorithms should ignore it.
+    pub id: usize,
+    /// Number of incident edges (= ports, numbered `0..degree`).
+    pub degree: usize,
+    /// Node-local input value.
+    pub input: u64,
+}
+
+/// A node-local algorithm in the synchronous port-numbering model.
+///
+/// Each round `r = 1, 2, …` the runtime calls [`send`](Self::send) to
+/// fill one outgoing `u64` per port, delivers messages, then calls
+/// [`receive`](Self::receive) with one incoming `u64` per port
+/// (`inbox[p]` is the message from the neighbor on port `p`). A node
+/// whose algorithm has logically stopped keeps being called — it should
+/// send an idle message and ignore its inbox — until the global round
+/// limit stops every node in the same round.
+pub trait NodeAlgorithm: Send + 'static {
+    /// Algorithm name for diagnostics and process naming.
+    const NAME: &'static str;
+
+    /// State at time zero.
+    fn new(info: NodeInfo) -> Self;
+
+    /// Number of rounds after which every node's output is final, as a
+    /// function of the maximum degree Δ — or `None` for algorithms with
+    /// no bound (they run until the configured round limit).
+    fn round_bound(max_degree: usize) -> Option<u64>;
+
+    /// Fills `outbox[p]` with the round-`round` message for port `p`.
+    /// `outbox.len()` equals the node's degree.
+    fn send(&mut self, round: u64, outbox: &mut [u64]);
+
+    /// Consumes the round-`round` messages; `inbox[p]` came from the
+    /// neighbor on port `p`.
+    fn receive(&mut self, round: u64, inbox: &[u64]);
+
+    /// The node's current output value.
+    fn output(&self) -> u64;
+}
+
+/// Rounds actually executed for algorithm `A` on `graph` under the
+/// communication-round limit `max_rounds`: the algorithm's own bound
+/// when it has one and it is smaller, else `max_rounds`.
+pub fn effective_rounds<A: NodeAlgorithm>(graph: &DistGraph, max_rounds: u64) -> u64 {
+    match A::round_bound(graph.max_degree()) {
+        Some(bound) => bound.min(max_rounds),
+        None => max_rounds,
+    }
+}
+
+/// Minimum per-direction channel capacity: two 8-byte messages, so a
+/// node can complete its round-`r+1` sends while the neighbor still
+/// holds round `r` unread — the monitor never needs to grow a channel
+/// and the L003 one-token floor is satisfied with headroom.
+pub const MIN_CAPACITY: usize = 16;
+
+/// The [`Iterative`] adapter: one KPN process executing one node of a
+/// [`NodeAlgorithm`]. Each `step` is one synchronous round — write one
+/// message per out-port (port order), then block-read one message per
+/// in-port (port order). The iteration limit is the round count, so
+/// every node stops in the same round and endpoint teardown is clean.
+pub struct RoundSync<A: NodeAlgorithm> {
+    algo: A,
+    id: usize,
+    round: u64,
+    writers: Vec<DataWriter>,
+    readers: Vec<DataReader>,
+    outbox: Vec<u64>,
+    inbox: Vec<u64>,
+    rounds: u64,
+    outputs: Arc<Mutex<Vec<u64>>>,
+    tag: ProcessTag,
+}
+
+impl<A: NodeAlgorithm> Iterative for RoundSync<A> {
+    fn name(&self) -> String {
+        format!("{}[{}]", A::NAME, self.id)
+    }
+
+    fn limit(&self) -> Option<u64> {
+        Some(self.rounds)
+    }
+
+    fn lint_tag(&self) -> Option<&ProcessTag> {
+        Some(&self.tag)
+    }
+
+    fn step(&mut self, _ctx: &ProcessCtx) -> Result<()> {
+        self.round += 1;
+        self.algo.send(self.round, &mut self.outbox);
+        for (w, &msg) in self.writers.iter_mut().zip(&self.outbox) {
+            w.write_u64(msg)?;
+        }
+        for (r, slot) in self.readers.iter_mut().zip(self.inbox.iter_mut()) {
+            *slot = r.read_u64()?;
+        }
+        self.algo.receive(self.round, &self.inbox);
+        Ok(())
+    }
+
+    fn on_stop(&mut self) {
+        self.outputs.lock().unwrap()[self.id] = self.algo.output();
+    }
+}
+
+/// Builds the round-synchronous network for `graph` into `net` (one
+/// [`RoundSync`] process per node, two channels per edge) and returns
+/// the shared per-node output table, filled as nodes stop. Channels and
+/// processes are created in deterministic order on the calling thread,
+/// so recorded histories key identically under every executor.
+///
+/// Fails on an input-length mismatch and on isolated nodes: a node with
+/// no ports would be an orphan process (lint L004), and no PN-model
+/// algorithm can distinguish it from a one-node network anyway.
+pub fn build_network<A: NodeAlgorithm>(
+    net: &Network,
+    graph: &DistGraph,
+    inputs: &[u64],
+    max_rounds: u64,
+    capacity: usize,
+) -> Result<Arc<Mutex<Vec<u64>>>> {
+    let n = graph.n();
+    if n == 0 {
+        return Err(Error::Graph("cannot run on an empty graph".into()));
+    }
+    if inputs.len() != n {
+        return Err(Error::Graph(format!(
+            "{} inputs for {n} nodes",
+            inputs.len()
+        )));
+    }
+    let adj = graph.adjacency();
+    if let Some(v) = adj.iter().position(|ports| ports.is_empty()) {
+        return Err(Error::Graph(format!(
+            "node {v} is isolated: every node needs at least one edge"
+        )));
+    }
+    let capacity = capacity.max(MIN_CAPACITY);
+    let rounds = effective_rounds::<A>(graph, max_rounds);
+
+    // Two directed channels per undirected edge, created in edge order so
+    // history keys are deterministic. writer[v][p] / reader[v][p] follow
+    // the port numbering of `DistGraph::adjacency`.
+    let mut writers: Vec<Vec<Option<kpn_core::ChannelWriter>>> =
+        adj.iter().map(|p| (0..p.len()).map(|_| None).collect()).collect();
+    let mut readers: Vec<Vec<Option<kpn_core::ChannelReader>>> =
+        adj.iter().map(|p| (0..p.len()).map(|_| None).collect()).collect();
+    let mut next_port = vec![0usize; n];
+    for &(u, v) in graph.edges() {
+        let pu = next_port[u];
+        let pv = next_port[v];
+        next_port[u] += 1;
+        next_port[v] += 1;
+        let (w_uv, r_uv) = net.channel_with_capacity(capacity);
+        let (w_vu, r_vu) = net.channel_with_capacity(capacity);
+        writers[u][pu] = Some(w_uv);
+        readers[v][pv] = Some(r_uv);
+        writers[v][pv] = Some(w_vu);
+        readers[u][pu] = Some(r_vu);
+    }
+
+    let outputs = Arc::new(Mutex::new(vec![0u64; n]));
+    for v in 0..n {
+        let degree = adj[v].len();
+        let tag = ProcessTag::new(format!("{}[{v}]", A::NAME));
+        let node_writers: Vec<DataWriter> = writers[v]
+            .iter_mut()
+            .map(|slot| {
+                let w = slot.take().expect("every port has a writer");
+                w.attach(&tag);
+                // One u64 message per round; no per-firing rate is
+                // declared because a round is send-then-receive, not an
+                // atomic SDF firing — as an SDF actor every edge pair
+                // would be a zero-delay cycle and L005 would (rightly,
+                // for that model) reject it.
+                w.declare_item::<u64>(8);
+                DataWriter::unbuffered(w)
+            })
+            .collect();
+        let node_readers: Vec<DataReader> = readers[v]
+            .iter_mut()
+            .map(|slot| {
+                let r = slot.take().expect("every port has a reader");
+                r.attach(&tag);
+                r.declare_item::<u64>(8);
+                DataReader::unbuffered(r)
+            })
+            .collect();
+        net.add(RoundSync {
+            algo: A::new(NodeInfo {
+                id: v,
+                degree,
+                input: inputs[v],
+            }),
+            id: v,
+            round: 0,
+            writers: node_writers,
+            readers: node_readers,
+            outbox: vec![0; degree],
+            inbox: vec![0; degree],
+            rounds,
+            outputs: outputs.clone(),
+            tag,
+        });
+    }
+    Ok(outputs)
+}
+
+/// Default communication-round limit: high enough for every bounded
+/// algorithm in this crate, low enough that an unbounded algorithm on a
+/// small graph still halts promptly in tests.
+pub const DEFAULT_MAX_ROUNDS: u64 = 1 << 20;
+
+/// How to execute a distributed-algorithm run.
+pub struct DistConfig {
+    /// Executor (thread / pooled / sim).
+    pub mode: kpn_core::ExecMode,
+    /// Communication-round limit; the run executes
+    /// `min(algorithm bound, max_rounds)` rounds.
+    pub max_rounds: u64,
+    /// Per-direction channel capacity in bytes (clamped up to
+    /// [`MIN_CAPACITY`]).
+    pub capacity: usize,
+    /// Record per-channel histories for determinacy comparison.
+    pub record_history: bool,
+    /// Static-lint enforcement; generated topologies must survive
+    /// [`LintLevel::Deny`], the default here.
+    pub lint: LintLevel,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig {
+            mode: kpn_core::ExecMode::default(),
+            max_rounds: DEFAULT_MAX_ROUNDS,
+            capacity: MIN_CAPACITY,
+            record_history: false,
+            lint: LintLevel::Deny,
+        }
+    }
+}
+
+/// Builds and runs algorithm `A` on `graph` under `cfg`, returning the
+/// per-node outputs and the network's report.
+pub fn run<A: NodeAlgorithm>(
+    graph: &DistGraph,
+    inputs: &[u64],
+    cfg: DistConfig,
+) -> Result<(Vec<u64>, NetworkReport)> {
+    let net = Network::with_config(NetworkConfig {
+        mode: cfg.mode,
+        record_history: cfg.record_history,
+        lint: cfg.lint,
+        ..Default::default()
+    });
+    let outputs = build_network::<A>(&net, graph, inputs, cfg.max_rounds, cfg.capacity)?;
+    let report = net.run()?;
+    let out = outputs.lock().unwrap().clone();
+    Ok((out, report))
+}
+
+/// The lockstep reference schedule as a plain loop — no processes, no
+/// channels. Executes exactly `rounds` rounds and returns the per-node
+/// outputs; [`run`] with the same graph, inputs and effective round
+/// count must produce the identical vector under every executor.
+pub fn simulate<A: NodeAlgorithm>(
+    graph: &DistGraph,
+    inputs: &[u64],
+    rounds: u64,
+) -> Result<Vec<u64>> {
+    let n = graph.n();
+    if inputs.len() != n {
+        return Err(Error::Graph(format!(
+            "{} inputs for {n} nodes",
+            inputs.len()
+        )));
+    }
+    let adj = graph.adjacency();
+    let mut algos: Vec<A> = (0..n)
+        .map(|v| {
+            A::new(NodeInfo {
+                id: v,
+                degree: adj[v].len(),
+                input: inputs[v],
+            })
+        })
+        .collect();
+    let mut outboxes: Vec<Vec<u64>> = adj.iter().map(|p| vec![0u64; p.len()]).collect();
+    let mut inboxes = outboxes.clone();
+    for round in 1..=rounds {
+        for (v, algo) in algos.iter_mut().enumerate() {
+            algo.send(round, &mut outboxes[v]);
+        }
+        for (v, ports) in adj.iter().enumerate() {
+            for (p, &(u, back)) in ports.iter().enumerate() {
+                inboxes[v][p] = outboxes[u][back];
+            }
+        }
+        for (v, algo) in algos.iter_mut().enumerate() {
+            algo.receive(round, &inboxes[v]);
+        }
+    }
+    Ok(algos.iter().map(|a| a.output()).collect())
+}

@@ -1,0 +1,174 @@
+//! Partitioning topologies into deployable [`GraphSpec`] plans.
+//!
+//! A [`DistGraph`] can be cut into `parts` contiguous node blocks and
+//! expressed through the distributed [`GraphBuilder`]: one `RoundSync`
+//! process description per node, two directed channels per edge, cut
+//! edges becoming remote endpoint tokens. The resulting per-partition
+//! [`GraphSpec`]s serialize through `kpn-codec` (the `kpn-dist export`
+//! CLI writes one file per partition) and are validated statically with
+//! `kpn_lint::check_specs` — the same lint-gated admission path the
+//! fabric roadmap item uses for deployments.
+
+use crate::graph::DistGraph;
+use crate::round::MIN_CAPACITY;
+use kpn_core::{Error, Result};
+use kpn_net::{ChanId, GraphBuilder, GraphSpec};
+
+/// Process-type name used in exported specs. A server-side registry
+/// entry for it is future work (running a partition needs an output
+/// collection protocol); the plans are for static validation and
+/// inspection today.
+pub const PROCESS_TYPE: &str = "RoundSync";
+
+/// Constructor parameters carried by each exported process description:
+/// `(algorithm, node id, node input, max_rounds)`.
+pub type NodeParams = (String, u64, u64, u64);
+
+/// Expresses `graph` through the distributed [`GraphBuilder`]: node `v`
+/// goes to partition `v·parts/n` (contiguous blocks), every edge becomes
+/// two directed channels of `capacity` bytes (clamped to
+/// [`MIN_CAPACITY`]), and every node becomes a [`PROCESS_TYPE`] process
+/// with [`NodeParams`]. Port order is preserved, so a deployed plan
+/// exchanges messages exactly like [`crate::round::build_network`].
+pub fn to_builder(
+    graph: &DistGraph,
+    algo: &str,
+    parts: usize,
+    capacity: usize,
+    inputs: &[u64],
+    max_rounds: u64,
+) -> Result<GraphBuilder> {
+    let n = graph.n();
+    if n == 0 || parts == 0 {
+        return Err(Error::Graph(format!(
+            "need nodes and partitions, got n={n} parts={parts}"
+        )));
+    }
+    if parts > n {
+        return Err(Error::Graph(format!(
+            "{parts} partitions for {n} nodes leaves empty partitions"
+        )));
+    }
+    if inputs.len() != n {
+        return Err(Error::Graph(format!(
+            "{} inputs for {n} nodes",
+            inputs.len()
+        )));
+    }
+    let adj = graph.adjacency();
+    if let Some(v) = adj.iter().position(|ports| ports.is_empty()) {
+        return Err(Error::Graph(format!(
+            "node {v} is isolated: every node needs at least one edge"
+        )));
+    }
+    let capacity = capacity.max(MIN_CAPACITY);
+
+    let mut b = GraphBuilder::new();
+    // writer_chan[v][p] carries v's messages out of port p;
+    // reader_chan[v][p] carries the far side's messages into port p.
+    let mut writer_chan: Vec<Vec<Option<ChanId>>> = adj
+        .iter()
+        .map(|ports| vec![None; ports.len()])
+        .collect();
+    let mut reader_chan = writer_chan.clone();
+    let mut next_port = vec![0usize; n];
+    for &(u, v) in graph.edges() {
+        let pu = next_port[u];
+        let pv = next_port[v];
+        next_port[u] += 1;
+        next_port[v] += 1;
+        let uv = b.channel_with_capacity(capacity);
+        let vu = b.channel_with_capacity(capacity);
+        writer_chan[u][pu] = Some(uv);
+        reader_chan[v][pv] = Some(uv);
+        writer_chan[v][pv] = Some(vu);
+        reader_chan[u][pu] = Some(vu);
+    }
+    for v in 0..n {
+        let ins: Vec<ChanId> = reader_chan[v].iter().map(|c| c.unwrap()).collect();
+        let outs: Vec<ChanId> = writer_chan[v].iter().map(|c| c.unwrap()).collect();
+        let params: NodeParams = (algo.to_string(), v as u64, inputs[v], max_rounds);
+        b.add(v * parts / n, PROCESS_TYPE, &params, &ins, &outs)?;
+    }
+    Ok(b)
+}
+
+/// Partitions `graph` into named `(partition-name, GraphSpec)` pairs —
+/// the input shape `kpn_lint::check_specs` and the `kpn-dist export`
+/// CLI consume. Partition `p` is named `part<p>` and addressed
+/// `dist-part-<p>:0`.
+pub fn partition_specs(
+    graph: &DistGraph,
+    algo: &str,
+    parts: usize,
+    capacity: usize,
+    inputs: &[u64],
+    max_rounds: u64,
+) -> Result<Vec<(String, GraphSpec)>> {
+    let b = to_builder(graph, algo, parts, capacity, inputs, max_rounds)?;
+    let specs = b.specs(|p| format!("dist-part-{p}:0"))?;
+    Ok(specs
+        .into_iter()
+        .map(|(p, spec)| (format!("part{p}"), spec))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{grid, ring};
+    use kpn_net::{InputSpec, OutputSpec};
+
+    #[test]
+    fn partition_plans_pass_spec_lint() {
+        for parts in [1, 2, 3] {
+            let g = grid(4, 4).unwrap();
+            let inputs = vec![0u64; g.n()];
+            let specs = partition_specs(&g, "mvc3", parts, 16, &inputs, 64).unwrap();
+            assert_eq!(specs.len(), parts);
+            let diags = kpn_lint::check_specs(&specs);
+            assert!(diags.is_empty(), "parts={parts}: {diags:?}");
+            let nodes: usize = specs.iter().map(|(_, s)| s.processes.len()).sum();
+            assert_eq!(nodes, g.n());
+        }
+    }
+
+    #[test]
+    fn cut_edges_become_matched_remote_tokens() {
+        let g = ring(6).unwrap();
+        let inputs = vec![0u64; 6];
+        let specs = partition_specs(&g, "gossip_max", 2, 16, &inputs, 8).unwrap();
+        let remote_outputs: usize = specs
+            .iter()
+            .flat_map(|(_, s)| &s.processes)
+            .flat_map(|p| &p.outputs)
+            .filter(|o| matches!(o, OutputSpec::Remote { .. }))
+            .count();
+        let remote_inputs: usize = specs
+            .iter()
+            .flat_map(|(_, s)| &s.processes)
+            .flat_map(|p| &p.inputs)
+            .filter(|i| matches!(i, InputSpec::Remote { .. }))
+            .count();
+        // The ring cut into two arcs has two cut edges = four directed
+        // cut channels.
+        assert_eq!(remote_outputs, 4);
+        assert_eq!(remote_inputs, 4);
+    }
+
+    #[test]
+    fn specs_round_trip_through_codec() {
+        let g = ring(5).unwrap();
+        let inputs: Vec<u64> = (0..5).collect();
+        let specs = partition_specs(&g, "gossip_max", 2, 16, &inputs, 8).unwrap();
+        for (name, spec) in &specs {
+            let bytes = kpn_codec::to_bytes(spec).unwrap();
+            let back: GraphSpec = kpn_codec::from_bytes(&bytes).unwrap();
+            assert_eq!(back.processes.len(), spec.processes.len(), "{name}");
+            assert_eq!(back.channels.len(), spec.channels.len(), "{name}");
+            let params: NodeParams =
+                kpn_codec::from_bytes(&back.processes[0].params).unwrap();
+            assert_eq!(params.0, "gossip_max");
+        }
+    }
+}

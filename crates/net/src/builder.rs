@@ -233,6 +233,109 @@ impl GraphBuilder {
         out
     }
 
+    /// Partitions the graph into one [`GraphSpec`] per partition *without*
+    /// deploying — the static planning half of [`GraphBuilder::deploy`],
+    /// for writing partition files, feeding `kpn_lint::check_specs`, or
+    /// inspecting a cut before any server exists.
+    ///
+    /// `addr_of` names the acceptor address of each partition (used in
+    /// `OutputSpec::Remote`). Cut channels get deterministic sequential
+    /// endpoint tokens (deploy uses globally fresh tokens instead, so a
+    /// plan written to disk is reproducible). Claimed endpoints are
+    /// rejected: they reference a live client node, which a static plan
+    /// does not have. Returns `(partition, spec)` pairs sorted by
+    /// partition id.
+    pub fn specs(&self, addr_of: impl Fn(usize) -> String) -> Result<Vec<(usize, GraphSpec)>> {
+        if !self.claimed_readers.is_empty() || !self.claimed_writers.is_empty() {
+            return Err(Error::Graph(
+                "static partitioning cannot plan claimed endpoints; \
+                 assign every channel end to a process"
+                    .into(),
+            ));
+        }
+        for (i, ch) in self.channels.iter().enumerate() {
+            if ch.producer.is_none() || ch.consumer.is_none() {
+                return Err(Error::Graph(format!("channel {i} is not fully connected")));
+            }
+        }
+
+        // Placement mirrors `deploy`: same-partition channels stay local
+        // (indexed per partition), cut channels get an endpoint token.
+        enum Plan {
+            Local { index: usize },
+            Cut { reader_partition: usize, token: u64 },
+        }
+        let mut plans = Vec::with_capacity(self.channels.len());
+        let mut local_counts: HashMap<usize, usize> = HashMap::new();
+        let mut next_token = 1u64;
+        for ch in &self.channels {
+            let prod = self.partition_of(ch.producer.unwrap());
+            let cons = self.partition_of(ch.consumer.unwrap());
+            if prod == cons {
+                let count = local_counts.entry(prod).or_insert(0);
+                plans.push(Plan::Local { index: *count });
+                *count += 1;
+            } else {
+                plans.push(Plan::Cut {
+                    reader_partition: cons,
+                    token: next_token,
+                });
+                next_token += 1;
+            }
+        }
+
+        let mut specs: HashMap<usize, GraphSpec> = HashMap::new();
+        for (ci, ch) in self.channels.iter().enumerate() {
+            if let Plan::Local { .. } = plans[ci] {
+                let partition = self.partition_of(ch.producer.unwrap());
+                specs
+                    .entry(partition)
+                    .or_default()
+                    .channels
+                    .push(ChannelSpec {
+                        capacity: ch.capacity,
+                    });
+            }
+        }
+        for p in &self.processes {
+            let inputs = p
+                .inputs
+                .iter()
+                .map(|c| match plans[c.0] {
+                    Plan::Local { index } => InputSpec::Local(index),
+                    Plan::Cut { token, .. } => InputSpec::Remote { token },
+                })
+                .collect();
+            let outputs = p
+                .outputs
+                .iter()
+                .map(|c| match &plans[c.0] {
+                    Plan::Local { index } => OutputSpec::Local(*index),
+                    Plan::Cut {
+                        reader_partition,
+                        token,
+                    } => OutputSpec::Remote {
+                        addr: addr_of(*reader_partition),
+                        token: *token,
+                    },
+                })
+                .collect();
+            specs
+                .entry(p.partition)
+                .or_default()
+                .processes
+                .push(ProcessSpec {
+                    type_name: p.type_name.clone(),
+                    params: p.params.clone(),
+                    inputs,
+                    outputs,
+                });
+        }
+        let mut out: Vec<(usize, GraphSpec)> = specs.into_iter().collect();
+        out.sort_by_key(|(p, _)| *p);
+        Ok(out)
+    }
+
     /// Partitions the graph, ships each server its [`GraphSpec`], starts
     /// the client partition locally, and returns the claimed endpoints.
     ///

@@ -217,7 +217,7 @@ struct SinkCore {
 impl SinkCore {
     fn connect(addr: &str, token: u64, profile: NetProfile) -> Result<Self> {
         let NetProfile { factory, policy } = profile;
-        let mut rng = SplitMix64(token ^ 0x5EED_0F_5EED);
+        let mut rng = SplitMix64(token ^ 0x005E_ED0F_5EED);
         let deadline = Instant::now() + policy.budget;
         let mut attempt: u32 = 0;
         let transport = loop {
@@ -292,7 +292,7 @@ impl SinkCore {
                     }
                 }
                 ReplayFrame::Close { offset } | ReplayFrame::Redirect { offset, .. } => {
-                    if *offset + 1 <= self.acked {
+                    if *offset < self.acked {
                         self.replay.pop_front();
                     } else {
                         break;

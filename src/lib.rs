@@ -28,6 +28,11 @@
 //!   graph-spec checker behind the `kpn-lint` binary. The structural
 //!   checks L001–L004 live in [`core`] and run on every network according
 //!   to `NetworkConfig::lint` / the `KPN_LINT` environment variable.
+//! * [`dist`] — distributed-algorithm workloads: round-synchronous
+//!   execution of PN/LOCAL-model algorithms (bipartite maximal matching,
+//!   vertex-cover 3-approximation, gossip) on generated or Graphviz-DOT
+//!   topologies, with a lockstep reference simulator and the `kpn-dist`
+//!   CLI (`gen` / `run` / `export`).
 //!
 //! ## Quickstart
 //!
@@ -50,6 +55,7 @@ pub use kpn_bignum as bignum;
 pub use kpn_cluster as cluster;
 pub use kpn_codec as codec;
 pub use kpn_core as core;
+pub use kpn_dist as dist;
 pub use kpn_lint as lint;
 pub use kpn_net as net;
 pub use kpn_parallel as parallel;

@@ -57,6 +57,9 @@ fn modes() -> Vec<(&'static str, ExecMode)> {
     ]
 }
 
+/// Per-channel byte histories labelled with the mode that produced them.
+type LabelledHistories = (&'static str, Vec<(ChannelKey, Vec<u8>)>);
+
 /// Runs the graph under every mode and requires pairwise-agreeing
 /// histories (under `check`) plus reference-equal collected output.
 fn assert_matrix<T: Clone + PartialEq + std::fmt::Debug + Send + 'static>(
@@ -64,7 +67,7 @@ fn assert_matrix<T: Clone + PartialEq + std::fmt::Debug + Send + 'static>(
     reference: &[T],
     build: impl Fn(&Network) -> Arc<Mutex<Vec<T>>>,
 ) {
-    let mut baseline: Option<(&str, Vec<(ChannelKey, Vec<u8>)>)> = None;
+    let mut baseline: Option<LabelledHistories> = None;
     for (name, mode) in modes() {
         let (hist, out) = run_mode(mode, &build);
         assert_eq!(out, reference, "{name}: output diverged from reference");
@@ -148,6 +151,27 @@ fn ten_thousand_process_pipeline_on_two_workers() {
     assert_eq!(report.processes_run, STAGES + 2);
     let expected: Vec<i64> = (0..TOKENS).collect();
     assert_eq!(*out.lock().unwrap(), expected);
+}
+
+/// A cyclic topology under the matrix: a LOCAL-model gossip algorithm on
+/// a ring, where every edge is a two-channel feedback pair. Unlike the
+/// pipelines above, *every* channel here is part of a cycle, so this pins
+/// history equality for the round-synchronous adapter (`kpn::dist`) over
+/// graphs the paper's examples never exercise. Histories are exact: every
+/// round's messages are fully consumed, and all nodes stop in the same
+/// round.
+#[test]
+fn ring_gossip_histories_identical_across_executors() {
+    use kpn::dist::{build_network, ring, simulate, GossipMax};
+    const N: usize = 10;
+    const ROUNDS: u64 = 5; // the ring's radius: the max reaches everyone
+    let g = ring(N).unwrap();
+    let ids: Vec<u64> = (0..N as u64).collect();
+    let reference = simulate::<GossipMax>(&g, &ids, ROUNDS).unwrap();
+    assert_eq!(reference, vec![N as u64 - 1; N]);
+    assert_matrix(HistoryCheck::Exact, &reference, |net| {
+        build_network::<GossipMax>(net, &g, &ids, ROUNDS, 16).unwrap()
+    });
 }
 
 /// Blocking on a simulation network's channel from a foreign thread must

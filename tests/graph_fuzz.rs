@@ -13,6 +13,7 @@
 
 use kpn::core::stdlib::{Collect, Duplicate, Modulo, Scale, Sequence};
 use kpn::core::{DataReader, DiagCode, Error, LintLevel, Network, NetworkConfig};
+use kpn::dist::{self, DistGraph};
 use kpn::net::chaos::{chaos_policy, ChaosCluster};
 use kpn::net::{ChanId, FaultProfile, GraphBuilder};
 use proptest::prelude::*;
@@ -244,6 +245,27 @@ fn build_pipeline(
     (wire_branch(left, lr), wire_branch(right, rr))
 }
 
+/// A topology drawn from *every* `kpn::dist` generator with fuzzed
+/// parameters: rings, paths, grids, random d-regular (parity-corrected
+/// so n·d is even), and random bipartite d-regular graphs.
+fn topology_strategy() -> impl Strategy<Value = DistGraph> {
+    prop_oneof![
+        (3usize..24).prop_map(|n| dist::ring(n).unwrap()),
+        (2usize..24).prop_map(|n| dist::path(n).unwrap()),
+        (1usize..6, 1usize..6)
+            .prop_filter("need two nodes", |(w, h)| w * h >= 2)
+            .prop_map(|(w, h)| dist::grid(w, h).unwrap()),
+        (6usize..20, 1usize..4, 0u64..1000).prop_map(|(n, d, seed)| {
+            let n = if n * d % 2 == 1 { n + 1 } else { n };
+            dist::random_regular(n, d, seed).unwrap()
+        }),
+        (2usize..12, 1usize..4, 0u64..1000).prop_map(|(half, d, seed)| {
+            let d = d.min(half);
+            dist::random_bipartite_regular(2 * half, d, seed).unwrap()
+        }),
+    ]
+}
+
 fn deny_network() -> Network {
     Network::with_config(NetworkConfig {
         lint: LintLevel::Deny,
@@ -314,6 +336,46 @@ proptest! {
         }
         drop(dangling_w);
         let _ = (left_out, right_out);
+    }
+
+    /// Graphviz DOT round-trips exactly over the whole fuzzed topology
+    /// family: import(export(g)) is `g` — same name, same node count,
+    /// same edges in the same order (port numbering is part of the
+    /// contract: a reordered edge list would renumber ports and change
+    /// which channel carries which message).
+    #[test]
+    fn dot_import_export_import_is_identity(g in topology_strategy()) {
+        let dot = g.to_dot();
+        let back = DistGraph::from_dot(&dot).unwrap();
+        prop_assert_eq!(&back, &g, "first round trip changed the graph");
+        let dot2 = back.to_dot();
+        prop_assert_eq!(&dot2, &dot, "export is not stable across a round trip");
+        prop_assert_eq!(&DistGraph::from_dot(&dot2).unwrap(), &g);
+    }
+
+    /// Every generated topology, expressed as a round-synchronous KPN,
+    /// passes the static verifier at `Deny` and runs to a clean halt:
+    /// no dangling endpoints (L001), no undercapacitated cycles (L003),
+    /// no orphan processes (L004) — for every generator, whatever
+    /// parameters the fuzzer draws.
+    #[test]
+    fn fuzzed_topologies_are_lint_clean_at_deny(g in topology_strategy(), rounds in 1u64..4) {
+        let ids: Vec<u64> = (0..g.n() as u64).collect();
+        let cfg = dist::DistConfig {
+            lint: LintLevel::Deny,
+            max_rounds: rounds,
+            ..dist::DistConfig::default()
+        };
+        match dist::run::<dist::GossipMax>(&g, &ids, cfg) {
+            Ok((out, report)) => {
+                prop_assert_eq!(out, dist::simulate::<dist::GossipMax>(&g, &ids, rounds).unwrap());
+                prop_assert_eq!(report.monitor.true_deadlocks, 0);
+            }
+            Err(Error::Lint(diags)) => {
+                prop_assert!(false, "{} rejected at Deny: {diags:?}", g.name());
+            }
+            Err(e) => prop_assert!(false, "{} failed: {e}", g.name()),
+        }
     }
 
     /// Seeding an L003 defect (a feedback loop whose channels cannot hold
