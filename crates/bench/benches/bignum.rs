@@ -54,6 +54,33 @@ fn isqrt(c: &mut Criterion) {
     group.finish();
 }
 
+fn modpow_kernels(c: &mut Criterion) {
+    // Montgomery CIOS vs the division-path oracle at the experiment's
+    // modulus sizes: 512-bit (the paper's P), 1024-bit (N), 2048-bit.
+    // `modpow` dispatches to Montgomery for these odd moduli; `modpow_div`
+    // forces the Knuth-D reduction per step.
+    let mut group = c.benchmark_group("bignum_modpow");
+    group.sample_size(10);
+    let mut r = rng();
+    for bits in [512u64, 1024, 2048] {
+        let mut n = value_of_bits(bits, &mut r);
+        if n.is_even() {
+            n = n.add_u64(1);
+        }
+        let base = value_of_bits(bits, &mut r);
+        let exp = value_of_bits(bits, &mut r);
+        group.bench_with_input(
+            BenchmarkId::new("montgomery", bits),
+            &bits,
+            |bench, _| bench.iter(|| base.modpow(&exp, &n)),
+        );
+        group.bench_with_input(BenchmarkId::new("division", bits), &bits, |bench, _| {
+            bench.iter(|| base.modpow_div(&exp, &n))
+        });
+    }
+    group.finish();
+}
+
 fn factor_kernel(c: &mut Criterion) {
     // One difference test and one full 32-difference task at the scaled
     // experiment size (256-bit P → 512-bit N).
@@ -69,5 +96,5 @@ fn factor_kernel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, mul, divrem, isqrt, factor_kernel);
+criterion_group!(benches, mul, divrem, isqrt, modpow_kernels, factor_kernel);
 criterion_main!(benches);

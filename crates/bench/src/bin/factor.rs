@@ -1,0 +1,243 @@
+//! Cluster-scale §5.2 factor benchmark with chaos-fault cells.
+//!
+//! Runs the paper's weak-RSA search — `task_count` tasks of 32 even
+//! differences against `N = P·(P+D)` — through the MetaDynamic composite
+//! deployed over real `kpn-net` clusters (loopback TCP nodes), sweeping
+//!
+//! * fault injection: plain TCP vs seeded `FaultyTransport` chaos on
+//!   every data link (resets, stalls, refused connects);
+//! * worker count: 1, 2, 4 Workers;
+//! * cluster width: all workers on 1 compute node vs spread over 2.
+//!
+//! Every cell must recover the *identical* planted factor, and every
+//! cell's full task-result history must be bit-identical to the
+//! fault-free single-worker baseline — a fast divergent run is a failure,
+//! not a data point. A kernel micro-section times `modpow` (Montgomery
+//! CIOS) against `modpow_div` (Knuth-D reduction) at 512/1024/2048-bit
+//! moduli, the same dispatch the factor tasks ride on.
+//!
+//! ```text
+//! cargo run -p kpn-bench --release --bin factor [-- --bits 512 --tasks 2048 \
+//!     --quick --out bench_results/BENCH_factor.json]
+//! ```
+
+use kpn_bignum::{make_weak_key, BigUint};
+use kpn_net::chaos::{chaos_policy, ChaosCluster};
+use kpn_net::FaultProfile;
+use kpn_parallel::{factor_cluster_run, parallel_registry, FactorRunReport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const BATCH: u64 = 32;
+const WORKER_SWEEP: [usize; 3] = [1, 2, 4];
+const NODE_SWEEP: [usize; 2] = [1, 2];
+const FAULT_SEED: u64 = 0xFAC7_0001;
+
+struct Cell {
+    faulted: bool,
+    nodes: usize,
+    workers: usize,
+    tasks_per_sec: f64,
+    secs_to_factor: f64,
+    total_secs: f64,
+    injected: u64,
+}
+
+fn fault_profile() -> FaultProfile {
+    FaultProfile {
+        mean_ops_between_faults: 400,
+        refuse_connects: 1,
+        max_faults: 64,
+        ..FaultProfile::default()
+    }
+}
+
+/// Round-robin worker→partition assignment over `nodes` compute servers.
+fn partitions(workers: usize, nodes: usize) -> Vec<usize> {
+    (0..workers).map(|w| w % nodes).collect()
+}
+
+fn run_cell(
+    n: &BigUint,
+    tasks: u64,
+    faulted: bool,
+    nodes: usize,
+    workers: usize,
+) -> (FactorRunReport, u64) {
+    let cluster = if faulted {
+        // Distinct seed per cell so schedules differ while staying pinned.
+        let seed = FAULT_SEED ^ ((nodes as u64) << 8) ^ workers as u64;
+        ChaosCluster::with_faults_with(
+            nodes,
+            seed,
+            fault_profile(),
+            chaos_policy(),
+            &parallel_registry,
+        )
+    } else {
+        ChaosCluster::plain_with(nodes, &parallel_registry)
+    }
+    .expect("cluster");
+    let report = factor_cluster_run(&cluster, n, tasks, BATCH, &partitions(workers, nodes))
+        .expect("factor run");
+    (report, cluster.injected())
+}
+
+/// Median of a few modpow timings at `bits`-bit odd modulus, in seconds.
+fn time_modpow(bits: u64, division: bool, reps: usize) -> f64 {
+    let mut rng = StdRng::seed_from_u64(0xBE7C4 ^ bits);
+    let mut n = BigUint::random_bits(bits, &mut rng).add(&BigUint::one().shl(bits - 1));
+    if n.is_even() {
+        n = n.add_u64(1);
+    }
+    let base = BigUint::random_bits(bits, &mut rng);
+    let exp = BigUint::random_bits(bits, &mut rng);
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            let out = if division {
+                base.modpow_div(&exp, &n)
+            } else {
+                base.modpow(&exp, &n)
+            };
+            let secs = start.elapsed().as_secs_f64();
+            assert!(out < n);
+            secs
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut bits = 512u64;
+    let mut tasks = 2048u64;
+    let mut out_path = "bench_results/BENCH_factor.json".to_string();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--bits" => {
+                bits = argv[i + 1].parse().expect("--bits N");
+                i += 2;
+            }
+            "--tasks" => {
+                tasks = argv[i + 1].parse().expect("--tasks N");
+                i += 2;
+            }
+            "--quick" => {
+                bits = 256;
+                tasks = 128;
+                i += 1;
+            }
+            "--out" => {
+                out_path = argv[i + 1].clone();
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    // Factor planted in the final task: every cell does the full search.
+    let planted_d = (tasks - 1) * 2 * BATCH + BATCH;
+    let mut rng = StdRng::seed_from_u64(0x4EA1);
+    let key = make_weak_key(bits, planted_d, &mut rng);
+    eprintln!(
+        "cluster factor benchmark: {bits}-bit P, {tasks} tasks x {BATCH} differences, \
+         factor at d={planted_d}"
+    );
+
+    let mut baseline: Option<FactorRunReport> = None;
+    let mut cells: Vec<Cell> = Vec::new();
+    for faulted in [false, true] {
+        for &nodes in &NODE_SWEEP {
+            for &workers in &WORKER_SWEEP {
+                let (report, injected) = run_cell(&key.n, tasks, faulted, nodes, workers);
+                // The determinacy + correctness gates: identical factor,
+                // identical history, in every cell.
+                assert_eq!(
+                    report.factor.as_ref(),
+                    Some(&(key.p.clone(), planted_d)),
+                    "cell faulted={faulted} nodes={nodes} workers={workers} \
+                     recovered a different factor"
+                );
+                match &baseline {
+                    None => baseline = Some(report.clone()),
+                    Some(b) => assert_eq!(
+                        report.outcomes, b.outcomes,
+                        "cell faulted={faulted} nodes={nodes} workers={workers} \
+                         broke determinacy"
+                    ),
+                }
+                let cell = Cell {
+                    faulted,
+                    nodes,
+                    workers,
+                    tasks_per_sec: tasks as f64 / report.total_secs,
+                    secs_to_factor: report.secs_to_factor.expect("factor found"),
+                    total_secs: report.total_secs,
+                    injected,
+                };
+                eprintln!(
+                    "  {} nodes={nodes} workers={workers}: {:>8.1} tasks/s, \
+                     factor at {:>6.2}s, {} faults",
+                    if faulted { "chaos" } else { "plain" },
+                    cell.tasks_per_sec,
+                    cell.secs_to_factor,
+                    cell.injected
+                );
+                if faulted {
+                    assert!(injected > 0, "chaos cell injected no faults");
+                }
+                cells.push(cell);
+            }
+        }
+    }
+
+    // Kernel micro-section: the modpow dispatch the tasks' primality and
+    // residue arithmetic rides on.
+    let mut kernels = String::new();
+    for (ki, kbits) in [512u64, 1024, 2048].into_iter().enumerate() {
+        let div = time_modpow(kbits, true, 5);
+        let mont = time_modpow(kbits, false, 5);
+        eprintln!(
+            "  modpow {kbits}-bit: division {:.1}ms, montgomery {:.1}ms ({:.2}x)",
+            div * 1e3,
+            mont * 1e3,
+            div / mont
+        );
+        let sep = if ki == 2 { "" } else { "," };
+        let _ = writeln!(
+            kernels,
+            "      {{\"bits\": {kbits}, \"division_ms\": {:.3}, \"montgomery_ms\": {:.3}, \"speedup\": {:.2}}}{sep}",
+            div * 1e3,
+            mont * 1e3,
+            div / mont
+        );
+    }
+
+    let mut rows = String::new();
+    for (ci, c) in cells.iter().enumerate() {
+        let sep = if ci + 1 == cells.len() { "" } else { "," };
+        let _ = writeln!(
+            rows,
+            "      {{\"faulted\": {}, \"nodes\": {}, \"workers\": {}, \"tasks_per_sec\": {:.2}, \"secs_to_factor\": {:.4}, \"total_secs\": {:.4}, \"injected_faults\": {}}}{sep}",
+            c.faulted, c.nodes, c.workers, c.tasks_per_sec, c.secs_to_factor, c.total_secs, c.injected
+        );
+    }
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"benchmark\": \"factor_cluster (crates/bench/src/bin/factor.rs)\",\n  \"description\": \"The paper's 5.2 weak-RSA factorization ({bits}-bit P, N = P*(P+D), {tasks} tasks of {BATCH} even differences, factor planted in the final task) run through the MetaDynamic composite deployed over loopback kpn-net clusters: plain TCP vs seeded FaultyTransport chaos on every data link, 1/2/4 Workers, 1 vs 2 compute nodes. Every cell asserts the identical recovered factor AND a task-result history bit-identical to the fault-free single-worker baseline before its timing is accepted. Kernel section: modpow Montgomery-CIOS vs division-path oracle at the experiment's modulus sizes.\",\n  \"machine\": \"linux x86_64, release build, {hw} hardware threads\",\n  \"date\": \"2026-08-08\",\n  \"workload\": {{\"p_bits\": {bits}, \"tasks\": {tasks}, \"batch\": {BATCH}, \"planted_d\": {planted_d}, \"key_seed\": 20129, \"fault_seed\": {FAULT_SEED}}},\n  \"cells\": [\n{rows}    ],\n  \"modpow_kernels\": [\n{kernels}    ],\n  \"acceptance\": \"all {ncells} cells (fault-free and chaos-faulted) recover the identical planted factor with bit-identical task-result histories; Montgomery modpow beats the division oracle at every modulus size\",\n  \"notes\": \"Workers run real bignum arithmetic, so tasks/sec is CPU-bound and saturates at the hardware thread count; chaos cells pay reconnect backoff and stall time on top (wall-clock stalls, FaultProfile default 30ms). The Kahn determinacy argument is what makes the faulted numbers admissible: since the history is provably identical, the chaos columns measure the reconnection protocol's overhead, nothing else.\",\n  \"regenerate\": \"cargo run -p kpn-bench --release --bin factor [-- --quick]\"\n}}\n",
+        ncells = cells.len(),
+    );
+    print!("{json}");
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out_path, &json).expect("write results file");
+    eprintln!("wrote {out_path}");
+}

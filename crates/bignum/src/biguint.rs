@@ -398,14 +398,43 @@ impl BigUint {
     }
 
     // -- modular arithmetic -----------------------------------------------
+    //
+    // Dispatch rule: an odd modulus (> 1) routes through the Montgomery
+    // kernel (division-free CIOS, see `montgomery.rs`); an even modulus —
+    // where no Montgomery form exists — takes the division path. The
+    // `*_div` variants run the division path unconditionally and serve as
+    // the differential-test oracle for the kernel.
 
-    /// `(self * other) % m`.
+    /// `(self * other) % m` — Montgomery for odd `m`, division otherwise.
     pub fn mulmod(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        match crate::montgomery::Montgomery::new(m) {
+            Some(ctx) => ctx.mulmod(self, other),
+            None => self.mulmod_div(other, m),
+        }
+    }
+
+    /// `(self * other) % m` via multiply-then-divide, on any modulus: the
+    /// reference oracle the Montgomery kernel is differentially tested
+    /// against.
+    pub fn mulmod_div(&self, other: &BigUint, m: &BigUint) -> BigUint {
         self.mul(other).rem(m)
     }
 
-    /// `self^exp mod m` by square-and-multiply; panics if `m` is zero.
+    /// `self^exp mod m`; panics if `m` is zero. Odd moduli run
+    /// square-and-multiply in the Montgomery domain (one conversion in and
+    /// out, division-free in between); even moduli fall back to
+    /// [`BigUint::modpow_div`].
     pub fn modpow(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "modulus is zero");
+        match crate::montgomery::Montgomery::new(m) {
+            Some(ctx) => ctx.modpow(self, exp),
+            None => self.modpow_div(exp, m),
+        }
+    }
+
+    /// `self^exp mod m` by square-and-multiply over `mul` + `rem`, on any
+    /// modulus: the division-path reference oracle.
+    pub fn modpow_div(&self, exp: &BigUint, m: &BigUint) -> BigUint {
         assert!(!m.is_zero(), "modulus is zero");
         if m.is_one() {
             return BigUint::zero();
@@ -414,9 +443,9 @@ impl BigUint {
         let mut result = BigUint::one();
         for i in 0..exp.bits() {
             if exp.bit(i) {
-                result = result.mulmod(&base, m);
+                result = result.mulmod_div(&base, m);
             }
-            base = base.mulmod(&base, m);
+            base = base.mulmod_div(&base, m);
         }
         result
     }
@@ -649,6 +678,49 @@ mod tests {
             a.mul(&a).to_decimal(),
             "115792089237316195423570985008687907852589419931798687112530834793049593217025"
         );
+    }
+
+    mod karatsuba_threshold_props {
+        //! Karatsuba ≡ schoolbook straddling the 24-limb dispatch
+        //! threshold: one limb below, exactly at, one above, and far
+        //! above — plus asymmetric pairs, where the split point is taken
+        //! from the longer operand.
+        use super::*;
+        use proptest::prelude::*;
+
+        fn limbs(n: usize) -> impl Strategy<Value = BigUint> {
+            proptest::collection::vec(any::<u64>(), n..n + 1).prop_map(BigUint::from_limbs)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            #[test]
+            fn boundary_23(a in limbs(23), b in limbs(23)) {
+                prop_assert_eq!(a.mul_karatsuba(&b), a.mul_schoolbook(&b));
+            }
+
+            #[test]
+            fn boundary_24(a in limbs(24), b in limbs(24)) {
+                prop_assert_eq!(a.mul_karatsuba(&b), a.mul_schoolbook(&b));
+            }
+
+            #[test]
+            fn boundary_25(a in limbs(25), b in limbs(25)) {
+                prop_assert_eq!(a.mul_karatsuba(&b), a.mul_schoolbook(&b));
+            }
+
+            #[test]
+            fn asymmetric_23_64(a in limbs(23), b in limbs(64)) {
+                prop_assert_eq!(a.mul_karatsuba(&b), a.mul_schoolbook(&b));
+            }
+
+            #[test]
+            fn deep_recursion_64(a in limbs(64), b in limbs(64)) {
+                // 64 limbs recurses through the threshold internally.
+                prop_assert_eq!(a.mul(&b), a.mul_schoolbook(&b));
+            }
+        }
     }
 
     #[test]

@@ -5,22 +5,36 @@
 //! numeric substrate, written from scratch:
 //!
 //! * [`BigUint`] — unsigned big integers on u64 limbs: schoolbook and
-//!   Karatsuba multiplication, Knuth Algorithm D division, shifts,
-//!   modular exponentiation, integer square root;
+//!   Karatsuba multiplication (threshold 24 limbs), Knuth Algorithm D
+//!   division, shifts, modular exponentiation, integer square root;
+//! * [`Montgomery`] — division-free modular multiplication (word-by-word
+//!   CIOS/REDC) for odd moduli; `modpow`/`mulmod` dispatch to it
+//!   automatically, with the division path kept as the even-modulus
+//!   fallback and differential-test oracle;
 //! * primality — trial division + Miller-Rabin (deterministic witnesses
-//!   below 128 bits, random witnesses above) and random prime generation;
+//!   below the ψ₁₃ strong-pseudoprime bound, random witnesses above)
+//!   running in the Montgomery domain, and random prime generation;
 //! * [`factor`] — the weak-key search kernel: one call =
-//!   one worker task of the paper's parallel factorization.
+//!   one worker task of the paper's parallel factorization, with
+//!   quadratic-residue prefilters shared across a task's differences.
+//!
+//! The whole crate is `unsafe`-free — limb kernels included — so Miri
+//! runs it unmodified.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod biguint;
 pub mod factor;
+mod montgomery;
 mod prime;
 mod sqrt;
 
 pub use biguint::BigUint;
-pub use factor::{make_weak_key, search_range, test_difference, SearchOutcome, WeakKey};
+pub use factor::{
+    make_weak_key, search_range, test_difference, DiffTester, SearchOutcome, WeakKey,
+};
+pub use montgomery::Montgomery;
 
 #[cfg(test)]
 mod proptests {

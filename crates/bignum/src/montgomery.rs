@@ -1,0 +1,373 @@
+//! Montgomery-form modular arithmetic: the multiplication kernel behind
+//! `modpow`, Miller–Rabin, and prime generation for **odd** moduli.
+//!
+//! Montgomery representation maps `x` to `x·R mod n` with `R = 2^(64k)`
+//! (`k` = limb count of `n`). In that domain a modular multiplication
+//! needs no division at all: the word-by-word CIOS (Coarsely Integrated
+//! Operand Scanning) loop interleaves the product accumulation with REDC
+//! reduction steps, each of which cancels the lowest limb using the
+//! precomputed `n' = -n⁻¹ mod 2^64`. One CIOS pass costs `2k² + k` word
+//! multiplications — against `mul` + Knuth Algorithm D (≈ `2k²` plus the
+//! quotient-estimation loop with its per-step 128-bit divisions), the
+//! constant factor is far smaller and there is no normalization shifting,
+//! which is what makes the §5.2 prime-generation and factor-search inner
+//! loops fast.
+//!
+//! # Invariants
+//!
+//! * the modulus is odd and > 1 (checked by [`Montgomery::new`]);
+//! * every Montgomery-form value handed to [`Montgomery::mul`] is fully
+//!   reduced (`< n`); CIOS then keeps the running accumulator `t < 2n`
+//!   before its final conditional subtraction, so each output is again
+//!   `< n` — the standard CIOS bound `t ≤ 2n − 1` holds because
+//!   `t' = (t + a_i·b + m·n)/2^64 < (2^64·n + 2^64·n)/2^64 = 2n`;
+//! * `R > n` always (`k` is exactly `n`'s limb count), so conversion via
+//!   `x·R² / R` round-trips every `x < n`.
+//!
+//! The whole kernel is safe Rust over `u64`/`u128` limb slices — no
+//! `unsafe`, no platform intrinsics — so Miri can execute it directly
+//! (CI does).
+//!
+//! Even moduli cannot use Montgomery form (`n` must be invertible mod
+//! `2^64`); callers fall back to the division path, which doubles as the
+//! differential-test oracle for this kernel (`tests/bignum_props.rs`).
+
+use crate::biguint::BigUint;
+
+/// Precomputed context for modular arithmetic with one odd modulus.
+///
+/// Construction costs one division (for `R² mod n`) and a handful of
+/// word operations (Newton inversion for `n'`); every subsequent
+/// [`mulmod`](Montgomery::mulmod) or squaring is division-free. Build it
+/// once per modulus and reuse it — `is_probable_prime` amortizes one
+/// context over all witnesses of a candidate.
+#[derive(Debug, Clone)]
+pub struct Montgomery {
+    /// The modulus, padded to exactly `k` limbs (its natural length).
+    n: Vec<u64>,
+    /// `-n⁻¹ mod 2^64`, by Newton inversion.
+    n0inv: u64,
+    /// `R² mod n` in plain form, used to enter Montgomery form.
+    r2: Vec<u64>,
+    /// `R mod n` — the Montgomery form of 1.
+    r1: Vec<u64>,
+    /// The modulus as a `BigUint`, for reductions and conversions.
+    modulus: BigUint,
+}
+
+impl Montgomery {
+    /// Builds a context for `modulus`, or `None` when the modulus is even
+    /// or ≤ 1 (Montgomery form needs `gcd(n, 2^64) = 1` and a nontrivial
+    /// residue ring).
+    pub fn new(modulus: &BigUint) -> Option<Montgomery> {
+        if modulus.is_even() || modulus.is_one() {
+            return None;
+        }
+        let k = modulus.limbs().len();
+        let mut n = vec![0u64; k];
+        n.copy_from_slice(modulus.limbs());
+        let n0inv = neg_inv_u64(n[0]);
+        let r1 = pad(BigUint::one().shl(64 * k as u64).rem(modulus).limbs(), k);
+        let r2 = pad(
+            BigUint::one().shl(128 * k as u64).rem(modulus).limbs(),
+            k,
+        );
+        Some(Montgomery {
+            n,
+            n0inv,
+            r2,
+            r1,
+            modulus: modulus.clone(),
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    /// Converts `x` (reduced mod n first) into Montgomery form `x·R mod n`.
+    pub fn to_montgomery(&self, x: &BigUint) -> BigUint {
+        let xr = pad(x.rem(&self.modulus).limbs(), self.n.len());
+        BigUint::from_limbs(self.cios(&xr, &self.r2))
+    }
+
+    /// Converts Montgomery form `x·R mod n` back to the plain residue `x`.
+    pub fn from_montgomery(&self, x: &BigUint) -> BigUint {
+        let k = self.n.len();
+        debug_assert!(x < &self.modulus, "Montgomery-form value must be < n");
+        let xr = pad(x.limbs(), k);
+        let mut one = vec![0u64; k];
+        one[0] = 1;
+        BigUint::from_limbs(self.cios(&xr, &one))
+    }
+
+    /// Montgomery-domain product: maps `(aR, bR)` to `abR mod n`. Both
+    /// inputs must be reduced (`< n`); the output is reduced.
+    pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let k = self.n.len();
+        debug_assert!(a < &self.modulus && b < &self.modulus);
+        let al = pad(a.limbs(), k);
+        let bl = pad(b.limbs(), k);
+        BigUint::from_limbs(self.cios(&al, &bl))
+    }
+
+    /// `(a * b) mod n` on plain values, via two conversions and one CIOS
+    /// pass (the third conversion is folded into the multiply: converting
+    /// only `a` leaves the product in Montgomery-free form).
+    pub fn mulmod(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let k = self.n.len();
+        // aR · b / R = ab mod n: one conversion instead of two.
+        let am = self.to_montgomery(a);
+        let bl = pad(b.rem(&self.modulus).limbs(), k);
+        BigUint::from_limbs(self.cios(&pad(am.limbs(), k), &bl))
+    }
+
+    /// `base^exp mod n` by square-and-multiply entirely inside the
+    /// Montgomery domain: one conversion in, `exp.bits()` squarings plus
+    /// one multiply per set bit, one conversion out.
+    pub fn modpow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        self.from_montgomery(&self.pow_m(&self.to_montgomery(base), exp))
+    }
+
+    /// The Montgomery form of 1 (`R mod n`).
+    pub fn one_m(&self) -> BigUint {
+        BigUint::from_limbs(self.r1.clone())
+    }
+
+    /// Montgomery-domain exponentiation: `base_m` is in Montgomery form
+    /// and so is the result. This is the Miller–Rabin inner loop shape:
+    /// the witness chain can square in-domain without converting back.
+    ///
+    /// The square-and-multiply loop runs over three reusable raw limb
+    /// buffers — no allocation, `BigUint` normalization, or re-padding per
+    /// step, which at 8–16 limbs would otherwise cost as much as the CIOS
+    /// arithmetic itself.
+    pub fn pow_m(&self, base_m: &BigUint, exp: &BigUint) -> BigUint {
+        let k = self.n.len();
+        debug_assert!(base_m < &self.modulus);
+        // All three buffers are k+2 limbs so they can swap with the CIOS
+        // output buffer; only [..k] carries the value.
+        let mut result = pad(&self.r1, k + 2);
+        let mut base = pad(base_m.limbs(), k + 2);
+        let mut scratch = vec![0u64; k + 2];
+        let bits = exp.bits();
+        for i in 0..bits {
+            if exp.bit(i) {
+                self.cios_into(&result[..k], &base[..k], &mut scratch);
+                std::mem::swap(&mut result, &mut scratch);
+            }
+            if i + 1 < bits {
+                self.cios_into(&base[..k], &base[..k], &mut scratch);
+                std::mem::swap(&mut base, &mut scratch);
+            }
+        }
+        result.truncate(k);
+        BigUint::from_limbs(result)
+    }
+
+    /// One CIOS (coarsely integrated operand scanning) pass over `k`-limb
+    /// slices: returns `a·b·R⁻¹ mod n` as normalized limbs.
+    fn cios(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut t = vec![0u64; self.n.len() + 2];
+        self.cios_into(a, b, &mut t);
+        t.truncate(self.n.len());
+        while t.last() == Some(&0) {
+            t.pop();
+        }
+        t
+    }
+
+    /// CIOS core: computes `a·b·R⁻¹ mod n` into `t[..k]` (`t` must have
+    /// `k + 2` limbs; its previous contents are overwritten, and `t[k..]`
+    /// is zero on return). `a` and `b` are `k`-limb slices and may alias
+    /// each other, but not `t`.
+    fn cios_into(&self, a: &[u64], b: &[u64], t: &mut [u64]) {
+        let k = self.n.len();
+        debug_assert_eq!(a.len(), k);
+        debug_assert_eq!(b.len(), k);
+        debug_assert_eq!(t.len(), k + 2);
+        // t's top limb t[k+1] stays in {0, 1}: the accumulator is bounded
+        // by 2n·2^64 inside the loop (see module invariants).
+        t.fill(0);
+        for &bi in &b[..k] {
+            // t += a * bi
+            let mut carry = 0u128;
+            for j in 0..k {
+                let s = t[j] as u128 + a[j] as u128 * bi as u128 + carry;
+                t[j] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[k] as u128 + carry;
+            t[k] = s as u64;
+            t[k + 1] = (s >> 64) as u64;
+
+            // m cancels the low limb: (t + m·n) ≡ 0 mod 2^64.
+            let m = t[0].wrapping_mul(self.n0inv);
+            let s = t[0] as u128 + m as u128 * self.n[0] as u128;
+            debug_assert_eq!(s as u64, 0);
+            let mut carry = s >> 64;
+            // t = (t + m·n) / 2^64, fused: store each limb shifted down.
+            for j in 1..k {
+                let s = t[j] as u128 + m as u128 * self.n[j] as u128 + carry;
+                t[j - 1] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[k] as u128 + carry;
+            t[k - 1] = s as u64;
+            t[k] = t[k + 1] + (s >> 64) as u64;
+            t[k + 1] = 0;
+        }
+        // Final conditional subtraction: t < 2n, so one pass suffices.
+        if t[k] != 0 || ge(&t[..k], &self.n) {
+            sub_in_place(&mut t[..k + 1], &self.n);
+        }
+    }
+}
+
+/// `-v⁻¹ mod 2^64` for odd `v`, by Newton–Hensel lifting: `inv = v⁻¹ mod
+/// 2` trivially, and each step doubles the number of correct low bits
+/// (`inv' = inv·(2 − v·inv)`), so five steps reach 64 bits from the
+/// 4-bit-correct seed `3v ^ 2`.
+fn neg_inv_u64(v: u64) -> u64 {
+    debug_assert!(v & 1 == 1, "modulus limb must be odd");
+    let mut inv = v.wrapping_mul(3) ^ 2; // correct mod 2^4
+    for _ in 0..4 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(v.wrapping_mul(inv)));
+    }
+    debug_assert_eq!(v.wrapping_mul(inv), 1);
+    inv.wrapping_neg()
+}
+
+/// Copies `limbs` into a fresh vector padded with high zeros to length `k`.
+fn pad(limbs: &[u64], k: usize) -> Vec<u64> {
+    debug_assert!(limbs.len() <= k);
+    let mut out = vec![0u64; k];
+    out[..limbs.len()].copy_from_slice(limbs);
+    out
+}
+
+/// `a >= b` over equal-length little-endian limb slices.
+fn ge(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+/// `a -= b` in place; `a` has one spare high limb absorbing the borrow.
+fn sub_in_place(a: &mut [u64], b: &[u64]) {
+    let mut borrow = 0u64;
+    for i in 0..b.len() {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    let last = b.len();
+    a[last] = a[last].wrapping_sub(borrow);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(s: &str) -> BigUint {
+        BigUint::from_decimal(s).unwrap()
+    }
+
+    #[test]
+    fn rejects_even_and_trivial_moduli() {
+        assert!(Montgomery::new(&BigUint::from_u64(10)).is_none());
+        assert!(Montgomery::new(&BigUint::one()).is_none());
+        assert!(Montgomery::new(&BigUint::zero()).is_none());
+        assert!(Montgomery::new(&BigUint::from_u64(9)).is_some());
+    }
+
+    #[test]
+    fn neg_inv_is_exact() {
+        for v in [1u64, 3, 5, 7, 0xFFFF_FFFF_FFFF_FFFF, 0x1234_5678_9ABC_DEF1] {
+            let ninv = neg_inv_u64(v);
+            assert_eq!(v.wrapping_mul(ninv), 1u64.wrapping_neg(), "v={v:#x}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_small() {
+        let m = Montgomery::new(&BigUint::from_u64(97)).unwrap();
+        for x in 0..97u64 {
+            let v = BigUint::from_u64(x);
+            assert_eq!(m.from_montgomery(&m.to_montgomery(&v)), v, "x={x}");
+        }
+    }
+
+    #[test]
+    fn mulmod_matches_division_small() {
+        let n = BigUint::from_u64(1_000_000_007);
+        let m = Montgomery::new(&n).unwrap();
+        let mut x = 0xDEAD_BEEFu64;
+        for _ in 0..200 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = BigUint::from_u64(x);
+            let b = BigUint::from_u64(x.rotate_left(17));
+            assert_eq!(m.mulmod(&a, &b), a.mulmod_div(&b, &n));
+        }
+    }
+
+    #[test]
+    fn modpow_matches_division_multi_limb() {
+        // 2^127 - 1 (Mersenne prime, 2 limbs) and a 3-limb odd composite.
+        let moduli = [
+            BigUint::one().shl(127).sub(&BigUint::one()),
+            big("123456789012345678901234567890123456789012345678901"),
+        ];
+        for n in &moduli {
+            let m = Montgomery::new(n).unwrap();
+            let base = big("98765432109876543210987654321");
+            let exp = big("1099511627776999");
+            assert_eq!(m.modpow(&base, &exp), base.modpow_div(&exp, n));
+        }
+    }
+
+    #[test]
+    fn pow_m_stays_in_domain() {
+        let n = big("100000000000000000000000000000000000000000000000151");
+        let m = Montgomery::new(&n).unwrap();
+        let base = big("31337");
+        let exp = big("65537");
+        let base_m = m.to_montgomery(&base);
+        let r = m.pow_m(&base_m, &exp);
+        assert!(r < n);
+        assert_eq!(m.from_montgomery(&r), base.modpow_div(&exp, &n));
+    }
+
+    #[test]
+    fn zero_exponent_and_base_edges() {
+        let n = BigUint::from_u64(101);
+        let m = Montgomery::new(&n).unwrap();
+        assert_eq!(
+            m.modpow(&BigUint::from_u64(7), &BigUint::zero()),
+            BigUint::one()
+        );
+        assert_eq!(
+            m.modpow(&BigUint::zero(), &BigUint::from_u64(5)),
+            BigUint::zero()
+        );
+        assert_eq!(m.mulmod(&BigUint::zero(), &BigUint::from_u64(5)), BigUint::zero());
+    }
+
+    #[test]
+    fn all_ones_modulus_stress() {
+        // n with every limb 2^64-1 maximizes intermediate carries.
+        let n = BigUint::from_limbs(vec![u64::MAX; 4]);
+        let m = Montgomery::new(&n).unwrap();
+        let a = BigUint::from_limbs(vec![u64::MAX - 1; 4]);
+        let b = BigUint::from_limbs(vec![0x8000_0000_0000_0001; 4]);
+        assert_eq!(m.mulmod(&a, &b), a.mulmod_div(&b, &n));
+        let e = BigUint::from_u64(1 << 20);
+        assert_eq!(m.modpow(&a, &e), a.modpow_div(&e, &n));
+    }
+}

@@ -1,8 +1,16 @@
 //! Primality testing and random prime generation, used to build the
 //! experimental weak-RSA moduli of §5.2 ("a 512-bit randomly selected
 //! prime number P to which a small difference D was added").
+//!
+//! Miller–Rabin runs in the Montgomery domain: one [`Montgomery`] context
+//! is built per candidate (every candidate surviving trial division is
+//! odd) and shared by all witnesses, so each witness costs only CIOS
+//! passes — no division after setup. [`BigUint::is_probable_prime_div`]
+//! runs the identical witness schedule through the division-path oracle;
+//! the adversarial fixture battery pins both.
 
 use crate::biguint::BigUint;
+use crate::montgomery::Montgomery;
 use rand::Rng;
 
 /// Primes below 100, used for fast trial division.
@@ -14,12 +22,42 @@ const SMALL_PRIMES: [u64; 25] = [
 /// (and in particular for every u64).
 const DETERMINISTIC_WITNESSES: [u64; 13] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41];
 
+/// ψ₁₃ = 3317044064679887385961981 (Sorenson–Webster): the smallest
+/// composite that is a strong pseudoprime to all 13 bases above. Below
+/// this bound the deterministic witnesses alone are a proof; at or above
+/// it random witnesses are mandatory. (The previous cutoff — "deterministic
+/// only below 128 bits" — wrongly certified ψ₁₃ itself, an 82-bit
+/// composite, as prime; the adversarial fixture battery pins the fix.)
+const PSI_13: &str = "3317044064679887385961981";
+
+/// Which modular-multiplication kernel drives the witness chain.
+#[derive(Clone, Copy)]
+enum MrKernel {
+    /// Shared CIOS context, all witnesses division-free (the default).
+    Montgomery,
+    /// `mul` + Knuth-D reduction per step (the differential oracle).
+    Division,
+}
+
 impl BigUint {
     /// Probabilistic primality test: trial division by the primes below 100,
-    /// then Miller-Rabin. For values below 128 bits the deterministic
-    /// witness set is used; larger values additionally get `rounds` random
-    /// witnesses (error probability ≤ 4^-rounds).
+    /// then Miller-Rabin in the Montgomery domain. Below ψ₁₃ ≈ 3.3·10²⁴
+    /// the deterministic witness set is a proof; at or above it the
+    /// deterministic witnesses are followed by `rounds` random ones
+    /// (error probability ≤ 4^-rounds).
     pub fn is_probable_prime<R: Rng + ?Sized>(&self, rounds: u32, rng: &mut R) -> bool {
+        self.miller_rabin(rounds, rng, MrKernel::Montgomery)
+    }
+
+    /// [`BigUint::is_probable_prime`] forced through the division-path
+    /// modular kernel — the reference oracle the Montgomery path is
+    /// differentially tested against. Identical witness schedule, so for
+    /// a given `rng` state both paths must agree exactly.
+    pub fn is_probable_prime_div<R: Rng + ?Sized>(&self, rounds: u32, rng: &mut R) -> bool {
+        self.miller_rabin(rounds, rng, MrKernel::Division)
+    }
+
+    fn miller_rabin<R: Rng + ?Sized>(&self, rounds: u32, rng: &mut R, kernel: MrKernel) -> bool {
         if self.bits() <= 6 {
             let v = self.to_u64().unwrap();
             return SMALL_PRIMES.contains(&v);
@@ -41,26 +79,61 @@ impl BigUint {
         };
         let d = n_minus_1.shr(s);
 
+        // Every candidate reaching this point is odd (2 was trial-divided
+        // away), so the Montgomery context always exists; one context is
+        // shared by every witness. The witness chain stays entirely in the
+        // Montgomery domain: x is a Montgomery-form residue throughout and
+        // is compared against the Montgomery forms of 1 and n-1.
+        let mont = match kernel {
+            MrKernel::Montgomery => {
+                let ctx = Montgomery::new(self).expect("candidate is odd and > 1");
+                let minus_one_m = ctx.to_montgomery(&n_minus_1);
+                Some((ctx, minus_one_m))
+            }
+            MrKernel::Division => None,
+        };
+
         let witness = |a: &BigUint| -> bool {
             // Returns true when `a` proves compositeness.
             let a = a.rem(self);
             if a.is_zero() || a.is_one() {
                 return false;
             }
-            let mut x = a.modpow(&d, self);
-            if x.is_one() || x == n_minus_1 {
-                return false;
-            }
-            for _ in 1..s {
-                x = x.mulmod(&x, self);
-                if x == n_minus_1 {
-                    return false;
+            match &mont {
+                Some((ctx, minus_one_m)) => {
+                    let one_m = ctx.one_m();
+                    let mut x = ctx.pow_m(&ctx.to_montgomery(&a), &d);
+                    if x == one_m || x == *minus_one_m {
+                        return false;
+                    }
+                    for _ in 1..s {
+                        x = ctx.mul(&x, &x);
+                        if x == *minus_one_m {
+                            return false;
+                        }
+                        if x == one_m {
+                            return true; // nontrivial square root of 1
+                        }
+                    }
+                    true
                 }
-                if x.is_one() {
-                    return true; // nontrivial square root of 1
+                None => {
+                    let mut x = a.modpow_div(&d, self);
+                    if x.is_one() || x == n_minus_1 {
+                        return false;
+                    }
+                    for _ in 1..s {
+                        x = x.mulmod_div(&x, self);
+                        if x == n_minus_1 {
+                            return false;
+                        }
+                        if x.is_one() {
+                            return true; // nontrivial square root of 1
+                        }
+                    }
+                    true
                 }
             }
-            true
         };
 
         for &w in &DETERMINISTIC_WITNESSES {
@@ -68,7 +141,8 @@ impl BigUint {
                 return false;
             }
         }
-        if self.bits() > 128 {
+        let deterministic_bound = BigUint::from_decimal(PSI_13).expect("valid constant");
+        if *self >= deterministic_bound {
             for _ in 0..rounds {
                 let a = BigUint::random_below(&n_minus_1, rng).add_u64(1);
                 if witness(&a) {

@@ -28,7 +28,8 @@
 
 use crate::builder::GraphBuilder;
 use crate::control::ServerHandle;
-use crate::node::Node;
+use crate::node::{Node, TaskRegistry};
+use crate::registry::ProcessRegistry;
 use crate::transport::{
     install_profile, remove_profile, ChaosClock, FaultPlan, FaultProfile, FaultyFactory,
     NetProfile, ReconnectPolicy,
@@ -151,11 +152,22 @@ impl ChaosCluster {
     /// A fault-free cluster (plain TCP, fail-fast semantics): the
     /// baseline side of the determinacy oracle.
     pub fn plain(servers: usize) -> Result<Self> {
-        let client = Node::serve("127.0.0.1:0")?;
+        Self::plain_with(servers, &ProcessRegistry::with_defaults)
+    }
+
+    /// [`ChaosCluster::plain`] with every node (client included) built
+    /// from a caller-supplied [`ProcessRegistry`] — required when the
+    /// deployed graph ships non-stock processes (e.g. `kpn.Worker`, whose
+    /// registration closes over an application task registry).
+    pub fn plain_with(
+        servers: usize,
+        mk_registry: &dyn Fn() -> ProcessRegistry,
+    ) -> Result<Self> {
+        let client = Node::serve_with("127.0.0.1:0", mk_registry(), TaskRegistry::new())?;
         let mut nodes = Vec::new();
         let mut handles = Vec::new();
         for _ in 0..servers {
-            let node = Node::serve("127.0.0.1:0")?;
+            let node = Node::serve_with("127.0.0.1:0", mk_registry(), TaskRegistry::new())?;
             handles.push(ServerHandle::new(node.addr().to_string()));
             nodes.push(node);
         }
@@ -190,13 +202,55 @@ impl ChaosCluster {
         policy: ReconnectPolicy,
         clock: ChaosClock,
     ) -> Result<Self> {
+        Self::with_faults_full(
+            servers,
+            seed,
+            profile,
+            policy,
+            clock,
+            &ProcessRegistry::with_defaults,
+        )
+    }
+
+    /// [`ChaosCluster::with_faults`] with a caller-supplied
+    /// [`ProcessRegistry`] per node — the faulted counterpart of
+    /// [`ChaosCluster::plain_with`].
+    pub fn with_faults_with(
+        servers: usize,
+        seed: u64,
+        profile: FaultProfile,
+        policy: ReconnectPolicy,
+        mk_registry: &dyn Fn() -> ProcessRegistry,
+    ) -> Result<Self> {
+        Self::with_faults_full(servers, seed, profile, policy, ChaosClock::Wall, mk_registry)
+    }
+
+    /// The fully general constructor: custom registries and stall clock.
+    pub fn with_faults_full(
+        servers: usize,
+        seed: u64,
+        profile: FaultProfile,
+        policy: ReconnectPolicy,
+        clock: ChaosClock,
+        mk_registry: &dyn Fn() -> ProcessRegistry,
+    ) -> Result<Self> {
         let mut guard = ChaosGuard::with_clock(seed, profile, policy, clock);
-        let client = Node::serve_with_profile("127.0.0.1:0", guard.net_profile())?;
+        let client = Node::serve_full(
+            "127.0.0.1:0",
+            mk_registry(),
+            TaskRegistry::new(),
+            guard.net_profile(),
+        )?;
         guard.cover(client.addr().to_string());
         let mut nodes = Vec::new();
         let mut handles = Vec::new();
         for _ in 0..servers {
-            let node = Node::serve_with_profile("127.0.0.1:0", guard.net_profile())?;
+            let node = Node::serve_full(
+                "127.0.0.1:0",
+                mk_registry(),
+                TaskRegistry::new(),
+                guard.net_profile(),
+            )?;
             guard.cover(node.addr().to_string());
             handles.push(ServerHandle::new(node.addr().to_string()));
             nodes.push(node);

@@ -135,6 +135,103 @@ pub fn meta_dynamic_distributed(
     Ok((task_in, result_out))
 }
 
+/// A node [`ProcessRegistry`] for factor clusters: the stock processes
+/// plus Worker/routing stages over a fresh stock task registry (so
+/// [`crate::FactorTask`] envelopes decode on every node).
+pub fn parallel_registry() -> ProcessRegistry {
+    let mut tasks = crate::task::TaskTypeRegistry::new();
+    crate::tasks::register_stock_tasks(&mut tasks);
+    let mut reg = ProcessRegistry::with_defaults();
+    register_parallel_processes(&mut reg, tasks.into_shared());
+    reg
+}
+
+/// History and timing of one cluster-scale §5.2 factor run (see
+/// [`factor_cluster_run`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactorRunReport {
+    /// Per-task results in task order (Select restores it), the full
+    /// observable history of the network's output channel — the object
+    /// the Kahn determinacy oracle compares.
+    pub outcomes: Vec<kpn_bignum::SearchOutcome>,
+    /// The first recovered factor `(p, d)`, if any task found one.
+    pub factor: Option<(kpn_bignum::BigUint, u64)>,
+    /// Seconds from deployment until the factor was read (None if not found).
+    pub secs_to_factor: Option<f64>,
+    /// Seconds for the complete run (all results read, network joined).
+    pub total_secs: f64,
+}
+
+/// Runs the paper's §5.2 workload — `task_count` [`crate::FactorTask`]s of
+/// `batch` even differences against `n` — through a MetaDynamic composite
+/// deployed across `cluster`: routing on the client, one Worker per entry
+/// of `worker_partitions`. The producer and consumer stay on the client as
+/// claimed endpoints, exactly like the paper's deployments.
+///
+/// Works on both [`kpn_net::chaos::ChaosCluster::plain_with`] and faulted
+/// clusters, as long as every node was built from [`parallel_registry`]
+/// (stock nodes lack the Worker registration); the returned
+/// [`FactorRunReport::outcomes`] history must be bit-identical across
+/// fault schedules and worker counts.
+pub fn factor_cluster_run(
+    cluster: &kpn_net::chaos::ChaosCluster,
+    n: &kpn_bignum::BigUint,
+    task_count: u64,
+    batch: u64,
+    worker_partitions: &[usize],
+) -> kpn_core::Result<FactorRunReport> {
+    use kpn_bignum::SearchOutcome;
+    use kpn_codec::{ObjectReader, ObjectWriter};
+    use std::time::Instant;
+
+    let mut g = kpn_net::GraphBuilder::new();
+    let (task_in, result_out) =
+        meta_dynamic_distributed(&mut g, kpn_net::CLIENT, worker_partitions, 1.0)?;
+    g.claim_writer(task_in)?;
+    g.claim_reader(result_out)?;
+    let mut dep = g.deploy(cluster.client(), cluster.handles())?;
+    let start = Instant::now();
+
+    // Feed from a separate thread so task injection and result drainage
+    // never deadlock on transport buffering, whatever the task count.
+    let writer = dep.writers.remove(&task_in).expect("claimed task writer");
+    let mut stream = crate::tasks::factor_task_stream(n.clone(), task_count, batch);
+    let feeder = std::thread::spawn(move || -> kpn_core::Result<()> {
+        let mut w = ObjectWriter::new(writer);
+        while let Some(env) = stream()? {
+            w.write(&env)?;
+        }
+        Ok(())
+    });
+
+    let mut r = ObjectReader::new(dep.readers.remove(&result_out).expect("claimed result reader"));
+    let mut outcomes = Vec::with_capacity(task_count as usize);
+    let mut factor = None;
+    let mut secs_to_factor = None;
+    for _ in 0..task_count {
+        let env: crate::task::TaskEnvelope = r.read()?;
+        let outcome: SearchOutcome = env.unpack()?;
+        if factor.is_none() {
+            if let SearchOutcome::Found { p, d } = &outcome {
+                factor = Some((p.clone(), *d));
+                secs_to_factor = Some(start.elapsed().as_secs_f64());
+            }
+        }
+        outcomes.push(outcome);
+    }
+    drop(r);
+    feeder
+        .join()
+        .map_err(|_| Error::Graph("task feeder panicked".into()))??;
+    dep.join()?;
+    Ok(FactorRunReport {
+        outcomes,
+        factor,
+        secs_to_factor,
+        total_secs: start.elapsed().as_secs_f64(),
+    })
+}
+
 /// The MetaStatic analogue of [`meta_dynamic_distributed`]: Scatter and
 /// Gather on `routing_partition`, workers where assigned.
 pub fn meta_static_distributed(

@@ -25,7 +25,10 @@ pub mod meta_static;
 pub mod task;
 pub mod tasks;
 
-pub use distributed::register_parallel_processes;
+pub use distributed::{
+    factor_cluster_run, meta_dynamic_distributed, meta_static_distributed, parallel_registry,
+    register_parallel_processes, FactorRunReport,
+};
 pub use generic::{pipeline, Consumer, Producer, TaskSink, TaskSource, Worker};
 pub use meta_dynamic::{meta_dynamic, meta_dynamic_with, Direct, Select, Turnstile};
 pub use meta_static::{meta_static, meta_static_with, Gather, Scatter};

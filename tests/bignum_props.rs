@@ -1,0 +1,374 @@
+//! Correctness battery for `kpn-bignum`'s modular kernels.
+//!
+//! Two layers:
+//!
+//! 1. **Differential sweeps** — the Montgomery CIOS kernel against the
+//!    division-based oracle (`modpow_div` / `mulmod_div`) over seeded
+//!    random odd moduli, concentrated on the limb sizes where carry and
+//!    threshold bugs live: 1 limb (everything in one word), 23/24/25
+//!    limbs (straddling the Karatsuba dispatch the oracle's multiply
+//!    uses), and 64 limbs (deep recursion). The sweeps total more than
+//!    10⁴ modpow comparisons; `BIGNUM_PROP_SEED` pins the generator (CI
+//!    sets it explicitly, the default matches CI).
+//! 2. **Adversarial fixtures** — inputs chosen because a wrong
+//!    Miller-Rabin would accept them: Carmichael numbers (Fermat-test
+//!    killers), base-2 Fermat and strong pseudoprimes, the
+//!    Sorenson–Webster strong pseudoprimes ψ₉/ψ₁₂/ψ₁₃ that sit at the
+//!    deterministic-witness bound, prime squares, and known Mersenne
+//!    primes. Every fixture is pinned against BOTH kernels (Montgomery
+//!    and the division fallback), so a divergence between the paths
+//!    fails even if both were self-consistently wrong.
+
+use kpn::bignum::{BigUint, DiffTester, Montgomery};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seed for the random sweeps; override with `BIGNUM_PROP_SEED=<u64>`.
+fn sweep_rng(salt: u64) -> StdRng {
+    let base: u64 = std::env::var("BIGNUM_PROP_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xB16_5EED);
+    StdRng::seed_from_u64(base ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+fn random_limbs(k: usize, rng: &mut StdRng) -> Vec<u64> {
+    (0..k).map(|_| rng.random()).collect()
+}
+
+/// A random odd modulus of exactly `k` limbs (> 1).
+fn random_odd_modulus(k: usize, rng: &mut StdRng) -> BigUint {
+    let mut limbs = random_limbs(k, rng);
+    limbs[0] |= 1;
+    let last = k - 1;
+    limbs[last] |= 1 << 63; // full width
+    let n = BigUint::from_limbs(limbs);
+    debug_assert!(!n.is_one());
+    n
+}
+
+fn random_value(k: usize, rng: &mut StdRng) -> BigUint {
+    BigUint::from_limbs(random_limbs(k, rng))
+}
+
+// ---- differential sweeps -------------------------------------------------
+
+/// The acceptance-criteria sweep: ≥ 10⁴ Montgomery-vs-oracle modpow
+/// comparisons across the limb-size boundary set. Exponent widths shrink
+/// as the modulus grows so the battery stays fast in debug builds; the
+/// case counts per size are chosen to sum past 10_000.
+#[test]
+fn montgomery_modpow_matches_division_oracle_10k() {
+    // (modulus limbs, exponent limbs, cases)
+    let plan: [(usize, usize, usize); 7] = [
+        (1, 1, 4000),
+        (2, 1, 2500),
+        (3, 2, 2000),
+        (23, 1, 500),
+        (24, 1, 500),
+        (25, 1, 500),
+        (64, 1, 100),
+    ];
+    let mut total = 0usize;
+    for (mi, &(k, ek, cases)) in plan.iter().enumerate() {
+        let mut rng = sweep_rng(mi as u64);
+        for case in 0..cases {
+            let n = random_odd_modulus(k, &mut rng);
+            let base = random_value(k + case % 2, &mut rng); // also unreduced bases
+            let exp = random_value(ek, &mut rng);
+            let mont = base.modpow(&exp, &n);
+            let oracle = base.modpow_div(&exp, &n);
+            assert_eq!(
+                mont, oracle,
+                "modpow diverged: k={k} case={case} n={n} base={base} exp={exp}"
+            );
+            total += 1;
+        }
+    }
+    assert!(total >= 10_000, "sweep shrank below the acceptance bar");
+}
+
+#[test]
+fn montgomery_mulmod_matches_division_oracle() {
+    for (mi, k) in [1usize, 2, 3, 23, 24, 25, 64].into_iter().enumerate() {
+        let mut rng = sweep_rng(0x100 + mi as u64);
+        let cases = if k >= 23 { 100 } else { 600 };
+        for case in 0..cases {
+            let n = random_odd_modulus(k, &mut rng);
+            // Unreduced operands up to 2k limbs exercise the reduction-in.
+            let a = random_value(k + case % 3, &mut rng);
+            let b = random_value(k.max(2) - 1 + case % 2, &mut rng);
+            assert_eq!(
+                a.mulmod(&b, &n),
+                a.mulmod_div(&b, &n),
+                "mulmod diverged: k={k} case={case}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mulmod_dispatch_agrees_on_even_moduli_too() {
+    // Even moduli take the division path outright; the public API must
+    // stay correct on both parities.
+    let mut rng = sweep_rng(0x200);
+    for _ in 0..500 {
+        let mut limbs = random_limbs(2, &mut rng);
+        limbs[0] &= !1; // even
+        let n = BigUint::from_limbs(limbs).add_u64(2);
+        let a = random_value(3, &mut rng);
+        let b = random_value(2, &mut rng);
+        assert_eq!(a.mulmod(&b, &n), a.mul(&b).rem(&n));
+        let e = BigUint::from_u64(rng.random::<u16>() as u64);
+        assert_eq!(a.modpow(&e, &n), a.modpow_div(&e, &n));
+    }
+}
+
+#[test]
+fn to_from_montgomery_is_identity() {
+    for (mi, k) in [1usize, 2, 23, 24, 25, 64].into_iter().enumerate() {
+        let mut rng = sweep_rng(0x300 + mi as u64);
+        let n = random_odd_modulus(k, &mut rng);
+        let ctx = Montgomery::new(&n).expect("odd modulus");
+        for case in 0..200 {
+            // Both reduced and unreduced inputs: to_montgomery reduces.
+            let x = random_value(k + case % 2, &mut rng);
+            let roundtrip = ctx.from_montgomery(&ctx.to_montgomery(&x));
+            assert_eq!(roundtrip, x.rem(&n), "k={k} case={case}");
+        }
+        // The Montgomery form of 1 is R mod n.
+        assert_eq!(ctx.from_montgomery(&ctx.one_m()), BigUint::one().rem(&n));
+    }
+}
+
+#[test]
+fn montgomery_rejects_even_or_trivial_moduli() {
+    assert!(Montgomery::new(&BigUint::zero()).is_none());
+    assert!(Montgomery::new(&BigUint::one()).is_none());
+    assert!(Montgomery::new(&BigUint::from_u64(1 << 20)).is_none());
+    assert!(Montgomery::new(&BigUint::from_u64((1 << 20) + 1)).is_some());
+}
+
+// ---- perfect squares -----------------------------------------------------
+
+#[test]
+fn perfect_sqrt_roundtrips_squares_and_rejects_off_by_one() {
+    for (mi, k) in [1usize, 2, 4, 9, 16].into_iter().enumerate() {
+        let mut rng = sweep_rng(0x400 + mi as u64);
+        for _ in 0..150 {
+            let mut x = random_value(k, &mut rng);
+            if x < BigUint::from_u64(2) {
+                x = x.add_u64(2); // keep x² ± 1 strictly between neighbours
+            }
+            let sq = x.mul(&x);
+            assert_eq!(sq.perfect_sqrt(), Some(x.clone()), "square of {x}");
+            assert_eq!(sq.add_u64(1).perfect_sqrt(), None, "x²+1 for {x}");
+            assert_eq!(
+                sq.sub(&BigUint::one()).perfect_sqrt(),
+                None,
+                "x²-1 for {x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn diff_tester_filters_are_sound() {
+    // The quadratic-residue prefilters may only reject candidates whose
+    // discriminant is a non-square: a planted factor must always be found,
+    // and the filtered tester must agree with a filter-free reference.
+    let mut rng = sweep_rng(0x500);
+    for case in 0..120 {
+        let bits = 64 + (case % 5) * 32;
+        let p = BigUint::gen_prime(bits as u64, &mut rng);
+        let d = (rng.random::<u16>() as u64) & !1;
+        let n = p.mul(&p.add_u64(d));
+        let tester = DiffTester::new(&n);
+        assert_eq!(tester.test(d), Some(p.clone()), "planted d={d}");
+        // A filter-free reference for a miss and for the hit.
+        for probe in [d, d.wrapping_add(2), d.wrapping_add(40) & !1] {
+            let disc = BigUint::from_u64(probe)
+                .mul(&BigUint::from_u64(probe))
+                .add(&n.shl(2));
+            let reference = disc.perfect_sqrt().and_then(|s| {
+                let diff = s.checked_sub(&BigUint::from_u64(probe))?;
+                if !diff.is_even() {
+                    return None;
+                }
+                let p = diff.shr(1);
+                (!p.is_zero() && p.mul(&p.add_u64(probe)) == n).then_some(p)
+            });
+            assert_eq!(tester.test(probe), reference, "probe={probe}");
+        }
+    }
+}
+
+// ---- Miller-Rabin adversarial fixtures ------------------------------------
+
+/// Asserts both kernels (Montgomery default + division fallback) agree
+/// with the expected verdict.
+fn assert_prime_verdict(decimal: &str, expect_prime: bool, label: &str) {
+    let n = BigUint::from_decimal(decimal).unwrap_or_else(|| panic!("bad fixture {label}"));
+    let mut rng = sweep_rng(0x600);
+    assert_eq!(
+        n.is_probable_prime(16, &mut rng),
+        expect_prime,
+        "{label} ({decimal}): Montgomery path"
+    );
+    let mut rng = sweep_rng(0x600);
+    assert_eq!(
+        n.is_probable_prime_div(16, &mut rng),
+        expect_prime,
+        "{label} ({decimal}): division path"
+    );
+}
+
+#[test]
+fn carmichael_numbers_are_rejected() {
+    // Classic Carmichaels, plus the Chernick-form (6m+1)(12m+1)(18m+1)
+    // constructions — all pass the Fermat test for every coprime base, so
+    // only a correct *strong* test rejects them.
+    for (dec, label) in [
+        ("561", "3·11·17"),
+        ("1105", "5·13·17"),
+        ("1729", "7·13·19 (Chernick m=1)"),
+        ("2465", "5·17·29"),
+        ("6601", "7·23·41"),
+        ("41041", "7·11·13·41"),
+        ("62745", "3·5·47·89"),
+        ("825265", "5 prime factors"),
+        ("294409", "37·73·109 (Chernick m=6)"),
+        ("56052361", "211·421·631 (Chernick m=35)"),
+        ("118901521", "271·541·811 (Chernick m=45)"),
+        ("172947529", "307·613·919 (Chernick m=51)"),
+    ] {
+        assert_prime_verdict(dec, false, label);
+    }
+}
+
+#[test]
+fn large_constructed_carmichael_is_rejected() {
+    // Build a fresh Chernick Carmichael at runtime: if 6m+1, 12m+1 and
+    // 18m+1 are all prime then their product is Carmichael. Hunting from
+    // a 2^40-scale start makes the product ~128 bits — past every small
+    // fixture and squarely in multi-limb Montgomery territory.
+    let mut rng = sweep_rng(0x700);
+    let mut m: u64 = 1 << 40;
+    loop {
+        // Chernick requires even m for the factors to be coprime to 2;
+        // any m works for Korselt as long as all three are prime.
+        let f1 = BigUint::from_u64(6 * m + 1);
+        let f2 = BigUint::from_u64(12 * m + 1);
+        let f3 = BigUint::from_u64(18 * m + 1);
+        if f1.is_probable_prime(8, &mut rng)
+            && f2.is_probable_prime(8, &mut rng)
+            && f3.is_probable_prime(8, &mut rng)
+        {
+            let carmichael = f1.mul(&f2).mul(&f3);
+            let mut rng2 = sweep_rng(0x701);
+            assert!(
+                !carmichael.is_probable_prime(16, &mut rng2),
+                "Chernick m={m} product {carmichael} wrongly accepted (Montgomery)"
+            );
+            let mut rng2 = sweep_rng(0x701);
+            assert!(
+                !carmichael.is_probable_prime_div(16, &mut rng2),
+                "Chernick m={m} product {carmichael} wrongly accepted (division)"
+            );
+            return;
+        }
+        m += 1;
+        assert!(m < (1 << 40) + 200_000, "no Chernick triple found in range");
+    }
+}
+
+#[test]
+fn fermat_base2_pseudoprimes_are_rejected() {
+    for dec in [
+        "341", "645", "1387", "1905", "2047", "2701", "2821", "3277", "4033", "4681", "8321",
+    ] {
+        assert_prime_verdict(dec, false, "Fermat/strong psp base 2");
+    }
+}
+
+#[test]
+fn strong_pseudoprimes_at_the_deterministic_witness_bound() {
+    // ψ₄ = 3215031751: strong psp to bases 2,3,5,7 — witness 11 kills it.
+    assert_prime_verdict("3215031751", false, "ψ₄");
+    // ψ₉ = 3825123056546413051: strong psp to the first 9 primes.
+    assert_prime_verdict("3825123056546413051", false, "ψ₉");
+    // ψ₁₂ = 318665857834031151167461: strong psp to the first 12 primes;
+    // only witness 41 — the last deterministic one — catches it.
+    assert_prime_verdict("318665857834031151167461", false, "ψ₁₂");
+    // ψ₁₃ = 3317044064679887385961981: strong psp to ALL 13 deterministic
+    // witnesses. Only the random-witness stage rejects it — this pins the
+    // deterministic-bound cutoff (a "deterministic below 128 bits" rule
+    // would certify this composite as prime).
+    assert_prime_verdict("3317044064679887385961981", false, "ψ₁₃");
+}
+
+#[test]
+fn known_large_primes_are_accepted() {
+    // Mersenne primes M127, M521, M607 and the curve25519 prime 2^255-19:
+    // independently known primes spanning 2 to 10 limbs (M521/M607 bracket
+    // the 512-bit operating point of the §5.2 experiment).
+    let fixtures: [(BigUint, &str); 4] = [
+        (mersenne(127), "M127"),
+        (mersenne(521), "M521"),
+        (mersenne(607), "M607"),
+        (
+            BigUint::one().shl(255).sub(&BigUint::from_u64(19)),
+            "2^255-19",
+        ),
+    ];
+    for (p, label) in fixtures {
+        let mut rng = sweep_rng(0x800);
+        assert!(
+            p.is_probable_prime(16, &mut rng),
+            "{label} rejected (Montgomery)"
+        );
+        let mut rng = sweep_rng(0x800);
+        assert!(
+            p.is_probable_prime_div(16, &mut rng),
+            "{label} rejected (division)"
+        );
+    }
+}
+
+#[test]
+fn prime_squares_are_rejected() {
+    // n = p² passes naive Fermat checks surprisingly often and is the
+    // √N = P corner of the factor search (d = 0).
+    let mut rng = sweep_rng(0x900);
+    for p in [
+        mersenne(61),
+        mersenne(127),
+        BigUint::gen_prime(160, &mut rng),
+    ] {
+        let sq = p.mul(&p);
+        let mut r = sweep_rng(0x901);
+        assert!(!sq.is_probable_prime(16, &mut r), "{p}² accepted (Montgomery)");
+        let mut r = sweep_rng(0x901);
+        assert!(
+            !sq.is_probable_prime_div(16, &mut r),
+            "{p}² accepted (division)"
+        );
+    }
+}
+
+#[test]
+fn generated_512_bit_primes_agree_across_kernels() {
+    // gen_prime runs entirely through the Montgomery path; the division
+    // oracle must independently accept its output (and the exact-width /
+    // oddness contract must hold) at the paper's operating point.
+    let mut rng = sweep_rng(0xA00);
+    let p = BigUint::gen_prime(512, &mut rng);
+    assert_eq!(p.bits(), 512);
+    assert!(!p.is_even());
+    let mut r = sweep_rng(0xA01);
+    assert!(p.is_probable_prime_div(8, &mut r), "division path disagrees");
+}
+
+fn mersenne(e: u64) -> BigUint {
+    BigUint::one().shl(e).sub(&BigUint::one())
+}

@@ -1,0 +1,98 @@
+//! Chaos-determinacy oracle for the distributed §5.2 factor pipeline.
+//!
+//! The factorization network is a Kahn process network, so its output
+//! history — the per-task [`SearchOutcome`] sequence, in task order — is
+//! determined by the graph alone. Neither the number of Workers, nor how
+//! they are spread over compute servers, nor seeded transport faults
+//! (resets, stalls, refused connects) may change a single bit of it.
+//!
+//! A small workload keeps the battery fast: 64-bit P, 8 tasks of 8 even
+//! differences, the factor planted in the last task so every task does
+//! full work before the hit.
+
+use kpn::bignum::{make_weak_key, SearchOutcome};
+use kpn::net::chaos::{chaos_policy, ChaosCluster};
+use kpn::net::FaultProfile;
+use kpn::parallel::{factor_cluster_run, parallel_registry};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TASKS: u64 = 8;
+const BATCH: u64 = 8;
+
+/// d lands in the final task: range [(TASKS-1)·2·BATCH, TASKS·2·BATCH).
+const PLANTED_D: u64 = (TASKS - 1) * 2 * BATCH + 6;
+
+fn weak_key() -> kpn::bignum::WeakKey {
+    let mut rng = StdRng::seed_from_u64(0xFAC7);
+    make_weak_key(64, PLANTED_D, &mut rng)
+}
+
+fn fault_profile() -> FaultProfile {
+    FaultProfile {
+        mean_ops_between_faults: 25,
+        refuse_connects: 1, // schedule provably fires even on short runs
+        max_faults: 8,
+        ..FaultProfile::default()
+    }
+}
+
+#[test]
+fn factor_history_is_identical_across_faults_and_worker_counts() {
+    let key = weak_key();
+
+    // Baseline: fault-free cluster, single worker — the reference history.
+    let baseline = {
+        let cluster = ChaosCluster::plain_with(2, &parallel_registry).expect("plain cluster");
+        factor_cluster_run(&cluster, &key.n, TASKS, BATCH, &[0]).expect("baseline run")
+    };
+    assert_eq!(baseline.outcomes.len(), TASKS as usize);
+    assert_eq!(
+        baseline.factor,
+        Some((key.p.clone(), PLANTED_D)),
+        "planted factor must be recovered"
+    );
+    // Every task before the planted one must report a full miss.
+    for (i, o) in baseline.outcomes[..TASKS as usize - 1].iter().enumerate() {
+        assert_eq!(*o, SearchOutcome::NotFound, "task {i}");
+    }
+
+    // Pooled worker sweep on fault-free clusters: same history bit for bit.
+    for workers in [&[0usize, 1][..], &[0, 1, 0, 1][..]] {
+        let cluster = ChaosCluster::plain_with(2, &parallel_registry).expect("plain cluster");
+        let run = factor_cluster_run(&cluster, &key.n, TASKS, BATCH, workers)
+            .expect("fault-free sweep run");
+        assert_eq!(
+            run.outcomes, baseline.outcomes,
+            "{} fault-free workers broke determinacy",
+            workers.len()
+        );
+    }
+
+    // Faulted clusters: seeded chaos on every data link, 1/2/4 workers.
+    let mut total_injected = 0;
+    for (seed, workers) in [
+        (0xFA_0001u64, &[0usize][..]),
+        (0xFA_0002, &[0, 1][..]),
+        (0xFA_0003, &[0, 1, 0, 1][..]),
+    ] {
+        let cluster = ChaosCluster::with_faults_with(
+            2,
+            seed,
+            fault_profile(),
+            chaos_policy(),
+            &parallel_registry,
+        )
+        .expect("faulted cluster");
+        let run = factor_cluster_run(&cluster, &key.n, TASKS, BATCH, workers)
+            .unwrap_or_else(|e| panic!("faulted run (seed {seed:#x}) failed: {e}"));
+        total_injected += cluster.injected();
+        assert_eq!(
+            run.outcomes, baseline.outcomes,
+            "seed {seed:#x} with {} workers broke determinacy",
+            workers.len()
+        );
+        assert_eq!(run.factor, baseline.factor, "recovered factor must match");
+    }
+    assert!(total_injected > 0, "fault schedules never fired");
+}
