@@ -58,7 +58,7 @@
 
 use super::deque::{Steal, WorkDeque};
 use super::{
-    bucket_of, fiber, next_id, set_current, weak_dyn, with_current, Exec, SchedulerStats,
+    bucket_of, fiber, next_id, reactor, set_current, weak_dyn, with_current, Exec, SchedulerStats,
     TaskLocals, WorkerStats, BUCKETS,
 };
 use crate::error::Result;
@@ -257,6 +257,10 @@ pub struct PooledExec {
     parked_hint: AtomicUsize,
     buckets: [PoolBucket; BUCKETS],
     idle_hooks: Mutex<Vec<Box<dyn Fn() + Send + Sync>>>,
+    /// Readiness reactor, created lazily on the first [`Exec::reactor`]
+    /// call (i.e. only when the net layer actually selects the reactor
+    /// backend). `Some(None)` caches "unavailable on this platform".
+    reactor: OnceLock<Option<Arc<reactor::Reactor>>>,
     self_ref: OnceLock<Weak<dyn Exec>>,
     self_pool: OnceLock<Weak<PooledExec>>,
 }
@@ -292,6 +296,7 @@ impl PooledExec {
             parked_hint: AtomicUsize::new(0),
             buckets: Default::default(),
             idle_hooks: Mutex::new(Vec::new()),
+            reactor: OnceLock::new(),
             self_ref: OnceLock::new(),
             self_pool: OnceLock::new(),
         });
@@ -409,7 +414,10 @@ impl PooledExec {
                 return Some(f);
             }
         } else if fair {
-            // Fair tick: global work first.
+            // Fair tick: reactor readiness and global work first, so a
+            // ready socket's fiber gets scheduled even on a worker that
+            // never goes idle.
+            self.poll_reactor();
             if let Some(f) = self.pop_injector(slot) {
                 *hot_streak = 0;
                 return Some(f);
@@ -682,6 +690,9 @@ impl PooledExec {
     /// otherwise sleep until notified. Returns `true` when the worker
     /// should exit.
     fn park_worker(&self, slot: Option<usize>) -> bool {
+        // Socket readiness first: anything ready becomes queued work that
+        // the quiescence check and the Dekker rescan below will see.
+        self.poll_reactor();
         let mut st = self.central.lock();
         if st.shutdown && st.alive == 0 {
             st.workers -= 1;
@@ -735,9 +746,11 @@ impl PooledExec {
         if let Some(i) = slot {
             self.slots[i].stats.parks.fetch_add(1, Ordering::Relaxed);
         }
-        if quiesce {
+        if quiesce || self.reactor_ref().is_some() {
             // Keep polling while the pool looks deadlock-candidate so the
-            // monitor ticks even if no event arrives.
+            // monitor ticks even if no event arrives — and whenever a
+            // reactor exists, so sleeping workers keep draining readiness
+            // even if every other worker is pinned in a long fiber.
             let _ = self.work_cv.wait_for(&mut st, Duration::from_millis(1));
         } else {
             self.work_cv.wait(&mut st);
@@ -748,6 +761,32 @@ impl PooledExec {
             self.slots[i].stats.unparks.fetch_add(1, Ordering::Relaxed);
         }
         false
+    }
+
+    /// The reactor, if one has been instantiated (only the net layer's
+    /// reactor backend does that, via [`Exec::reactor`]).
+    fn reactor_ref(&self) -> Option<&Arc<reactor::Reactor>> {
+        self.reactor.get().and_then(|o| o.as_ref())
+    }
+
+    /// Drain socket readiness and expired timers into the run queues: each
+    /// ready park key is an ordinary `unpark_all`. Runs at worker poll
+    /// points only (pre-sleep and the fair tick) and never blocks; the
+    /// pre-sleep call sits *before* the quiescence computation and the
+    /// Dekker rescan, so readiness observed here becomes visible queued
+    /// work and a ready socket can never fake an idle pool.
+    fn poll_reactor(&self) -> bool {
+        let Some(r) = self.reactor_ref() else {
+            return false;
+        };
+        let keys = r.poll();
+        if keys.is_empty() {
+            return false;
+        }
+        for key in keys {
+            self.unpark_all(key);
+        }
+        true
     }
 
     /// Route freshly unparked fibers to a run queue. When the waker is a
@@ -957,13 +996,19 @@ impl Exec for PooledExec {
     }
 
     fn scheduler_stats(&self) -> Option<SchedulerStats> {
-        let (injector_pushes, injector_depth, foreign_unparks, current_workers) = {
+        // `workers` and `external` move together under the central lock
+        // (enter/exit_blocking, surplus retirement), so they must be read
+        // in ONE acquisition: snapshotting them separately could observe
+        // a retirement halfway and report more blocked workers than
+        // alive ones.
+        let (injector_pushes, injector_depth, foreign_unparks, current_workers, blocked_workers) = {
             let st = self.central.lock();
             (
                 st.injector_pushes,
                 st.injector.len(),
                 st.foreign_unparks,
                 st.workers,
+                st.external,
             )
         };
         let workers = self
@@ -980,8 +1025,14 @@ impl Exec for PooledExec {
             injector_pushes,
             injector_depth,
             foreign_unparks,
+            blocked_workers,
+            reactor: self.reactor_ref().map(|r| r.stats()),
             workers,
         })
+    }
+
+    fn reactor(&self) -> Option<Arc<reactor::Reactor>> {
+        self.reactor.get_or_init(reactor::Reactor::new).clone()
     }
 }
 

@@ -77,7 +77,11 @@ pub use channel::{
     SourceRead, DEFAULT_CAPACITY, DEFAULT_STREAM_BUFFER,
 };
 pub use error::{Error, Result};
-pub use exec::{blocking_region, Exec, ExecMode, PooledExec, SchedulerStats, ThreadExec, WorkerStats};
+pub use exec::reactor::ReactorStats;
+pub use exec::{
+    blocking_region, Exec, ExecMode, NetBackend, PooledExec, SchedulerStats, ThreadExec,
+    WorkerStats,
+};
 pub use monitor::{
     BlockKind, ChannelIoStats, DeadlockPolicy, ExternalBlockGuard, Monitor, MonitorSnapshot,
     MonitorStats, MonitorTiming,

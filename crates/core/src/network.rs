@@ -42,6 +42,12 @@ pub struct NetworkConfig {
     /// `KPN_LINT` environment variable (see [`LintLevel::from_env`];
     /// unset means [`LintLevel::Warn`]).
     pub lint: LintLevel,
+    /// How the net layer waits on sockets for this process: `None` leaves
+    /// the ambient choice (`KPN_NET_BACKEND` or a prior override) alone;
+    /// `Some` installs a process-wide override at network construction
+    /// (see [`crate::exec::set_net_backend`] — the backend is resolved
+    /// per transport, so it is inherently process-global state).
+    pub net_backend: Option<crate::exec::NetBackend>,
 }
 
 impl Default for NetworkConfig {
@@ -53,6 +59,7 @@ impl Default for NetworkConfig {
             mode: ExecMode::default(),
             record_history: false,
             lint: LintLevel::default(),
+            net_backend: None,
         }
     }
 }
@@ -64,6 +71,17 @@ impl NetworkConfig {
     /// only shape the [`Default`] mode.
     pub fn workers(mut self, n: usize) -> Self {
         self.mode = ExecMode::Pooled { workers: n };
+        self
+    }
+
+    /// Select how remote-channel waits block for networks in this process
+    /// (installed at construction; outranks `KPN_NET_BACKEND`). The
+    /// reactor backend parks fibers on socket readiness instead of
+    /// spending a compensated OS thread per blocked remote channel; it
+    /// takes effect on executors that own a reactor ([`crate::PooledExec`]
+    /// on Linux/x86_64) and falls back to thread blocking elsewhere.
+    pub fn net_backend(mut self, backend: crate::exec::NetBackend) -> Self {
+        self.net_backend = Some(backend);
         self
     }
 }
@@ -283,6 +301,9 @@ impl Network {
 
     /// A network with an explicit configuration.
     pub fn with_config(config: NetworkConfig) -> Self {
+        if let Some(backend) = config.net_backend {
+            crate::exec::set_net_backend(Some(backend));
+        }
         // Under sim the monitor needs no settling delay: only one task
         // executes at a time, so no concurrent activity can race a
         // deadlock verdict. Its tick also runs from the scheduler's idle

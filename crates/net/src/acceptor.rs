@@ -21,24 +21,101 @@
 
 use crate::frame::{read_hello_token, CONN_CONTROL, CONN_HELLO, TAG_STOP};
 use crate::transport::{NetProfile, Transport};
-use crossbeam::channel::{bounded, Receiver, Sender};
-use kpn_core::{Error, Result};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use kpn_core::{blocking_region, Error, Exec, Result};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 type ControlHandler = Arc<dyn Fn(TcpStream) + Send + Sync>;
+
+/// Waker bridging the acceptor's dispatch thread to a fiber parked in
+/// [`PendingConn::recv_wait`]: the receiver publishes `(exec, key)` before
+/// parking, the sender takes and unparks it after delivering (or after
+/// dropping the sender on unregister). Crossbeam wakes blocked *threads*
+/// on its own; parked *fibers* need this explicit channel-side nudge.
+#[derive(Default)]
+pub(crate) struct PendingNotify {
+    waiter: Mutex<Option<(Arc<dyn Exec>, usize)>>,
+}
+
+impl PendingNotify {
+    fn wake(&self) {
+        if let Some((exec, key)) = self.waiter.lock().take() {
+            exec.unpark_all(key);
+        }
+    }
+}
 
 /// Receives the transport for one registered endpoint token.
 pub(crate) struct PendingConn {
     pub(crate) rx: Receiver<Box<dyn Transport>>,
+    notify: Arc<PendingNotify>,
 }
+
+impl PendingConn {
+    /// Waits for the data connection (`timeout` of `None` waits forever,
+    /// until the registration is dropped). Parks the calling fiber on the
+    /// reactor backend; otherwise blocks the thread the way the plain
+    /// `rx.recv()` path always has (compensated when unbounded).
+    pub(crate) fn recv_wait(
+        &self,
+        timeout: Option<Duration>,
+    ) -> std::result::Result<Box<dyn Transport>, RecvTimeoutError> {
+        if let Some((exec, reactor)) = crate::rio::parking_context() {
+            let deadline = timeout.map(|t| Instant::now() + t);
+            let key = Arc::as_ptr(&self.notify) as usize;
+            let out = loop {
+                match self.rx.try_recv() {
+                    Ok(t) => break Ok(t),
+                    Err(TryRecvError::Disconnected) => break Err(RecvTimeoutError::Disconnected),
+                    Err(TryRecvError::Empty) => {}
+                }
+                let now = Instant::now();
+                if deadline.is_some_and(|dl| now >= dl) {
+                    break Err(RecvTimeoutError::Timeout);
+                }
+                let token = exec.park_token(key);
+                *self.notify.waiter.lock() = Some((exec.clone(), key));
+                // Re-check with the waiter published: a send that raced in
+                // before publication is caught here; one that lands after
+                // sees the waiter and unparks (a pre-park unpark just
+                // bumps the token's generation — park returns at once).
+                match self.rx.try_recv() {
+                    Ok(t) => break Ok(t),
+                    Err(TryRecvError::Disconnected) => break Err(RecvTimeoutError::Disconnected),
+                    Err(TryRecvError::Empty) => {}
+                }
+                if let Some(dl) = deadline {
+                    reactor.add_timer(dl, key);
+                }
+                let _ = exec.park(key, token, deadline.map(|dl| dl - now));
+            };
+            self.notify.waiter.lock().take();
+            out
+        } else {
+            match timeout {
+                // Bounded waits are short recovery polls whose callers sit
+                // inside a blocking_region already — don't re-compensate.
+                Some(t) => self.rx.recv_timeout(t),
+                None => {
+                    blocking_region(|| self.rx.recv().map_err(|_| RecvTimeoutError::Disconnected))
+                }
+            }
+        }
+    }
+}
+
+/// A waiting endpoint: the channel that delivers its connection plus the
+/// waker that reaches a fiber parked in [`PendingConn::recv_wait`].
+type Waiter = (Sender<Box<dyn Transport>>, Arc<PendingNotify>);
 
 struct AcceptorState {
     /// Endpoints waiting for their connection.
-    waiting: HashMap<u64, Sender<Box<dyn Transport>>>,
+    waiting: HashMap<u64, Waiter>,
     /// Connections that arrived before their endpoint registered.
     parked: HashMap<u64, Box<dyn Transport>>,
     /// Tokens whose endpoint was abandoned: late connections get a `Stop`
@@ -133,14 +210,15 @@ impl Acceptor {
     /// dead.
     pub(crate) fn register(&self, token: u64) -> PendingConn {
         let (tx, rx) = bounded(1);
+        let notify = Arc::new(PendingNotify::default());
         let mut st = self.state.lock();
         st.dead.remove(&token);
         if let Some(stream) = st.parked.remove(&token) {
             let _ = tx.send(stream);
         } else {
-            st.waiting.insert(token, tx);
+            st.waiting.insert(token, (tx, notify.clone()));
         }
-        PendingConn { rx }
+        PendingConn { rx, notify }
     }
 
     /// Removes a registration (endpoint abandoned or deliberately closed).
@@ -148,10 +226,19 @@ impl Acceptor {
     /// notice, which the connector treats as a closed reader rather than a
     /// transient fault.
     pub(crate) fn unregister(&self, token: u64) {
-        let mut st = self.state.lock();
-        st.waiting.remove(&token);
-        st.parked.remove(&token);
-        st.dead.insert(token);
+        let removed = {
+            let mut st = self.state.lock();
+            let removed = st.waiting.remove(&token);
+            st.parked.remove(&token);
+            st.dead.insert(token);
+            removed
+        };
+        // Dropping the sender disconnects the receiver; wake any parked
+        // fiber (outside the state lock) so it observes the disconnect.
+        if let Some((tx, notify)) = removed {
+            drop(tx);
+            notify.wake();
+        }
     }
 
     fn dispatch(self: &Arc<Self>, mut stream: TcpStream) {
@@ -177,10 +264,15 @@ impl Acceptor {
                 }
                 let transport = self.profile.factory.wrap_accepted(stream, token);
                 match st.waiting.remove(&token) {
-                    Some(tx) => {
+                    Some((tx, notify)) => {
                         // Endpoint dropped meanwhile → transport drops → the
                         // connector sees a closed socket (WriteClosed).
                         let _ = tx.send(transport);
+                        drop(st);
+                        // Wake a parked fiber with the state lock dropped —
+                        // the woken endpoint may call back into the
+                        // acceptor (re-register) before we'd release it.
+                        notify.wake();
                     }
                     None => {
                         st.parked.insert(token, transport);

@@ -49,6 +49,7 @@ mod node;
 mod probe;
 mod registry;
 mod remote;
+mod rio;
 mod spec;
 pub mod transport;
 

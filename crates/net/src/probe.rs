@@ -47,6 +47,15 @@ pub struct NetworkStatus {
     /// not deadlocked).
     #[serde(default)]
     pub recovery_attempts: u64,
+    /// Socket-readiness wakeups delivered by the executor's reactor
+    /// (event-driven net backend; 0 under the thread backend). A
+    /// reactor-parked channel reports no generation movement while it
+    /// waits, but a *delivery* to one is progress exactly like a TCP
+    /// receive waking a thread-blocked reader — so this gauge joins the
+    /// freshness check. Timer wakeups are deliberately excluded: timers
+    /// keep firing during a true deadlock.
+    #[serde(default)]
+    pub reactor_wakeups: u64,
 }
 
 impl NetworkStatus {
@@ -63,6 +72,13 @@ impl NetworkStatus {
             growths: s.stats.growths,
             reconnecting,
             recovery_attempts,
+            reactor_wakeups: s
+                .stats
+                .scheduler
+                .as_ref()
+                .and_then(|sc| sc.reactor.as_ref())
+                .map(|r| r.wakeups)
+                .unwrap_or(0),
         }
     }
 
@@ -170,7 +186,9 @@ impl ClusterProbe {
         let frozen = first.iter().zip(second.iter()).all(|(a, b)| {
             a.networks.len() == b.networks.len()
                 && a.networks.iter().zip(b.networks.iter()).all(|(x, y)| {
-                    x.generation == y.generation && x.recovery_attempts == y.recovery_attempts
+                    x.generation == y.generation
+                        && x.recovery_attempts == y.recovery_attempts
+                        && x.reactor_wakeups == y.reactor_wakeups
                 })
         });
         Ok(frozen)
@@ -246,6 +264,7 @@ mod probe_logic_tests {
             growths: 0,
             reconnecting: 0,
             recovery_attempts: 0,
+            reactor_wakeups: 0,
         }
     }
 

@@ -222,11 +222,11 @@ impl SinkCore {
         let mut attempt: u32 = 0;
         let transport = loop {
             match factory.connect(addr, token) {
-                Ok(t) => break t,
+                Ok(t) => break crate::rio::maybe_wrap(t),
                 Err(e) if policy.enabled && link_failure(&e) && Instant::now() < deadline => {
                     let delay = policy.backoff(attempt, &mut rng);
                     attempt = attempt.saturating_add(1);
-                    std::thread::sleep(delay);
+                    crate::rio::sleep(delay);
                 }
                 Err(e) => return Err(e),
             }
@@ -380,7 +380,7 @@ impl SinkCore {
             }
             if attempt > 0 {
                 let delay = self.policy.backoff(attempt - 1, &mut self.rng);
-                std::thread::sleep(delay);
+                crate::rio::sleep(delay);
             }
             if Instant::now() >= deadline {
                 return Err(Error::Disconnected(format!(
@@ -392,7 +392,7 @@ impl SinkCore {
             guard.attempt();
             attempt = attempt.saturating_add(1);
             let transport = match self.factory.connect(&self.addr, self.token) {
-                Ok(t) => t,
+                Ok(t) => crate::rio::maybe_wrap(t),
                 Err(e) if link_failure(&e) => continue,
                 Err(e) => return Err(e),
             };
@@ -521,9 +521,22 @@ impl SinkCore {
         // Reading acks can block: publish this task's buffered output
         // first (same deadlock-safety rule as local channels).
         kpn_core::flush::flush_before_block();
-        // Socket waits hold an OS thread, not just a task: tell the executor
-        // so a pooled worker is compensated for while we sit in `read`.
-        kpn_core::exec::blocking_region(|| self.wait_acked_inner(target, marker_wait))
+        // An event-driven transport parks the *fiber* on readiness inside
+        // its own read path, so this wait occupies no OS thread and needs
+        // no compensation. A blocking transport holds an OS thread, not
+        // just a task: tell the executor so a pooled worker is compensated
+        // for while we sit in `read`. (`conn == None` means the first step
+        // goes straight to `recover`, whose fresh transport matches the
+        // backend — decide by the backend in that case.)
+        let event_driven = match self.conn.as_ref() {
+            Some(c) => c.get_ref().is_event_driven(),
+            None => crate::rio::parking_context().is_some(),
+        };
+        if event_driven {
+            self.wait_acked_inner(target, marker_wait)
+        } else {
+            kpn_core::exec::blocking_region(|| self.wait_acked_inner(target, marker_wait))
+        }
     }
 
     fn wait_acked_inner(&mut self, target: u64, marker_wait: bool) -> Result<()> {
@@ -868,6 +881,9 @@ impl RemoteSource {
         policy: ReconnectPolicy,
         token: u64,
     ) -> Self {
+        // Accepted connections arrive unwrapped (the acceptor's factory
+        // knows nothing about executors); attach the reactor here.
+        let transport = crate::rio::maybe_wrap(transport);
         if let Some(i) = &interruptor {
             i.attach_transport(&*transport);
         }
@@ -1105,9 +1121,10 @@ impl RemoteSource {
             {
                 return Err(Error::Disconnected("aborted while reconnecting".into()));
             }
-            match pending.rx.recv_timeout(RECOVERY_POLL) {
+            match pending.recv_wait(Some(RECOVERY_POLL)) {
                 Ok(transport) => {
                     guard.attempt();
+                    let transport = crate::rio::maybe_wrap(transport);
                     let _ = transport.set_op_timeout(self.policy.op_timeout);
                     if let Some(i) = &self.interruptor {
                         i.attach_transport(&*transport);
@@ -1152,16 +1169,9 @@ impl RemoteSource {
             self.token, self.expected
         ))
     }
-}
 
-impl Source for RemoteSource {
-    fn read(&mut self, buf: &mut [u8]) -> Result<SourceRead> {
-        // A socket read can block indefinitely: publish this task's
-        // buffered output first (same deadlock-safety rule as local
-        // channels — see `kpn_core::flush`), and enter a blocking region so
-        // a pooled executor backfills the worker this wait occupies.
-        kpn_core::flush::flush_before_block();
-        kpn_core::exec::blocking_region(|| loop {
+    fn read_loop(&mut self, buf: &mut [u8]) -> Result<SourceRead> {
+        loop {
             match self.try_read(buf) {
                 Ok(r) => return Ok(r),
                 Err(e) if self.policy.enabled && !self.closed && link_failure(&e) => {
@@ -1169,7 +1179,27 @@ impl Source for RemoteSource {
                 }
                 Err(e) => return Err(e),
             }
-        })
+        }
+    }
+}
+
+impl Source for RemoteSource {
+    fn read(&mut self, buf: &mut [u8]) -> Result<SourceRead> {
+        // A socket read can block indefinitely: publish this task's
+        // buffered output first (same deadlock-safety rule as local
+        // channels — see `kpn_core::flush`).
+        kpn_core::flush::flush_before_block();
+        if self.stream.get_ref().is_event_driven() {
+            // Event-driven transport: a wait parks this *fiber* on socket
+            // readiness and the worker thread moves on — no OS thread is
+            // held, so no blocking region is needed (or wanted: it would
+            // spawn a compensation thread for a wait that costs none).
+            self.read_loop(buf)
+        } else {
+            // Blocking transport: the wait occupies a worker thread; enter
+            // a blocking region so a pooled executor backfills it.
+            kpn_core::exec::blocking_region(|| self.read_loop(buf))
+        }
     }
 
     fn close(&mut self) {
@@ -1226,10 +1256,11 @@ impl Source for PendingSource {
     fn read(&mut self, _buf: &mut [u8]) -> Result<SourceRead> {
         // Waiting for a connection is a blocking read: flush first so the
         // peer (who may need our buffered output to make progress before
-        // connecting back) can proceed, and mark the wait as a blocking
-        // region so a pooled executor keeps its worker count whole.
+        // connecting back) can proceed. `recv_wait` parks the fiber on the
+        // reactor backend; otherwise it blocks inside a blocking region so
+        // a pooled executor keeps its worker count whole.
         kpn_core::flush::flush_before_block();
-        match kpn_core::exec::blocking_region(|| self.pending.rx.recv()) {
+        match self.pending.recv_wait(None) {
             Ok(transport) => {
                 let policy = self.acceptor.profile().policy.clone();
                 let source = RemoteSource::adopt(

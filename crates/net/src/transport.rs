@@ -53,6 +53,57 @@ pub trait Transport: Read + Write + Send {
     /// Toggles nonblocking mode (used to drain pending acks without
     /// waiting for more).
     fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()>;
+    /// The raw OS file descriptor backing this transport, for readiness
+    /// registration with the reactor net backend (see `rio`). `None` when
+    /// the transport is not socket-backed; readiness parking then
+    /// degrades to thread blocking.
+    fn raw_fd(&self) -> Option<i32> {
+        None
+    }
+    /// One non-blocking read attempt: `WouldBlock` instead of waiting.
+    /// The default toggles `set_nonblocking` around a plain read;
+    /// transports that are already non-blocking override it with a direct
+    /// attempt.
+    fn try_read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.set_nonblocking(true)?;
+        let r = self.read(buf);
+        let restore = self.set_nonblocking(false);
+        let n = r?;
+        restore?;
+        Ok(n)
+    }
+    /// One non-blocking write attempt; see [`Transport::try_read`].
+    fn try_write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.set_nonblocking(true)?;
+        let r = self.write(buf);
+        let restore = self.set_nonblocking(false);
+        let n = r?;
+        restore?;
+        Ok(n)
+    }
+    /// Re-attempts a read the caller has *already* started: identical to
+    /// a plain `read`, except fault-injecting transports do not advance
+    /// their schedule. The event-driven wrapper charges one fault step on
+    /// the first attempt of each logical operation and retries through
+    /// this after every readiness wakeup — so a blocking read (one call,
+    /// one step) and a park-and-retry read (one charged call plus any
+    /// number of retries) consume fault schedules at exactly the same op
+    /// counts, which the chaos determinacy oracle compares across
+    /// backends.
+    fn retry_read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.read(buf)
+    }
+    /// Write-side counterpart of [`Transport::retry_read`].
+    fn retry_write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.write(buf)
+    }
+    /// True when waits on this transport park the calling *task* on
+    /// socket readiness instead of blocking the OS thread. Endpoints skip
+    /// `blocking_region` compensation around operations on such
+    /// transports — that is the whole point of the reactor backend.
+    fn is_event_driven(&self) -> bool {
+        false
+    }
 }
 
 /// The production transport: a plain `TcpStream` with `TCP_NODELAY`.
@@ -89,6 +140,11 @@ impl Transport for TcpTransport {
     }
     fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
         self.0.set_nonblocking(nonblocking)
+    }
+    #[cfg(unix)]
+    fn raw_fd(&self) -> Option<i32> {
+        use std::os::fd::AsRawFd;
+        Some(self.0.as_raw_fd())
     }
 }
 
@@ -412,6 +468,38 @@ impl Transport for FaultyTransport {
     }
     fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
         self.inner.set_nonblocking(nonblocking)
+    }
+    fn raw_fd(&self) -> Option<i32> {
+        self.inner.raw_fd()
+    }
+    fn try_read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        // One fault-schedule step per attempt — the same cadence as a
+        // blocking read, so chaos plans fire at the same op counts under
+        // both net backends.
+        self.step()?;
+        self.inner.try_read(buf)
+    }
+    fn try_write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.step()?;
+        self.inner.try_write(buf)
+    }
+    fn retry_read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        // A retry of a logical op that was charged on its first attempt:
+        // keep the dead-connection semantics but leave the fault schedule
+        // alone, so plans fire at the same op counts as blocking reads.
+        if self.dead {
+            return Err(std::io::Error::from(std::io::ErrorKind::ConnectionReset));
+        }
+        self.inner.retry_read(buf)
+    }
+    fn retry_write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.dead {
+            return Err(std::io::Error::from(std::io::ErrorKind::ConnectionReset));
+        }
+        self.inner.retry_write(buf)
+    }
+    fn is_event_driven(&self) -> bool {
+        self.inner.is_event_driven()
     }
 }
 

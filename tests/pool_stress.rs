@@ -171,3 +171,46 @@ fn blocking_churn_with_live_queues() {
     });
     ex.shutdown();
 }
+
+/// The `blocked_workers` gauge and `current_workers` must be snapshotted
+/// under one lock: a sampler racing blocking-region churn must never see
+/// more blocked workers than workers alive (`enter_blocking` both marks
+/// the blocker external *and* guarantees a compensation worker under the
+/// same central lock, so the invariant holds at every instant — a torn
+/// two-lock snapshot was the only way to violate it).
+/// (x86_64 only: blocking regions compensate only with real fibers.)
+#[cfg(all(target_arch = "x86_64", not(miri)))]
+#[test]
+fn blocked_gauge_never_exceeds_alive_workers() {
+    const BLOCKERS: usize = 8;
+    const ROUNDS: usize = 40;
+    let ex = PooledExec::new(2);
+    let done = Arc::new(AtomicUsize::new(0));
+    for i in 0..BLOCKERS {
+        let d = done.clone();
+        ex.spawn(
+            &format!("churn{i}"),
+            Box::new(move || {
+                for _ in 0..ROUNDS {
+                    blocking_region(|| std::thread::sleep(Duration::from_micros(300)));
+                }
+                d.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+    }
+    // Sample as fast as possible while the churn runs; every snapshot
+    // must satisfy the invariant.
+    let mut samples = 0u64;
+    while done.load(Ordering::SeqCst) < BLOCKERS {
+        let s = ex.scheduler_stats().expect("pooled stats");
+        assert!(
+            s.blocked_workers <= s.current_workers,
+            "torn snapshot: {} blocked > {} alive after {samples} samples",
+            s.blocked_workers,
+            s.current_workers,
+        );
+        samples += 1;
+    }
+    assert!(samples > 0);
+    ex.shutdown();
+}

@@ -1,0 +1,117 @@
+//! Cross-backend chaos determinacy: the event-driven net backend changes
+//! *how* a remote endpoint waits (parked fiber vs blocked thread), and
+//! Kahn determinacy says that must be invisible — under a pinned fault
+//! seed the channel histories have to come out bit-identical whichever
+//! backend ran them. The `Transport::retry_read`/`retry_write` cadence
+//! contract is what makes this hold with fault injection in the stack:
+//! one logical operation charges one fault-schedule step under both
+//! backends, so a pinned seed's faults land on the same operations.
+//!
+//! The thread-backend leg runs on the default thread-per-process
+//! executor (the configuration the chaos suite pins in CI); the reactor
+//! leg runs the deployed networks on the pooled executor so readiness
+//! parking is the real code path, not the foreign-thread fallback.
+//!
+//! The backend override is process-global, so these tests serialize on a
+//! lock (they never run concurrently in a normal invocation anyway: one
+//! is ignored, one is not).
+
+#![cfg(all(target_os = "linux", target_arch = "x86_64", not(miri)))]
+
+use kpn::core::exec::set_net_backend;
+use kpn::core::NetBackend;
+use kpn::net::chaos::{chaos_policy, relay_history, ChaosCluster};
+use kpn::net::FaultProfile;
+use std::sync::Mutex;
+
+static BACKEND_LOCK: Mutex<()> = Mutex::new(());
+
+/// Same pinned seeds as `chaos_reconnect.rs` (CI's chaos job).
+const SEEDS: [u64; 3] = [0x5EED_0001, 0x5EED_0002, 0x5EED_0003];
+
+fn profile() -> FaultProfile {
+    FaultProfile {
+        mean_ops_between_faults: 12,
+        refuse_connects: 1, // guarantees each schedule fires at least once
+        max_faults: 10,
+        ..FaultProfile::default()
+    }
+}
+
+/// One seeded relay run, retried on *failed* runs only: under wall-clock
+/// load a stall can push a reconnect episode past its budget and
+/// terminate the relay early (a pre-existing sensitivity of the chaos
+/// suite on loaded single-core machines, present under both backends).
+/// A retry rebuilds the cluster, so the seed replays its schedule from
+/// the top. Determinacy itself is never retried — a run that *completes*
+/// with a divergent history fails the caller's comparison outright.
+fn seeded_history(backend: NetBackend, seed: u64) -> Vec<i64> {
+    let mut last = None;
+    for _ in 0..3 {
+        let cluster = ChaosCluster::with_faults(2, seed, profile(), chaos_policy()).unwrap();
+        match relay_history(&cluster, 48) {
+            Ok(history) => {
+                assert!(
+                    cluster.injected() > 0,
+                    "seed {seed:#x} injected no faults under {backend:?}"
+                );
+                return history;
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    panic!(
+        "relay under {backend:?} seed {seed:#x} failed three attempts: {}",
+        last.unwrap()
+    );
+}
+
+/// Relay histories under `backend`: the fault-free baseline plus one run
+/// per seed, all of which must already agree within the backend.
+fn histories(backend: NetBackend, seeds: &[u64]) -> Vec<Vec<i64>> {
+    set_net_backend(Some(backend));
+    let mut out = Vec::new();
+    let plain = ChaosCluster::plain(2).unwrap();
+    out.push(relay_history(&plain, 48).unwrap());
+    for &seed in seeds {
+        out.push(seeded_history(backend, seed));
+    }
+    set_net_backend(None);
+    out
+}
+
+fn assert_backends_agree(seeds: &[u64]) {
+    let threads = histories(NetBackend::Threads, seeds);
+    // Pooled networks for the reactor leg (the deployed graphs read the
+    // executor mode from the environment per network start).
+    std::env::set_var("KPN_WORKERS", "2");
+    let reactor = histories(NetBackend::Reactor, seeds);
+    std::env::remove_var("KPN_WORKERS");
+    for (i, h) in threads.iter().enumerate() {
+        assert_eq!(
+            h, &threads[0],
+            "thread backend broke determinacy on run {i}"
+        );
+    }
+    assert_eq!(
+        threads, reactor,
+        "histories diverge between thread and reactor backends"
+    );
+}
+
+#[test]
+fn relay_histories_identical_across_backends() {
+    let _g = BACKEND_LOCK.lock().unwrap();
+    // The kpn-net unit suite's pinned seed: its schedule avoids the
+    // long-stall interleavings that make the 0x5EED seeds sensitive to
+    // wall-clock load (they stay in the ignored variant, where CI's
+    // chaos job runs them with the whole machine to themselves).
+    assert_backends_agree(&[0xC0FFEE]);
+}
+
+#[test]
+#[ignore = "chaos: run with --ignored"]
+fn relay_histories_identical_across_backends_all_seeds() {
+    let _g = BACKEND_LOCK.lock().unwrap();
+    assert_backends_agree(&SEEDS);
+}
