@@ -287,6 +287,21 @@ impl MonitoredChannel for Shared {
         Some((old, new))
     }
 
+    fn ensure_capacity(&self, min: usize) -> bool {
+        let mut st = self.state.lock();
+        let old = st.buf.capacity();
+        if old >= min {
+            return false;
+        }
+        st.buf.grow(min);
+        let wake = st.write_waiters > 0;
+        drop(st);
+        if wake {
+            self.wake_writers();
+        }
+        true
+    }
+
     fn poison(&self) {
         let mut st = self.state.lock();
         st.poisoned = true;
@@ -516,9 +531,11 @@ impl Source for LocalSource {
         }
         // Dropping a pending continuation closes it, cancelling upstream.
         drop(cont);
-        if let Some(m) = &self.shared.monitor {
-            m.unregister_channel(self.shared.id);
-        }
+        // The channel stays registered with the monitor until the Shared
+        // itself drops: a writer can still be parked here with its
+        // `WriteClosed` wake in flight, and the monitor must be able to see
+        // `read_closed` to veto growing some *other* channel during the
+        // termination cascade.
     }
 }
 

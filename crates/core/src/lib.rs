@@ -95,6 +95,6 @@ pub use process::{CompositeProcess, FnProcess, Iterative, IterativeProcess, Proc
 pub use stream::{DataReader, DataWriter};
 pub use topology::{
     check_builtin, register_lint_pass, run_lint, ChannelShape, DiagCode, Diagnostic,
-    EndpointShape, LintLevel, LintScope, ProcessShape, ProcessTag, SideState, StreamFraming,
+    EndpointShape, Fix, LintLevel, LintScope, ProcessShape, ProcessTag, SideState, StreamFraming,
     TopologySnapshot,
 };

@@ -157,6 +157,10 @@ pub(crate) trait MonitoredChannel: Send + Sync {
     /// If the channel is full, grow it (respecting `max`) and wake writers.
     /// Returns `(old, new)` capacities when growth happened.
     fn grow_if_full(&self, max: Option<usize>) -> Option<(usize, usize)>;
+    /// Grow the channel to at least `min` bytes (never shrinks) and wake
+    /// writers. Returns true when the capacity actually changed. Used to
+    /// apply statically synthesized capacities before a network starts.
+    fn ensure_capacity(&self, min: usize) -> bool;
     /// Mark the channel poisoned and wake everyone; all subsequent and
     /// pending operations fail with [`Error::Deadlocked`].
     fn poison(&self);
@@ -169,6 +173,12 @@ pub(crate) trait MonitoredChannel: Send + Sync {
 pub struct MonitorStats {
     /// Number of artificial deadlocks resolved by growing a channel.
     pub growths: u64,
+    /// Capacity-growth events the runtime monitor performed after start —
+    /// the observable cost of Parks' detect-and-grow loop. Statically
+    /// synthesized capacities applied before start
+    /// (`NetworkConfig::synthesize_capacities`) do not count, so a static
+    /// region whose synthesized sizes hold reports `capacity_grows == 0`.
+    pub capacity_grows: u64,
     /// Number of true deadlocks detected.
     pub true_deadlocks: u64,
     /// Every growth performed: `(channel id, old capacity, new capacity)`.
@@ -426,11 +436,6 @@ impl Monitor {
         st.channels.insert(id, chan);
     }
 
-    pub(crate) fn unregister_channel(&self, id: u64) {
-        let mut st = self.state.lock();
-        st.channels.remove(&id);
-    }
-
     /// Records the final counters of a dropped channel.
     pub(crate) fn channel_retired(&self, id: u64, stats: ChannelIoStats) {
         let mut st = self.state.lock();
@@ -550,11 +555,17 @@ impl Monitor {
     /// Semantic confirmation for a *growth* decision: every blocked entry
     /// on a locally-inspectable channel must be consistent with a real
     /// block (reads on empty-and-open channels, writes on full-and-open
-    /// ones). Entries on external/remote channels pass (a distributed
-    /// artificial deadlock may still need a local channel to grow). This
-    /// rejects the single-core race where a *runnable* reader is still
-    /// registered while the settle delay elapses — growing then would
-    /// inflate buffers for no reason.
+    /// ones). This rejects the single-core race where a *runnable* reader
+    /// is still registered while the settle delay elapses, and — the
+    /// `!is_read_closed` clause — the termination-cascade race where a
+    /// writer parked on a channel whose reader just died has its
+    /// `WriteClosed` wake still in flight: the network looks all-blocked
+    /// for an instant, but the cascade is about to unwedge it and growing
+    /// any channel now would be pure buffer inflation. Only blocks on the
+    /// [`EXTERNAL_CHANNEL`] sentinel pass unverified (a distributed
+    /// artificial deadlock may still need a local channel to grow); local
+    /// channels stay registered until both endpoints are gone, so a
+    /// blocked entry always finds its channel here.
     fn verify_for_growth(st: &MonState) -> bool {
         st.blocked.values().all(|b| {
             match st.channels.get(&b.chan).and_then(Weak::upgrade) {
@@ -562,9 +573,9 @@ impl Monitor {
                     BlockKind::Read => ch.buffered() == 0 && !ch.is_write_closed(),
                     BlockKind::Write => ch.is_full() && !ch.is_read_closed(),
                 },
-                // External (remote) or already-dropped channel: local
-                // introspection impossible; do not veto the growth.
-                None => true,
+                // Remote (never locally registered) channel: introspection
+                // impossible; do not veto the growth.
+                None => b.chan == EXTERNAL_CHANNEL,
             }
         })
     }
@@ -721,9 +732,28 @@ impl Monitor {
         match act {
             Act::None => {}
             Act::Grow(id, ch, max) => {
+                if std::env::var_os("KPN_MONITOR_DEBUG").is_some() {
+                    let st = self.state.lock();
+                    let chans: Vec<(u64, usize, usize, bool, bool)> = st
+                        .channels
+                        .iter()
+                        .filter_map(|(cid, w)| {
+                            w.upgrade().map(|c| {
+                                (*cid, c.buffered(), c.capacity(), c.is_read_closed(), c.is_write_closed())
+                            })
+                        })
+                        .collect();
+                    eprintln!(
+                        "[monitor] GROW ch={id} live={} blocked={:?} chans(id,buf,cap,rc,wc)={:?}",
+                        st.live,
+                        st.blocked.values().collect::<Vec<_>>(),
+                        chans
+                    );
+                }
                 if let Some((old, new)) = ch.grow_if_full(max) {
                     let mut st = self.state.lock();
                     st.stats.growths += 1;
+                    st.stats.capacity_grows += 1;
                     st.stats.growth_log.push((id, old, new));
                     st.generation += 1;
                 } else {
@@ -865,6 +895,15 @@ mod tests {
             *self.full.lock() = false;
             Some((old, new))
         }
+        fn ensure_capacity(&self, min: usize) -> bool {
+            let mut cap = self.cap.lock();
+            if *cap >= min {
+                return false;
+            }
+            *cap = min;
+            *self.full.lock() = false;
+            true
+        }
         fn poison(&self) {
             *self.poisoned.lock() = true;
         }
@@ -938,8 +977,39 @@ mod tests {
     fn mixed_block_prefers_growth_over_abort() {
         let m = Monitor::new(DeadlockPolicy::default());
         let c = FakeChan::new(8, true);
+        let empty = FakeChan::new(8, false);
+        m.register_channel(7, Arc::downgrade(&c) as Weak<dyn MonitoredChannel>);
+        m.register_channel(9, Arc::downgrade(&empty) as Weak<dyn MonitoredChannel>);
+        block_all(&m, &[(7, BlockKind::Write), (9, BlockKind::Read)]);
+        assert!(!m.is_aborted());
+        assert_eq!(m.stats().growths, 1);
+    }
+
+    #[test]
+    fn block_on_vanished_local_channel_vetoes_growth() {
+        // A writer parked on a channel the monitor no longer sees (its
+        // reader died mid-cascade and the registration followed the Shared
+        // out) means a `WriteClosed` wake is in flight: the all-blocked
+        // picture is transient and growing another channel would be pure
+        // inflation. Only the EXTERNAL_CHANNEL sentinel may pass
+        // unverified.
+        let m = Monitor::new(DeadlockPolicy::default());
+        let c = FakeChan::new(8, true);
         m.register_channel(7, Arc::downgrade(&c) as Weak<dyn MonitoredChannel>);
         block_all(&m, &[(7, BlockKind::Write), (9, BlockKind::Read)]);
+        assert!(!m.is_aborted());
+        assert_eq!(m.stats().growths, 0, "in-flight cascade must veto growth");
+    }
+
+    #[test]
+    fn external_block_still_permits_growth() {
+        // Distributed artificial deadlocks block on the sentinel id; the
+        // monitor cannot introspect the remote side and must still be able
+        // to grow a full local channel.
+        let m = Monitor::new(DeadlockPolicy::default());
+        let c = FakeChan::new(8, true);
+        m.register_channel(7, Arc::downgrade(&c) as Weak<dyn MonitoredChannel>);
+        block_all(&m, &[(7, BlockKind::Write), (EXTERNAL_CHANNEL, BlockKind::Read)]);
         assert!(!m.is_aborted());
         assert_eq!(m.stats().growths, 1);
     }

@@ -48,6 +48,16 @@ pub struct NetworkConfig {
     /// (see [`crate::exec::set_net_backend`] — the backend is resolved
     /// per transport, so it is inherently process-global state).
     pub net_backend: Option<crate::exec::NetBackend>,
+    /// Apply statically synthesized channel capacities at start: the lint
+    /// pass's [`crate::Fix::SetCapacity`] suggestions (L003 cycle sums,
+    /// and L006 SDF schedule bounds when `kpn-lint`'s pass is installed)
+    /// grow the named channels *before* enforcement and before any process
+    /// runs, so statically-sized regions never enter the runtime
+    /// detect-deadlock-and-grow loop. Capacities only ever grow — channel
+    /// histories are unaffected (Kahn determinacy is capacity-blind).
+    /// Defaults from the `KPN_SYNTH` environment variable (any value but
+    /// `0` enables it); off when unset.
+    pub synthesize_capacities: bool,
 }
 
 impl Default for NetworkConfig {
@@ -60,6 +70,7 @@ impl Default for NetworkConfig {
             record_history: false,
             lint: LintLevel::default(),
             net_backend: None,
+            synthesize_capacities: std::env::var_os("KPN_SYNTH").is_some_and(|v| v != "0"),
         }
     }
 }
@@ -82,6 +93,13 @@ impl NetworkConfig {
     /// on Linux/x86_64) and falls back to thread blocking elsewhere.
     pub fn net_backend(mut self, backend: crate::exec::NetBackend) -> Self {
         self.net_backend = Some(backend);
+        self
+    }
+
+    /// Enable [`NetworkConfig::synthesize_capacities`]: apply the lint
+    /// pass's synthesized channel capacities before start.
+    pub fn synthesizing_capacities(mut self) -> Self {
+        self.synthesize_capacities = true;
         self
     }
 }
@@ -127,9 +145,34 @@ impl NetworkInner {
                 }
                 Ok(())
             }
-            LintLevel::Deny => Err(Error::Lint(diags)),
+            LintLevel::Deny => {
+                // Advisory codes (L006: the monitor compensates at run
+                // time) warn even under Deny; only the rest block.
+                let (advisory, blocking): (Vec<_>, Vec<_>) =
+                    diags.into_iter().partition(|d| d.code.is_advisory());
+                for d in &advisory {
+                    eprintln!("kpn-lint warning: {d}");
+                }
+                if blocking.is_empty() {
+                    Ok(())
+                } else {
+                    Err(Error::Lint(blocking))
+                }
+            }
             LintLevel::Off => unreachable!(),
         }
+    }
+
+    /// Applies every [`crate::Fix::SetCapacity`] the lint pass can
+    /// synthesize for the current topology, growing the named channels in
+    /// place. Returns the number of channels that grew.
+    fn synthesize_capacities(&self, scope: LintScope) -> usize {
+        let fixes: Vec<crate::Fix> = self
+            .lint(scope)
+            .into_iter()
+            .flat_map(|d| d.fixes)
+            .collect();
+        self.topology.apply_fixes(&fixes)
     }
 }
 
@@ -407,6 +450,16 @@ impl Network {
     /// as `Err(Error::Lint)` instead of deferring it to `join`. On error no
     /// process has been spawned.
     pub fn try_start(&self) -> Result<()> {
+        if self.handle.inner.config.synthesize_capacities {
+            // Grow channels to their synthesized capacities before
+            // enforcement: a finding the fix resolves (an undercapacitated
+            // cycle, a static region below its schedule bound) is gone by
+            // the time the lint gate runs. Only the startup topology is
+            // synthesized — capacities for processes spawned by dynamic
+            // reconfiguration stay with the runtime grow loop (static
+            // analysis cannot see a graph that rewires itself).
+            self.handle.inner.synthesize_capacities(LintScope::Startup);
+        }
         self.handle.inner.enforce_lint(LintScope::Startup)?;
         let pending: Vec<_> = self.handle.inner.pending.lock().drain(..).collect();
         // Reserve the live-count for the whole batch before any thread

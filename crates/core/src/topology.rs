@@ -85,6 +85,21 @@ pub enum DiagCode {
     /// SDF-checkable subgraph: rate annotations are inconsistent or imply
     /// larger buffers (delegated to `kpn-sdf` by the `kpn-lint` crate).
     L005,
+    /// Static region running below synthesized capacity: the periodic SDF
+    /// schedule proves a larger buffer is required, and the attached
+    /// [`Fix::SetCapacity`] states the minimal safe size. Advisory (Warn)
+    /// by default — the runtime monitor still makes the region progress by
+    /// growing, so the finding never blocks a `Deny` start.
+    L006,
+}
+
+impl DiagCode {
+    /// Whether findings with this code are advisory: reported at `Warn`
+    /// even under [`LintLevel::Deny`], because the runtime compensates
+    /// (the monitor grows undersized static regions on demand).
+    pub fn is_advisory(self) -> bool {
+        matches!(self, DiagCode::L006)
+    }
 }
 
 impl fmt::Display for DiagCode {
@@ -95,8 +110,44 @@ impl fmt::Display for DiagCode {
             DiagCode::L003 => "L003",
             DiagCode::L004 => "L004",
             DiagCode::L005 => "L005",
+            DiagCode::L006 => "L006",
         };
         f.write_str(s)
+    }
+}
+
+/// A machine-applicable edit synthesized by a lint pass. Fixes ride on
+/// [`Diagnostic::fixes`]; consumers apply them to serialized `GraphSpec`
+/// partitions (`kpn-lint fix`) or to a live topology before start
+/// (`NetworkConfig::synthesize_capacities`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fix {
+    /// Raise `channel`'s capacity from `current` to `suggested` bytes —
+    /// the minimal size the static analysis proves sufficient. Applying a
+    /// capacity that is already ≥ `suggested` is a no-op; capacities are
+    /// never shrunk.
+    SetCapacity {
+        /// Id of the channel to resize.
+        channel: u64,
+        /// Capacity (bytes) at analysis time.
+        current: usize,
+        /// Synthesized minimal safe capacity (bytes).
+        suggested: usize,
+    },
+}
+
+impl fmt::Display for Fix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fix::SetCapacity {
+                channel,
+                current,
+                suggested,
+            } => write!(
+                f,
+                "set channel {channel} capacity {current} → {suggested} bytes"
+            ),
+        }
     }
 }
 
@@ -112,17 +163,24 @@ pub struct Diagnostic {
     /// Id of the implicated channel, when one is known (matches
     /// [`crate::Network::channel_report`] ids).
     pub channel: Option<u64>,
+    /// Machine-applicable edits that resolve the finding, when the pass
+    /// can synthesize them (empty for purely diagnostic findings).
+    pub fixes: Vec<Fix>,
 }
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}: {}", self.code, self.message)?;
         match (&self.process, self.channel) {
-            (Some(p), Some(c)) => write!(f, " (process `{p}`, channel {c})"),
-            (Some(p), None) => write!(f, " (process `{p}`)"),
-            (None, Some(c)) => write!(f, " (channel {c})"),
-            (None, None) => Ok(()),
+            (Some(p), Some(c)) => write!(f, " (process `{p}`, channel {c})")?,
+            (Some(p), None) => write!(f, " (process `{p}`)")?,
+            (None, Some(c)) => write!(f, " (channel {c})")?,
+            (None, None) => {}
         }
+        for fix in &self.fixes {
+            write!(f, " [fix: {fix}]")?;
+        }
+        Ok(())
     }
 }
 
@@ -438,6 +496,27 @@ impl Topology {
         self.with_side(id, side, |e| e.rate = Some(rate));
     }
 
+    /// Applies [`Fix::SetCapacity`] edits to the live channels they name:
+    /// each channel grows to at least the suggested capacity (growing is
+    /// monotone — a channel already at or above the suggestion is left
+    /// alone, so applying fixes is idempotent). Returns the number of
+    /// channels that actually grew.
+    pub(crate) fn apply_fixes(&self, fixes: &[Fix]) -> usize {
+        let mut grew = 0;
+        let st = self.state.lock();
+        for fix in fixes {
+            let Fix::SetCapacity {
+                channel, suggested, ..
+            } = fix;
+            if let Some(live) = st.channels.get(channel).and_then(|e| e.handle.upgrade()) {
+                if live.ensure_capacity(*suggested) {
+                    grew += 1;
+                }
+            }
+        }
+        grew
+    }
+
     /// Builds a consistent snapshot, lazily dropping channels whose shared
     /// state is gone (both endpoints finished — nothing left to lint).
     pub(crate) fn snapshot(&self) -> TopologySnapshot {
@@ -551,6 +630,7 @@ fn check_dangling(snap: &TopologySnapshot, out: &mut Vec<Diagnostic>) {
                 ),
                 process: name_of(snap, ch.reader.process),
                 channel: Some(ch.id),
+                fixes: Vec::new(),
             });
         }
         if ch.reader.state == SideState::Open && ch.writer.state == SideState::Attached {
@@ -563,6 +643,7 @@ fn check_dangling(snap: &TopologySnapshot, out: &mut Vec<Diagnostic>) {
                 ),
                 process: name_of(snap, ch.writer.process),
                 channel: Some(ch.id),
+                fixes: Vec::new(),
             });
         }
     }
@@ -583,6 +664,7 @@ fn check_contracts(snap: &TopologySnapshot, out: &mut Vec<Diagnostic>) {
                     ),
                     process: name_of(snap, ch.reader.process),
                     channel: Some(ch.id),
+                    fixes: Vec::new(),
                 });
                 continue;
             }
@@ -598,6 +680,7 @@ fn check_contracts(snap: &TopologySnapshot, out: &mut Vec<Diagnostic>) {
                     ),
                     process: name_of(snap, ch.reader.process),
                     channel: Some(ch.id),
+                    fixes: Vec::new(),
                 });
             }
         }
@@ -670,12 +753,31 @@ fn sccs(nodes: &[u64], edges: &[(u64, u64)]) -> HashMap<u64, usize> {
         .collect()
 }
 
+/// The declared token size of a channel (1-byte tokens when neither side
+/// declared an element type — no false positives).
+fn token_size(ch: &ChannelShape) -> usize {
+    ch.writer
+        .item_size
+        .or(ch.reader.item_size)
+        .unwrap_or(1)
+        .max(1)
+}
+
 /// L003: a channel on a directed cycle whose capacity (plus any initially
 /// buffered bytes) cannot hold even one declared token. Tokens must
 /// *circulate* through every channel of a cycle, so such a cycle can make
 /// no progress without the monitor growing it — the Hamming Figure 12
 /// failure, diagnosed before the network runs. Channels without a declared
 /// element type assume 1-byte tokens (no false positives).
+///
+/// The diagnostic is deterministic and actionable: the cycle's channels
+/// are reported in creation order, the message carries the cycle's
+/// minimum-capacity sum (one declared token per cycle channel — the least
+/// total buffering under which the cycle can circulate at all), and each
+/// finding attaches a [`Fix::SetCapacity`] suggesting that sum as the
+/// channel's capacity. Without rate declarations the cycle sum is the best
+/// static lower bound available; rate-declared regions get the exact
+/// schedule-derived bound from the L006 pass instead.
 fn check_cycles(snap: &TopologySnapshot, out: &mut Vec<Diagnostic>) {
     let mut nodes: Vec<u64> = Vec::new();
     let mut edges: Vec<(u64, u64)> = Vec::new();
@@ -702,6 +804,10 @@ fn check_cycles(snap: &TopologySnapshot, out: &mut Vec<Diagnostic>) {
             cyclic.push(comp[&a]);
         }
     }
+    // Per cyclic component: its channels in creation order (snapshot order
+    // is creation order) and the minimum-capacity sum across them.
+    let mut cycle_channels: HashMap<usize, Vec<u64>> = HashMap::new();
+    let mut cycle_min_sum: HashMap<usize, usize> = HashMap::new();
     for ch in &snap.channels {
         let (Some(w), Some(r)) = (ch.writer.process, ch.reader.process) else {
             continue;
@@ -709,22 +815,41 @@ fn check_cycles(snap: &TopologySnapshot, out: &mut Vec<Diagnostic>) {
         if comp[&w] != comp[&r] || !cyclic.contains(&comp[&w]) {
             continue;
         }
-        let token = ch
-            .writer
-            .item_size
-            .or(ch.reader.item_size)
-            .unwrap_or(1)
-            .max(1);
+        cycle_channels.entry(comp[&w]).or_default().push(ch.id);
+        *cycle_min_sum.entry(comp[&w]).or_default() += token_size(ch);
+    }
+    for ch in &snap.channels {
+        let (Some(w), Some(r)) = (ch.writer.process, ch.reader.process) else {
+            continue;
+        };
+        if comp[&w] != comp[&r] || !cyclic.contains(&comp[&w]) {
+            continue;
+        }
+        let token = token_size(ch);
         if ch.capacity + ch.buffered < token {
+            let members = &cycle_channels[&comp[&w]];
+            let min_sum = cycle_min_sum[&comp[&w]];
+            let listed = members
+                .iter()
+                .map(|id| id.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
             out.push(Diagnostic {
                 code: DiagCode::L003,
                 message: format!(
-                    "channel {} lies on a cycle but its capacity ({} bytes) cannot hold \
-                     one {token}-byte token; the cycle cannot circulate without monitor growth",
+                    "channel {} lies on a cycle (channels {listed}) but its capacity \
+                     ({} bytes) cannot hold one {token}-byte token; the cycle needs at \
+                     least {min_sum} bytes of total capacity to circulate without \
+                     monitor growth",
                     ch.id, ch.capacity
                 ),
                 process: name_of(snap, ch.writer.process),
                 channel: Some(ch.id),
+                fixes: vec![Fix::SetCapacity {
+                    channel: ch.id,
+                    current: ch.capacity,
+                    suggested: min_sum.max(token),
+                }],
             });
         }
     }
@@ -750,6 +875,7 @@ fn check_orphans(snap: &TopologySnapshot, only: Option<u64>, out: &mut Vec<Diagn
                 ),
                 process: Some(p.name.clone()),
                 channel: None,
+                fixes: Vec::new(),
             });
         }
     }
@@ -998,11 +1124,67 @@ mod tests {
             message: "writer dangling".into(),
             process: Some("sink".into()),
             channel: Some(3),
+            fixes: Vec::new(),
         };
         let s = d.to_string();
         assert!(s.starts_with("L001:"));
         assert!(s.contains("sink"));
         assert!(s.contains("channel 3"));
+    }
+
+    #[test]
+    fn diagnostic_display_renders_fixes() {
+        let d = Diagnostic {
+            code: DiagCode::L006,
+            message: "below synthesized capacity".into(),
+            process: None,
+            channel: Some(4),
+            fixes: vec![Fix::SetCapacity {
+                channel: 4,
+                current: 8,
+                suggested: 32,
+            }],
+        };
+        let s = d.to_string();
+        assert!(s.contains("fix:"), "{s}");
+        assert!(s.contains("8 → 32"), "{s}");
+        assert!(DiagCode::L006.is_advisory());
+        assert!(!DiagCode::L003.is_advisory());
+    }
+
+    #[test]
+    fn cycle_message_lists_channels_in_creation_order_with_min_sum() {
+        // 1 -> 2 -> 1 over channels 11 (declared 8-byte) and 10 (opaque,
+        // 1-byte tokens): min sum = 8 + 1 = 9 bytes; the listing follows
+        // snapshot (creation) order regardless of ids.
+        let mut fwd_w = shape(SideState::Attached, Some(1));
+        fwd_w.item_type = Some("i64");
+        fwd_w.item_size = Some(8);
+        let mut fwd = chan(11, fwd_w, shape(SideState::Attached, Some(2)));
+        fwd.capacity = 4;
+        let back = chan(
+            10,
+            shape(SideState::Attached, Some(2)),
+            shape(SideState::Attached, Some(1)),
+        );
+        let snap = TopologySnapshot {
+            channels: vec![fwd, back],
+            processes: vec![proc_shape(1, "a", 2), proc_shape(2, "b", 2)],
+            fully_declared: true,
+        };
+        let diags = check_builtin(&snap, LintScope::Startup);
+        let l3: Vec<_> = diags.iter().filter(|d| d.code == DiagCode::L003).collect();
+        assert_eq!(l3.len(), 1);
+        assert!(l3[0].message.contains("channels 11, 10"), "{}", l3[0].message);
+        assert!(l3[0].message.contains("at least 9 bytes"), "{}", l3[0].message);
+        assert_eq!(
+            l3[0].fixes,
+            vec![Fix::SetCapacity {
+                channel: 11,
+                current: 4,
+                suggested: 9,
+            }]
+        );
     }
 
     #[test]

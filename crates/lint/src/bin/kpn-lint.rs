@@ -1,56 +1,255 @@
-//! Checks serialized graph partitions before deployment.
+//! Checks — and repairs — serialized graph partitions before deployment.
 //!
 //! ```text
-//! kpn-lint <spec-file>...
+//! kpn-lint [check] [--format text|json] <spec-file>...
+//! kpn-lint fix [--check] [--format text|json] <spec-file>...
 //! ```
 //!
-//! Each argument is a `kpn-codec`-encoded [`kpn_net::GraphSpec`]
+//! Each file argument is a `kpn-codec`-encoded [`kpn_net::GraphSpec`]
 //! (the bytes a deployment pipeline would ship to a `kpn-server`). All
 //! files are checked together as one deployment, so remote endpoint
 //! tokens must pair up *across* files.
 //!
-//! Exit status: 0 clean, 1 findings reported, 2 usage or read error.
+//! `check` (the default) reports findings. `fix` applies the synthesized
+//! capacity fixes in place: files with no applicable fixes are left
+//! byte-identical (they are never rewritten), so running `fix` twice is a
+//! no-op. `fix --check` applies nothing and fails if a fix *would* apply —
+//! the CI idempotence gate.
+//!
+//! `--format json` emits a machine-readable report on stdout instead of
+//! the human text on stderr.
+//!
+//! Exit status: 0 clean / nothing to fix, 1 findings reported or fixes
+//! pending (`fix --check`), 2 usage or read error.
 
 use std::process::ExitCode;
 
+use kpn_core::{Diagnostic, Fix};
 use kpn_net::GraphSpec;
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
-        eprintln!("usage: kpn-lint <spec-file>...");
-        eprintln!("checks kpn-codec encoded GraphSpec partitions as one deployment");
-        return ExitCode::from(2);
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: kpn-lint [check] [--format text|json] <spec-file>...");
+    eprintln!("       kpn-lint fix [--check] [--format text|json] <spec-file>...");
+    eprintln!("checks kpn-codec encoded GraphSpec partitions as one deployment;");
+    eprintln!("`fix` rewrites partitions with synthesized capacity fixes applied");
+    ExitCode::from(2)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
     }
-    let mut specs: Vec<(String, GraphSpec)> = Vec::new();
-    for path in &args {
-        let bytes = match std::fs::read(path) {
-            Ok(b) => b,
-            Err(e) => {
-                eprintln!("kpn-lint: cannot read {path}: {e}");
-                return ExitCode::from(2);
+    out
+}
+
+fn fix_json(f: &Fix) -> String {
+    let Fix::SetCapacity {
+        channel,
+        current,
+        suggested,
+    } = f;
+    format!(
+        "{{\"kind\":\"set_capacity\",\"channel\":{channel},\"current\":{current},\
+         \"suggested\":{suggested}}}"
+    )
+}
+
+fn diag_json(d: &Diagnostic) -> String {
+    let process = match &d.process {
+        Some(p) => format!("\"{}\"", json_escape(p)),
+        None => "null".to_string(),
+    };
+    let channel = match d.channel {
+        Some(c) => c.to_string(),
+        None => "null".to_string(),
+    };
+    let fixes: Vec<String> = d.fixes.iter().map(fix_json).collect();
+    format!(
+        "{{\"code\":\"{}\",\"message\":\"{}\",\"process\":{process},\"channel\":{channel},\
+         \"fixes\":[{}]}}",
+        d.code,
+        json_escape(&d.message),
+        fixes.join(",")
+    )
+}
+
+fn load(paths: &[String]) -> Result<Vec<(String, GraphSpec)>, ExitCode> {
+    let mut specs = Vec::new();
+    for path in paths {
+        let bytes = std::fs::read(path).map_err(|e| {
+            eprintln!("kpn-lint: cannot read {path}: {e}");
+            ExitCode::from(2)
+        })?;
+        let spec = kpn_codec::from_bytes::<GraphSpec>(&bytes).map_err(|e| {
+            eprintln!("kpn-lint: {path} is not a valid graph spec: {e}");
+            ExitCode::from(2)
+        })?;
+        specs.push((path.clone(), spec));
+    }
+    Ok(specs)
+}
+
+fn run_check(files: &[String], format: Format) -> ExitCode {
+    let specs = match load(files) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let diags = kpn_lint::check_specs(&specs);
+    match format {
+        Format::Json => {
+            let body: Vec<String> = diags.iter().map(diag_json).collect();
+            println!(
+                "{{\"partitions\":{},\"diagnostics\":[{}]}}",
+                specs.len(),
+                body.join(",")
+            );
+        }
+        Format::Text => {
+            for d in &diags {
+                eprintln!("{d}");
             }
-        };
-        match kpn_codec::from_bytes::<GraphSpec>(&bytes) {
-            Ok(spec) => specs.push((path.clone(), spec)),
-            Err(e) => {
-                eprintln!("kpn-lint: {path} is not a valid graph spec: {e}");
-                return ExitCode::from(2);
+            if diags.is_empty() {
+                eprintln!(
+                    "kpn-lint: {} partition(s), {} process(es): no findings",
+                    specs.len(),
+                    specs.iter().map(|(_, s)| s.processes.len()).sum::<usize>()
+                );
             }
         }
     }
-    let diags = kpn_lint::check_specs(&specs);
-    for d in &diags {
-        eprintln!("{d}");
-    }
     if diags.is_empty() {
-        eprintln!(
-            "kpn-lint: {} partition(s), {} process(es): no findings",
-            specs.len(),
-            specs.iter().map(|(_, s)| s.processes.len()).sum::<usize>()
-        );
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
+    }
+}
+
+fn run_fix(files: &[String], check_only: bool, format: Format) -> ExitCode {
+    let specs = match load(files) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let mut reports: Vec<String> = Vec::new();
+    let mut pending = 0usize;
+    for (path, mut spec) in specs {
+        let fixes = kpn_lint::synthesize_spec_fixes(&spec);
+        if fixes.is_empty() {
+            // Nothing to apply: the file is never rewritten, so a clean
+            // partition round-trips byte-identical through `fix`.
+            if format == Format::Json {
+                reports.push(format!(
+                    "{{\"path\":\"{}\",\"fixes\":[],\"applied\":false}}",
+                    json_escape(&path)
+                ));
+            }
+            continue;
+        }
+        pending += fixes.len();
+        let fixes_json: Vec<String> = fixes.iter().map(fix_json).collect();
+        if check_only {
+            if format == Format::Text {
+                for f in &fixes {
+                    eprintln!("kpn-lint: {path}: pending fix: {f}");
+                }
+            } else {
+                reports.push(format!(
+                    "{{\"path\":\"{}\",\"fixes\":[{}],\"applied\":false}}",
+                    json_escape(&path),
+                    fixes_json.join(",")
+                ));
+            }
+            continue;
+        }
+        kpn_lint::apply_spec_fixes(&mut spec, &fixes);
+        let bytes = match kpn_codec::to_bytes(&spec) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("kpn-lint: cannot re-encode {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = std::fs::write(&path, bytes) {
+            eprintln!("kpn-lint: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        if format == Format::Text {
+            for f in &fixes {
+                eprintln!("kpn-lint: {path}: applied: {f}");
+            }
+        } else {
+            reports.push(format!(
+                "{{\"path\":\"{}\",\"fixes\":[{}],\"applied\":true}}",
+                json_escape(&path),
+                fixes_json.join(",")
+            ));
+        }
+    }
+    if format == Format::Json {
+        println!("{{\"files\":[{}]}}", reports.join(","));
+    } else if pending == 0 {
+        eprintln!("kpn-lint: nothing to fix");
+    }
+    if check_only && pending > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help") {
+        return usage();
+    }
+    let mut rest: &[String] = &args;
+    let mode_fix = match rest.first().map(String::as_str) {
+        Some("fix") => {
+            rest = &rest[1..];
+            true
+        }
+        Some("check") => {
+            rest = &rest[1..];
+            false
+        }
+        _ => false,
+    };
+    let mut format = Format::Text;
+    let mut check_only = false;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => format = Format::Json,
+                Some("text") => format = Format::Text,
+                _ => return usage(),
+            },
+            "--check" if mode_fix => check_only = true,
+            s if s.starts_with('-') => return usage(),
+            _ => files.push(a.clone()),
+        }
+    }
+    if files.is_empty() {
+        return usage();
+    }
+    if mode_fix {
+        run_fix(&files, check_only, format)
+    } else {
+        run_check(&files, format)
     }
 }

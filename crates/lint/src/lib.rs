@@ -8,15 +8,22 @@
 //! * **L005** — SDF-checkable subgraphs. Channels whose endpoints both
 //!   declare per-firing token rates form synchronous-dataflow regions;
 //!   [`check_sdf`] hands each region to `kpn-sdf`'s balance equations and
-//!   reports inconsistent rates, insufficient initial tokens on feedback
-//!   edges, and channels sized below the exact single-period requirement.
-//!   Call [`install`] once to hook this pass into every network's lint run
-//!   (startup and after each dynamic reconfiguration).
+//!   reports inconsistent rates and insufficient initial tokens on
+//!   feedback edges. Call [`install`] once to hook this pass into every
+//!   network's lint run (startup and after each dynamic reconfiguration).
+//! * **L006 + capacity synthesis** — the [`synth`] module computes
+//!   minimal safe per-channel capacities for every statically-rated
+//!   region from the periodic schedule's per-edge bounds; channels whose
+//!   current size cannot carry one period report L006 (advisory) with a
+//!   machine-applicable [`kpn_core::Fix::SetCapacity`] attached.
+//!   `NetworkConfig::synthesize_capacities` applies those fixes at start;
+//!   `kpn-lint fix` writes them back into serialized partitions.
 //! * **Spec checking** — [`check_specs`] validates serialized
 //!   [`kpn_net::GraphSpec`] partitions *before* deployment: local
 //!   channel wiring, zero capacities, and remote endpoint tokens that
-//!   dangle across partition files. The `kpn-lint` binary wraps this for
-//!   use in build pipelines.
+//!   dangle across partition files; [`apply_spec_fixes`] rewrites a
+//!   partition in place from the synthesized fixes. The `kpn-lint` binary
+//!   wraps both for use in build pipelines (`check` / `fix --check`).
 //!
 //! Everything here is static: no network is started, no process runs, and
 //! the advisory metadata never changes runtime behaviour.
@@ -26,13 +33,13 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use kpn_core::{DiagCode, Diagnostic, TopologySnapshot};
-use kpn_sdf::graph::{EdgeId, SdfError, SdfGraph};
-use kpn_sdf::schedule::Schedule;
+use kpn_core::{Diagnostic, TopologySnapshot};
 
 mod spec;
+pub mod synth;
 
-pub use spec::check_specs;
+pub use spec::{apply_spec_fixes, check_specs, synthesize_spec_fixes};
+pub use synth::synthesize_capacities;
 
 /// A node of the derived process graph: one declared process.
 #[derive(Debug, Clone)]
@@ -122,7 +129,7 @@ impl GraphModel {
 
 /// Connected components (undirected) of the SDF-checkable edge subset.
 /// Returns one vector of edge indices (into `model.edges`) per component.
-fn sdf_components(model: &GraphModel) -> Vec<Vec<usize>> {
+pub(crate) fn sdf_components(model: &GraphModel) -> Vec<Vec<usize>> {
     // Union-find over process tag ids.
     let mut parent: HashMap<u64, u64> = HashMap::new();
     fn find(parent: &mut HashMap<u64, u64>, x: u64) -> u64 {
@@ -156,8 +163,10 @@ fn sdf_components(model: &GraphModel) -> Vec<Vec<usize>> {
     out
 }
 
-/// L005: checks every SDF-checkable region of the graph against the
-/// balance equations. A region is the connected subgraph of channels whose
+/// Checks every SDF-checkable region of the graph against the balance
+/// equations (L005) and its current capacities against the synthesized
+/// schedule bounds (L006, with [`kpn_core::Fix::SetCapacity`] fixes
+/// attached). A region is the connected subgraph of channels whose
 /// endpoints *both* declared per-firing rates; processes with
 /// data-dependent consumption (`Modulo`, `Sift`, `Guard`, merges) declare
 /// no rates and transparently break regions apart, so only genuinely
@@ -166,108 +175,15 @@ pub fn check_sdf(snap: &TopologySnapshot) -> Vec<Diagnostic> {
     let model = GraphModel::from_snapshot(snap);
     let mut out = Vec::new();
     for component in sdf_components(&model) {
-        check_sdf_component(&model, &component, &mut out);
+        synth::check_component(&model, &component, &mut out);
     }
     out
 }
 
-fn check_sdf_component(model: &GraphModel, edges: &[usize], out: &mut Vec<Diagnostic>) {
-    // Build the kpn-sdf graph for this region. Initial tokens are the
-    // bytes already buffered in the channel, in units of the declared
-    // element size.
-    let mut g = SdfGraph::new();
-    let mut actor_of: HashMap<u64, kpn_sdf::graph::ActorId> = HashMap::new();
-    let mut edge_ids: Vec<EdgeId> = Vec::new();
-    for &i in edges {
-        let e = &model.edges[i];
-        for node in [e.from, e.to] {
-            actor_of.entry(node).or_insert_with(|| {
-                g.actor(model.node_name(node).unwrap_or("?").to_string())
-            });
-        }
-        let (prod, cons) = e.rates.expect("component edges are SDF-checkable");
-        let token = e.item_size.unwrap_or(1).max(1);
-        let delays = (e.buffered / token) as u64;
-        edge_ids.push(g.edge_with_delays(actor_of[&e.from], actor_of[&e.to], prod, cons, delays));
-    }
-    match Schedule::build(&g) {
-        Err(SdfError::Inconsistent { edge }) => {
-            let model_edge = edge_ids
-                .iter()
-                .position(|&id| id == edge)
-                .map(|pos| &model.edges[edges[pos]]);
-            out.push(Diagnostic {
-                code: DiagCode::L005,
-                message: match model_edge {
-                    Some(e) => format!(
-                        "SDF balance equations are inconsistent at channel {}: declared \
-                         rates {}→{} admit no repetition vector; tokens accumulate or \
-                         starve under every schedule",
-                        e.channel,
-                        e.rates.unwrap().0,
-                        e.rates.unwrap().1,
-                    ),
-                    None => "SDF balance equations are inconsistent".to_string(),
-                },
-                process: model_edge.and_then(|e| model.node_name(e.from)).map(String::from),
-                channel: model_edge.map(|e| e.channel),
-            });
-        }
-        Err(SdfError::Deadlocked { stuck }) => {
-            let names: Vec<&str> = stuck
-                .iter()
-                .filter_map(|a| {
-                    let idx = actor_of.iter().find(|(_, &v)| v == *a).map(|(k, _)| *k);
-                    idx.and_then(|id| model.node_name(id))
-                })
-                .collect();
-            out.push(Diagnostic {
-                code: DiagCode::L005,
-                message: format!(
-                    "SDF region is rate-consistent but cannot complete one period from \
-                     its initial tokens; stuck actors: {}",
-                    if names.is_empty() {
-                        "?".to_string()
-                    } else {
-                        names.join(", ")
-                    }
-                ),
-                process: names.first().map(|s| s.to_string()),
-                channel: None,
-            });
-        }
-        // Malformed regions (zero rates) are declaration errors we cannot
-        // attribute; Disconnected cannot occur — components are connected
-        // by construction.
-        Err(_) => {}
-        Ok(schedule) => {
-            // The schedule's per-edge buffer bounds are exact: a channel
-            // sized below `tokens × element size` will wedge the region's
-            // single-period schedule on a write.
-            let needs = schedule.channel_capacities();
-            for (pos, &i) in edges.iter().enumerate() {
-                let e = &model.edges[i];
-                let token = e.item_size.unwrap_or(1).max(1);
-                let need_bytes = (needs[pos] as usize).saturating_mul(token);
-                if e.capacity < need_bytes {
-                    out.push(Diagnostic {
-                        code: DiagCode::L005,
-                        message: format!(
-                            "channel {} holds {} bytes but the SDF schedule needs {} \
-                             ({} tokens of {} bytes) for one period",
-                            e.channel, e.capacity, need_bytes, needs[pos], token
-                        ),
-                        process: model.node_name(e.from).map(String::from),
-                        channel: Some(e.channel),
-                    });
-                }
-            }
-        }
-    }
-}
-
-/// Registers the L005 pass with `kpn-core`'s lint so every network run —
-/// startup and each dynamic reconfiguration — includes the SDF analysis.
+/// Registers the SDF pass (L005 + the L006 capacity synthesis) with
+/// `kpn-core`'s lint so every network run — startup and each dynamic
+/// reconfiguration — includes the analysis, and
+/// `NetworkConfig::synthesize_capacities` sees the synthesized fixes.
 /// Idempotent: repeated calls install the pass once.
 pub fn install() {
     static ONCE: std::sync::Once = std::sync::Once::new();
@@ -279,7 +195,7 @@ pub fn install() {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kpn_core::{ChannelShape, EndpointShape, ProcessShape, SideState};
+    use kpn_core::{ChannelShape, DiagCode, EndpointShape, Fix, ProcessShape, SideState};
 
     fn endpoint(process: u64, rate: Option<u64>, size: Option<usize>) -> EndpointShape {
         EndpointShape {
@@ -362,7 +278,8 @@ mod tests {
     #[test]
     fn undersized_channel_reports_exact_capacity() {
         // Producer emits 4 tokens per firing into a 8-byte channel: one
-        // period needs 4 × 8 = 32 bytes.
+        // period needs 4 × 8 = 32 bytes. The finding is the advisory L006
+        // with the synthesized size attached as a machine-applicable fix.
         let snap = TopologySnapshot {
             channels: vec![channel(0, 8, (1, Some(4)), (2, Some(4)))],
             processes: vec![process(1, "burst"), process(2, "sink")],
@@ -370,8 +287,26 @@ mod tests {
         };
         let diags = check_sdf(&snap);
         assert_eq!(diags.len(), 1);
-        assert_eq!(diags[0].code, DiagCode::L005);
+        assert_eq!(diags[0].code, DiagCode::L006);
         assert!(diags[0].message.contains("32"), "{}", diags[0].message);
+        assert_eq!(
+            diags[0].fixes,
+            vec![Fix::SetCapacity {
+                channel: 0,
+                current: 8,
+                suggested: 32,
+            }]
+        );
+    }
+
+    #[test]
+    fn adequately_sized_burst_region_is_clean() {
+        let snap = TopologySnapshot {
+            channels: vec![channel(0, 32, (1, Some(4)), (2, Some(4)))],
+            processes: vec![process(1, "burst"), process(2, "sink")],
+            fully_declared: true,
+        };
+        assert!(check_sdf(&snap).is_empty());
     }
 
     #[test]

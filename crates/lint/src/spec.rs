@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use kpn_core::{DiagCode, Diagnostic};
+use kpn_core::{DiagCode, Diagnostic, Fix, DEFAULT_CAPACITY};
 use kpn_net::{GraphSpec, InputSpec, OutputSpec};
 
 fn diag(code: DiagCode, message: String, process: Option<String>) -> Diagnostic {
@@ -19,7 +19,48 @@ fn diag(code: DiagCode, message: String, process: Option<String>) -> Diagnostic 
         message,
         process,
         channel: None,
+        fixes: Vec::new(),
     }
+}
+
+/// Fixes synthesizable for one serialized partition. A [`GraphSpec`]
+/// carries no rate or element-type metadata, so spec-level synthesis is
+/// limited to what structure alone proves: a zero-capacity channel can
+/// never transfer a byte, and the fix raises it to the deployment default
+/// capacity. (Rate-declared live topologies get the exact schedule-derived
+/// bounds from the L006 pass instead.) Fix channel ids are indices into
+/// `spec.channels`.
+pub fn synthesize_spec_fixes(spec: &GraphSpec) -> Vec<Fix> {
+    spec.channels
+        .iter()
+        .enumerate()
+        .filter(|(_, ch)| ch.capacity == 0)
+        .map(|(ci, ch)| Fix::SetCapacity {
+            channel: ci as u64,
+            current: ch.capacity,
+            suggested: DEFAULT_CAPACITY,
+        })
+        .collect()
+}
+
+/// Applies [`Fix::SetCapacity`] edits to a partition in place (fix channel
+/// ids are indices into `spec.channels`). Capacities only ever grow, so
+/// applying the same fixes twice is a no-op — the property `kpn-lint fix
+/// --check` relies on. Returns the number of channels that changed.
+pub fn apply_spec_fixes(spec: &mut GraphSpec, fixes: &[Fix]) -> usize {
+    let mut changed = 0;
+    for fix in fixes {
+        let Fix::SetCapacity {
+            channel, suggested, ..
+        } = fix;
+        if let Some(ch) = spec.channels.get_mut(*channel as usize) {
+            if ch.capacity < *suggested {
+                ch.capacity = *suggested;
+                changed += 1;
+            }
+        }
+    }
+    changed
 }
 
 /// Statically checks a set of named graph partitions as one deployment.
@@ -47,14 +88,20 @@ pub fn check_specs(specs: &[(String, GraphSpec)]) -> Vec<Diagnostic> {
 
         for (ci, ch) in spec.channels.iter().enumerate() {
             if ch.capacity == 0 {
-                out.push(diag(
-                    DiagCode::L003,
-                    format!(
+                out.push(Diagnostic {
+                    code: DiagCode::L003,
+                    message: format!(
                         "{name}: channel {ci} has zero capacity; it can never \
                          transfer data"
                     ),
-                    None,
-                ));
+                    process: None,
+                    channel: Some(ci as u64),
+                    fixes: vec![Fix::SetCapacity {
+                        channel: ci as u64,
+                        current: 0,
+                        suggested: DEFAULT_CAPACITY,
+                    }],
+                });
             }
         }
 

@@ -1,0 +1,263 @@
+//! Capacity synthesis for statically-rated (SDF) regions.
+//!
+//! The L005 pass *diagnoses* rate violations; this module goes one step
+//! further and *synthesizes* the answer: for every SDF-checkable region of
+//! a [`GraphModel`] it computes the minimal safe per-channel capacities
+//! from the repetition vector and the periodic schedule's per-edge peaks
+//! (`kpn_sdf::minimal_capacities`), verifies the region's *current*
+//! capacities with a capacity-bounded schedule simulation
+//! ([`Schedule::build_bounded`]), and — when the current sizes cannot
+//! carry one period — emits an L006 diagnostic per undersized channel with
+//! a machine-applicable [`Fix::SetCapacity`] attached.
+//!
+//! Applying the fixes is safe by construction: a Kahn process cannot
+//! observe its channels' capacities, so growing them never changes any
+//! channel history (determinacy is capacity-blind); it only removes the
+//! artificial-deadlock episodes Parks' monitor would otherwise have to
+//! resolve at run time. Synthesis deliberately *refuses* what it cannot
+//! prove: channels touching opaque (rate-undeclared) processes break
+//! regions apart and get no suggestion beyond the L003 cycle-sum fallback,
+//! and dynamically reconfigured graphs are only synthesized for their
+//! startup topology — a graph that rewires itself mid-run has no static
+//! schedule to bound.
+
+use std::collections::HashMap;
+
+use kpn_core::{DiagCode, Diagnostic, Fix};
+use kpn_sdf::graph::{ActorId, EdgeId, SdfError, SdfGraph};
+use kpn_sdf::schedule::Schedule;
+
+use crate::GraphModel;
+
+/// One SDF-checkable region lifted into a `kpn-sdf` graph. `edges` holds
+/// indices into the model's edge list, parallel to the graph's edges.
+struct Region {
+    graph: SdfGraph,
+    actor_of: HashMap<u64, ActorId>,
+    edge_ids: Vec<EdgeId>,
+    edges: Vec<usize>,
+}
+
+/// The byte size of one token on a model edge (1 when undeclared).
+fn token_of(model: &GraphModel, edge: usize) -> usize {
+    model.edges[edge].item_size.unwrap_or(1).max(1)
+}
+
+/// Lifts one connected component of rate-declared edges into a `kpn-sdf`
+/// graph. Initial tokens are the bytes already buffered in each channel,
+/// in units of the declared element size.
+fn build_region(model: &GraphModel, edges: &[usize]) -> Region {
+    let mut g = SdfGraph::new();
+    let mut actor_of: HashMap<u64, ActorId> = HashMap::new();
+    let mut edge_ids: Vec<EdgeId> = Vec::new();
+    for &i in edges {
+        let e = &model.edges[i];
+        for node in [e.from, e.to] {
+            actor_of
+                .entry(node)
+                .or_insert_with(|| g.actor(model.node_name(node).unwrap_or("?").to_string()));
+        }
+        let (prod, cons) = e.rates.expect("component edges are SDF-checkable");
+        let delays = (e.buffered / token_of(model, i)) as u64;
+        edge_ids.push(g.edge_with_delays(actor_of[&e.from], actor_of[&e.to], prod, cons, delays));
+    }
+    Region {
+        graph: g,
+        actor_of,
+        edge_ids,
+        edges: edges.to_vec(),
+    }
+}
+
+/// Checks one SDF region: rate consistency and initial-token sufficiency
+/// report as L005; a region whose *current* capacities cannot carry one
+/// period reports L006 per undersized channel, each carrying the
+/// synthesized [`Fix::SetCapacity`].
+pub(crate) fn check_component(model: &GraphModel, edges: &[usize], out: &mut Vec<Diagnostic>) {
+    let region = build_region(model, edges);
+    match Schedule::build(&region.graph) {
+        Err(SdfError::Inconsistent { edge }) => {
+            let model_edge = region
+                .edge_ids
+                .iter()
+                .position(|&id| id == edge)
+                .map(|pos| &model.edges[region.edges[pos]]);
+            out.push(Diagnostic {
+                code: DiagCode::L005,
+                message: match model_edge {
+                    Some(e) => format!(
+                        "SDF balance equations are inconsistent at channel {}: declared \
+                         rates {}→{} admit no repetition vector; tokens accumulate or \
+                         starve under every schedule",
+                        e.channel,
+                        e.rates.unwrap().0,
+                        e.rates.unwrap().1,
+                    ),
+                    None => "SDF balance equations are inconsistent".to_string(),
+                },
+                process: model_edge
+                    .and_then(|e| model.node_name(e.from))
+                    .map(String::from),
+                channel: model_edge.map(|e| e.channel),
+                fixes: Vec::new(),
+            });
+        }
+        Err(SdfError::Deadlocked { stuck }) => {
+            let names: Vec<&str> = stuck
+                .iter()
+                .filter_map(|a| {
+                    let idx = region
+                        .actor_of
+                        .iter()
+                        .find(|(_, &v)| v == *a)
+                        .map(|(k, _)| *k);
+                    idx.and_then(|id| model.node_name(id))
+                })
+                .collect();
+            out.push(Diagnostic {
+                code: DiagCode::L005,
+                message: format!(
+                    "SDF region is rate-consistent but cannot complete one period from \
+                     its initial tokens; stuck actors: {}",
+                    if names.is_empty() {
+                        "?".to_string()
+                    } else {
+                        names.join(", ")
+                    }
+                ),
+                process: names.first().map(|s| s.to_string()),
+                channel: None,
+                fixes: Vec::new(),
+            });
+        }
+        // Malformed regions (zero rates) are declaration errors we cannot
+        // attribute; Disconnected cannot occur — components are connected
+        // by construction.
+        Err(_) => {}
+        Ok(schedule) => {
+            // Verify the *current* capacities with a bounded simulation:
+            // one channel can legitimately sit below the eager schedule's
+            // peak if another order fits, so undersizing is only reported
+            // when no capacity-respecting eager period completes.
+            let caps: Vec<u64> = region
+                .edges
+                .iter()
+                .map(|&i| (model.edges[i].capacity / token_of(model, i)) as u64)
+                .collect();
+            if Schedule::build_bounded(&region.graph, &caps).is_ok() {
+                return;
+            }
+            let needs = schedule.channel_capacities();
+            for (pos, &i) in region.edges.iter().enumerate() {
+                let e = &model.edges[i];
+                let token = token_of(model, i);
+                let need_bytes = (needs[pos] as usize).saturating_mul(token);
+                if e.capacity < need_bytes {
+                    out.push(Diagnostic {
+                        code: DiagCode::L006,
+                        message: format!(
+                            "static region runs below synthesized capacity: channel {} \
+                             holds {} bytes but the periodic schedule needs {} \
+                             ({} tokens of {token} bytes); until resized the region \
+                             falls back to runtime deadlock-detect-and-grow",
+                            e.channel, e.capacity, need_bytes, needs[pos]
+                        ),
+                        process: model.node_name(e.from).map(String::from),
+                        channel: Some(e.channel),
+                        fixes: vec![Fix::SetCapacity {
+                            channel: e.channel,
+                            current: e.capacity,
+                            suggested: need_bytes,
+                        }],
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Computes every [`Fix::SetCapacity`] the SDF analysis can synthesize for
+/// a model: the minimal safe capacities for each statically-rated region
+/// whose current sizes cannot carry one period. Regions that already fit
+/// (and regions that fail to schedule at all — there is nothing sound to
+/// suggest) contribute no fixes.
+pub fn synthesize_capacities(model: &GraphModel) -> Vec<Fix> {
+    let mut diags = Vec::new();
+    for component in crate::sdf_components(model) {
+        check_component(model, &component, &mut diags);
+    }
+    diags.into_iter().flat_map(|d| d.fixes).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ModelEdge, ModelNode};
+
+    fn model(edges: Vec<ModelEdge>) -> GraphModel {
+        let mut ids: Vec<u64> = edges.iter().flat_map(|e| [e.from, e.to]).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        GraphModel {
+            nodes: ids
+                .into_iter()
+                .map(|id| ModelNode {
+                    id,
+                    name: format!("p{id}"),
+                })
+                .collect(),
+            edges,
+        }
+    }
+
+    fn edge(channel: u64, from: u64, to: u64, capacity: usize, rates: (u64, u64)) -> ModelEdge {
+        ModelEdge {
+            channel,
+            from,
+            to,
+            capacity,
+            buffered: 0,
+            item_size: Some(8),
+            rates: Some(rates),
+        }
+    }
+
+    #[test]
+    fn fitting_region_synthesizes_nothing() {
+        let m = model(vec![edge(0, 1, 2, 64, (1, 1))]);
+        assert!(synthesize_capacities(&m).is_empty());
+    }
+
+    #[test]
+    fn burst_producer_gets_exact_fix() {
+        // 4-token burst into an 8-byte (1-token) channel: the bounded
+        // simulation wedges, and the synthesized size is the schedule
+        // bound 4 × 8 = 32 bytes.
+        let m = model(vec![edge(0, 1, 2, 8, (4, 4))]);
+        let fixes = synthesize_capacities(&m);
+        assert_eq!(
+            fixes,
+            vec![Fix::SetCapacity {
+                channel: 0,
+                current: 8,
+                suggested: 32,
+            }]
+        );
+    }
+
+    #[test]
+    fn single_token_capacity_suffices_for_rate_one_chain() {
+        // Every capacity holds exactly one token: a rate-1 chain fires
+        // alternately and never needs more, so no fix even though the
+        // eager unbounded peak equals the capacity.
+        let m = model(vec![edge(0, 1, 2, 8, (1, 1)), edge(1, 2, 3, 8, (1, 1))]);
+        assert!(synthesize_capacities(&m).is_empty());
+    }
+
+    #[test]
+    fn unschedulable_region_refuses_to_synthesize() {
+        // Inconsistent rates: there is no sound capacity to suggest.
+        let m = model(vec![edge(0, 1, 2, 8, (2, 1)), edge(1, 2, 1, 8, (2, 1))]);
+        assert!(synthesize_capacities(&m).is_empty());
+    }
+}

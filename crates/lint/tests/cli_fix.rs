@@ -1,0 +1,101 @@
+//! End-to-end tests for the `kpn-lint` binary's `fix` mode: applying
+//! synthesized capacity fixes rewrites a defective partition in place,
+//! running `fix` again is a no-op, `fix --check` passes immediately after
+//! `fix`, and a clean partition round-trips byte-identically (it is never
+//! rewritten at all).
+
+use kpn_net::{ChannelSpec, GraphSpec, InputSpec, OutputSpec, ProcessSpec};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn pipeline_spec(capacity: usize) -> GraphSpec {
+    GraphSpec {
+        channels: vec![ChannelSpec { capacity }],
+        processes: vec![
+            ProcessSpec {
+                type_name: "Sequence".into(),
+                params: Vec::new(),
+                inputs: vec![],
+                outputs: vec![OutputSpec::Local(0)],
+            },
+            ProcessSpec {
+                type_name: "Print".into(),
+                params: Vec::new(),
+                inputs: vec![InputSpec::Local(0)],
+                outputs: vec![],
+            },
+        ],
+    }
+}
+
+fn write_spec(name: &str, spec: &GraphSpec) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("kpn-lint-cli-{}-{name}.spec", std::process::id()));
+    std::fs::write(&path, kpn_codec::to_bytes(spec).unwrap()).unwrap();
+    path
+}
+
+fn kpn_lint(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_kpn-lint"))
+        .args(args)
+        .output()
+        .expect("kpn-lint binary runs")
+}
+
+#[test]
+fn fix_rewrites_then_is_idempotent() {
+    let path = write_spec("zero", &pipeline_spec(0));
+    let path_s = path.to_str().unwrap();
+
+    // `fix --check` on the defective spec: pending fix, exit 1, no write.
+    let before = std::fs::read(&path).unwrap();
+    let out = kpn_lint(&["fix", "--check", path_s]);
+    assert_eq!(out.status.code(), Some(1), "pending fix must fail --check");
+    assert_eq!(std::fs::read(&path).unwrap(), before, "--check must not write");
+
+    // `fix` applies the SetCapacity fix in place.
+    let out = kpn_lint(&["fix", path_s]);
+    assert_eq!(out.status.code(), Some(0));
+    let fixed = kpn_codec::from_bytes::<GraphSpec>(&std::fs::read(&path).unwrap()).unwrap();
+    assert!(fixed.channels[0].capacity > 0, "capacity was synthesized");
+
+    // Immediately after `fix`, `fix --check` passes and a second `fix`
+    // leaves the bytes untouched.
+    let fixed_bytes = std::fs::read(&path).unwrap();
+    let out = kpn_lint(&["fix", "--check", path_s]);
+    assert_eq!(out.status.code(), Some(0), "fix must be idempotent");
+    let out = kpn_lint(&["fix", path_s]);
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(std::fs::read(&path).unwrap(), fixed_bytes);
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn clean_spec_round_trips_byte_identical() {
+    let path = write_spec("clean", &pipeline_spec(64));
+    let before = std::fs::read(&path).unwrap();
+    let out = kpn_lint(&["fix", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        before,
+        "a spec with nothing to fix must never be rewritten"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn json_report_carries_diagnostics_and_fixes() {
+    let path = write_spec("json", &pipeline_spec(0));
+    let out = kpn_lint(&["check", "--format", "json", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "findings exit 1");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"code\":\"L003\""), "{stdout}");
+    assert!(stdout.contains("\"kind\":\"set_capacity\""), "{stdout}");
+
+    let out = kpn_lint(&["fix", "--check", "--format", "json", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"applied\":false"), "{stdout}");
+    std::fs::remove_file(&path).ok();
+}

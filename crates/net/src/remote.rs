@@ -37,6 +37,17 @@
 //!   token at the local acceptor, and acknowledges its resume offset on
 //!   the replacement connection.
 //!
+//! One hazard needs an active component: reconnection is writer-driven
+//! (only the writer holds the reader's address), but a writer only
+//! *discovers* a dead link when it next touches the socket. A process
+//! parked reading some other channel may not write for an arbitrarily
+//! long time — and if the lost connection swallowed an in-flight frame,
+//! the whole network can stall waiting for a replay that nothing
+//! triggers. A single process-wide watchdog thread therefore pumps every
+//! resilient sink that is not currently busy (see [`SinkCore::pump`]):
+//! it drains acknowledgements and, on finding the link dead, runs the
+//! ordinary recovery episode on the idle sink's behalf.
+//!
 //! Transient failure is distinguished from *deliberate* stream events,
 //! which must still cascade per §3.4: a reader that processes `Close` (or
 //! is closed locally) marks its token dead, and the acceptor answers any
@@ -60,11 +71,12 @@ use crate::transport::{
 use kpn_core::{
     BlockKind, ChannelReader, ChannelWriter, Error, Monitor, Result, Sink, Source, SourceRead,
 };
+use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Maximum payload of one `Data` frame.
 const MAX_FRAME: usize = 64 * 1024;
@@ -81,6 +93,35 @@ const ACK_EVERY: u64 = 16 * 1024;
 /// Poll granularity for blocking ack waits and reconnect handshakes:
 /// short enough to notice aborts and deadlines promptly.
 const RECOVERY_POLL: Duration = Duration::from_millis(100);
+
+/// Budget meter for one recovery episode, charged in *nominal* time: each
+/// wait subtracts the duration it asked for (the backoff delay, the poll
+/// interval) rather than the wall-clock time it actually took. A loaded
+/// machine therefore performs exactly as many reconnect attempts as an
+/// idle one before giving up — the chaos suite's fault schedules are
+/// op-count based and rely on that; wall-clock deadlines made episode
+/// length (and thus which operation a schedule's n-th fault landed on
+/// after an early give-up) depend on scheduler noise.
+struct RecoveryBudget {
+    remaining: Duration,
+}
+
+impl RecoveryBudget {
+    fn new(policy: &ReconnectPolicy) -> Self {
+        RecoveryBudget {
+            remaining: policy.budget,
+        }
+    }
+
+    /// Charges the nominal cost of one wait against the budget.
+    fn charge(&mut self, nominal: Duration) {
+        self.remaining = self.remaining.saturating_sub(nominal);
+    }
+
+    fn exhausted(&self) -> bool {
+        self.remaining.is_zero()
+    }
+}
 
 fn map_write_err(e: std::io::Error) -> Error {
     use std::io::ErrorKind::*;
@@ -204,6 +245,11 @@ struct SinkCore {
     peer: Option<SocketAddr>,
     /// The peer answered `Stop`: the reader is deliberately gone.
     peer_stopped: bool,
+    /// A terminal failure the watchdog hit while pumping this sink on the
+    /// owner's behalf, delivered on the owner's next operation so the
+    /// cascade carries the real error (and the owner does not burn a
+    /// second recovery budget rediscovering it).
+    pending_failure: Option<Error>,
     /// Next stream offset to assign (payload bytes + markers written).
     sent: u64,
     /// Everything below this offset is acknowledged by the reader.
@@ -218,14 +264,15 @@ impl SinkCore {
     fn connect(addr: &str, token: u64, profile: NetProfile) -> Result<Self> {
         let NetProfile { factory, policy } = profile;
         let mut rng = SplitMix64(token ^ 0x005E_ED0F_5EED);
-        let deadline = Instant::now() + policy.budget;
+        let mut budget = RecoveryBudget::new(&policy);
         let mut attempt: u32 = 0;
         let transport = loop {
             match factory.connect(addr, token) {
                 Ok(t) => break crate::rio::maybe_wrap(t),
-                Err(e) if policy.enabled && link_failure(&e) && Instant::now() < deadline => {
+                Err(e) if policy.enabled && link_failure(&e) && !budget.exhausted() => {
                     let delay = policy.backoff(attempt, &mut rng);
                     attempt = attempt.saturating_add(1);
+                    budget.charge(delay);
                     crate::rio::sleep(delay);
                 }
                 Err(e) => return Err(e),
@@ -242,6 +289,7 @@ impl SinkCore {
             interruptor: None,
             peer,
             peer_stopped: false,
+            pending_failure: None,
             sent: 0,
             acked: 0,
             replay: VecDeque::new(),
@@ -372,7 +420,7 @@ impl SinkCore {
         if let Some(conn) = self.conn.take() {
             let _ = conn.get_ref().shutdown(Shutdown::Both);
         }
-        let deadline = Instant::now() + self.policy.budget;
+        let mut budget = RecoveryBudget::new(&self.policy);
         let mut attempt: u32 = 0;
         loop {
             if self.interrupted() {
@@ -380,9 +428,10 @@ impl SinkCore {
             }
             if attempt > 0 {
                 let delay = self.policy.backoff(attempt - 1, &mut self.rng);
+                budget.charge(delay);
                 crate::rio::sleep(delay);
             }
-            if Instant::now() >= deadline {
+            if budget.exhausted() {
                 return Err(Error::Disconnected(format!(
                     "reconnect budget exhausted after {attempt} attempts \
                      (token {:#x}, {} unacked bytes)",
@@ -396,7 +445,7 @@ impl SinkCore {
                 Err(e) if link_failure(&e) => continue,
                 Err(e) => return Err(e),
             };
-            match self.resume_handshake(transport, deadline) {
+            match self.resume_handshake(transport, &mut budget) {
                 Ok(Some(conn)) => {
                     self.conn = Some(conn);
                     match self.transmit_replay() {
@@ -428,7 +477,7 @@ impl SinkCore {
     fn resume_handshake(
         &mut self,
         mut transport: Box<dyn Transport>,
-        deadline: Instant,
+        budget: &mut RecoveryBudget,
     ) -> Result<Option<BufWriter<Box<dyn Transport>>>> {
         let _ = transport.set_op_timeout(Some(RECOVERY_POLL));
         let mut parser = AckParser::default();
@@ -437,8 +486,10 @@ impl SinkCore {
             if self.interrupted() {
                 return Err(Error::WriteClosed);
             }
-            if Instant::now() >= deadline {
-                return Err(Error::Disconnected("no resume ack before deadline".into()));
+            if budget.exhausted() {
+                return Err(Error::Disconnected(
+                    "no resume ack within reconnect budget".into(),
+                ));
             }
             match transport.read(&mut tmp) {
                 Ok(0) => return Err(Error::Disconnected("eof during resume handshake".into())),
@@ -471,7 +522,8 @@ impl SinkCore {
                         std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                     ) =>
                 {
-                    continue
+                    budget.charge(RECOVERY_POLL);
+                    continue;
                 }
                 Err(e) => return Err(e.into()),
             }
@@ -513,7 +565,7 @@ impl SinkCore {
     /// arbitrarily slowly), exactly like blocking on TCP flow control in
     /// fail-fast mode. Only recovery episodes — where the link is actually
     /// down — are budget-bounded, so a permanently dead link still
-    /// terminates via `recover()`'s deadline.
+    /// terminates via `recover()`'s budget.
     fn wait_acked(&mut self, target: u64, marker_wait: bool) -> Result<()> {
         if !self.policy.enabled || self.acked >= target {
             return Ok(());
@@ -603,6 +655,9 @@ impl SinkCore {
     }
 
     fn write_chunks(&mut self, buf: &[u8]) -> Result<()> {
+        if let Some(e) = self.pending_failure.take() {
+            return Err(e);
+        }
         if self.peer_stopped {
             return Err(Error::WriteClosed);
         }
@@ -682,10 +737,72 @@ impl SinkCore {
     /// Sees the final `Close` marker acknowledged, then retires the
     /// connection. Runs on a detached linger thread so closing a channel
     /// never blocks the closing process on the reader's progress.
-    fn linger_close(mut self, target: u64) {
+    fn linger_close(&mut self, target: u64) {
         let _ = self.wait_acked(target, true);
         if let Some(conn) = self.conn.as_ref() {
             let _ = conn.get_ref().shutdown(Shutdown::Write);
+        }
+    }
+
+    /// One watchdog step on an idle sink (see the module docs): drain any
+    /// acknowledgements the reader pushed while this sink's process was
+    /// parked on some other channel, and if that reveals a dead link,
+    /// run an ordinary recovery episode here on the watchdog thread.
+    ///
+    /// Reconnection is writer-driven, so without this a process that
+    /// stops writing for a while never notices its socket died — and an
+    /// in-flight frame lost with the connection could only be restored
+    /// by a replay that nothing would ever trigger, stalling the reader
+    /// (and, transitively, any cycle through it) forever.
+    fn pump(&mut self) {
+        if !self.policy.enabled || self.peer_stopped || self.interrupted() || self.conn.is_none()
+        {
+            return;
+        }
+        if let Err(e) = self.drain_acks() {
+            // A failed recovery leaves `conn` empty (so the watchdog does
+            // not retry a link whose budget is spent); the terminal error
+            // is stashed to surface on the owning process's next write,
+            // exactly as if that write had discovered the dead link.
+            if let Err(e) = self.handle_failure(e) {
+                self.pending_failure = Some(e);
+            }
+        }
+    }
+}
+
+/// Resilient sinks the watchdog thread pumps, registered on creation and
+/// pruned when the owning facade (or its linger thread) drops the core.
+static PUMP_SINKS: Mutex<Vec<std::sync::Weak<Mutex<SinkCore>>>> = Mutex::new(Vec::new());
+static PUMP_THREAD: std::sync::Once = std::sync::Once::new();
+
+fn pump_register(core: &Arc<Mutex<SinkCore>>) {
+    PUMP_SINKS.lock().push(Arc::downgrade(core));
+    PUMP_THREAD.call_once(|| {
+        let _ = std::thread::Builder::new()
+            .name("kpn-sink-pump".into())
+            .spawn(pump_loop);
+    });
+}
+
+/// The watchdog: every poll interval, give each registered sink whose
+/// owner is not actively using it (`try_lock`) one [`SinkCore::pump`]
+/// step. A sink mid-recovery on its own fiber is simply skipped, and a
+/// recovery episode run *here* blocks only this thread — the owning
+/// process keeps running until it next touches the sink, then waits on
+/// the lock exactly as if it were performing the recovery itself.
+fn pump_loop() {
+    loop {
+        std::thread::sleep(RECOVERY_POLL);
+        let sinks: Vec<Arc<Mutex<SinkCore>>> = {
+            let mut reg = PUMP_SINKS.lock();
+            reg.retain(|w| w.strong_count() > 0);
+            reg.iter().filter_map(std::sync::Weak::upgrade).collect()
+        };
+        for sink in sinks {
+            if let Some(mut core) = sink.try_lock() {
+                core.pump();
+            }
         }
     }
 }
@@ -703,7 +820,10 @@ impl SinkCore {
 /// transient link failure by reconnecting and replaying — see the module
 /// docs.
 pub struct RemoteSink {
-    core: Option<SinkCore>,
+    /// Shared with the watchdog thread (and, after close, the linger
+    /// thread): the owning process locks it for every operation, the
+    /// watchdog only ever `try_lock`s.
+    core: Option<Arc<Mutex<SinkCore>>>,
     closed: bool,
 }
 
@@ -717,18 +837,23 @@ impl RemoteSink {
 
     /// Connects with an explicit profile.
     pub fn connect_with(addr: &str, token: u64, profile: NetProfile) -> Result<Self> {
+        let core = Arc::new(Mutex::new(SinkCore::connect(addr, token, profile)?));
+        if core.lock().policy.enabled {
+            pump_register(&core);
+        }
         Ok(RemoteSink {
-            core: Some(SinkCore::connect(addr, token, profile)?),
+            core: Some(core),
             closed: false,
         })
     }
 
-    fn core(&mut self) -> Result<&mut SinkCore> {
-        self.core.as_mut().ok_or(Error::WriteClosed)
+    fn core(&self) -> Result<&Arc<Mutex<SinkCore>>> {
+        self.core.as_ref().ok_or(Error::WriteClosed)
     }
 
     pub(crate) fn set_interruptor(&mut self, interruptor: Arc<Interruptor>) {
-        if let Some(core) = self.core.as_mut() {
+        if let Some(core) = self.core.as_ref() {
+            let mut core = core.lock();
             if let Some(conn) = core.conn.as_ref() {
                 interruptor.attach_transport(&**conn.get_ref());
             }
@@ -739,7 +864,7 @@ impl RemoteSink {
     /// The peer (reader-side) address — the acceptor this sink connected
     /// to, used when shipping the writer endpoint onward.
     pub fn peer_addr(&self) -> Result<SocketAddr> {
-        let core = self.core.as_ref().ok_or(Error::WriteClosed)?;
+        let core = self.core.as_ref().ok_or(Error::WriteClosed)?.lock();
         if let Some(peer) = core.peer {
             return Ok(peer);
         }
@@ -762,12 +887,13 @@ impl RemoteSink {
     pub fn begin_redirect(mut self) -> Result<(SocketAddr, u64)> {
         let peer = self.peer_addr()?;
         let token = fresh_token();
-        let core = self.core()?;
+        let mut core = self.core()?.lock();
         let offset = core.sent;
         core.sent += 1;
         if core.policy.enabled {
             core.send_marker(ReplayFrame::Redirect { offset, token });
-            core.wait_acked(core.sent, true)
+            let target = core.sent;
+            core.wait_acked(target, true)
                 .map_err(|e| Error::Disconnected(format!("redirect failed: {e}")))?;
         } else {
             let conn = core.conn.as_mut().ok_or(Error::WriteClosed)?;
@@ -778,6 +904,7 @@ impl RemoteSink {
         if let Some(conn) = core.conn.as_ref() {
             let _ = conn.get_ref().shutdown(Shutdown::Both);
         }
+        drop(core);
         self.closed = true; // redirect supersedes Close
         Ok((peer, token))
     }
@@ -788,11 +915,11 @@ impl Sink for RemoteSink {
         if self.closed {
             return Err(Error::WriteClosed);
         }
-        self.core()?.write_chunks(buf)
+        self.core()?.lock().write_chunks(buf)
     }
 
     fn flush(&mut self) -> Result<()> {
-        let core = self.core()?;
+        let mut core = self.core()?.lock();
         let r = match core.conn.as_mut() {
             Some(conn) => conn.flush().map_err(Error::Io),
             None => Err(Error::WriteClosed),
@@ -808,26 +935,28 @@ impl Sink for RemoteSink {
             return;
         }
         self.closed = true;
-        let Some(mut core) = self.core.take() else {
+        let Some(core) = self.core.take() else {
             return;
         };
-        let offset = core.sent;
-        core.sent += 1;
-        if core.policy.enabled && !core.peer_stopped {
-            core.send_marker(ReplayFrame::Close { offset });
-            let target = core.sent;
+        let mut c = core.lock();
+        let offset = c.sent;
+        c.sent += 1;
+        if c.policy.enabled && !c.peer_stopped {
+            c.send_marker(ReplayFrame::Close { offset });
+            let target = c.sent;
+            drop(c);
             // The Close marker is only acknowledged once the reader drains
             // to it, which can be arbitrarily later: see it through from a
-            // detached thread so closing never blocks this process.
+            // detached thread so closing never blocks this process. (The
+            // thread holds the lock throughout, so the watchdog skips the
+            // sink; dropping the Arc afterwards prunes it.)
             let _ = std::thread::Builder::new()
                 .name("kpn-sink-linger".into())
-                .spawn(move || core.linger_close(target));
-        } else {
-            if let Some(conn) = core.conn.as_mut() {
-                let _ = write_frame(conn, &Frame::Close { offset });
-                let _ = conn.flush();
-                let _ = conn.get_ref().shutdown(Shutdown::Write);
-            }
+                .spawn(move || core.lock().linger_close(target));
+        } else if let Some(conn) = c.conn.as_mut() {
+            let _ = write_frame(conn, &Frame::Close { offset });
+            let _ = conn.flush();
+            let _ = conn.get_ref().shutdown(Shutdown::Write);
         }
     }
 }
@@ -1108,7 +1237,7 @@ impl RemoteSource {
         };
         let guard = RecoveryGuard::enter();
         let _ = self.stream.get_ref().shutdown(Shutdown::Both);
-        let deadline = Instant::now() + self.policy.budget;
+        let mut budget = RecoveryBudget::new(&self.policy);
         let mut pending = acceptor.register(self.token);
         if let Some(i) = &self.interruptor {
             i.attach_pending(&acceptor, self.token);
@@ -1136,9 +1265,12 @@ impl RemoteSource {
                         Ok(()) => return Ok(()),
                         Err(_) => {
                             // The adopted connection died immediately:
-                            // retire it and keep listening.
+                            // retire it and keep listening. Charging one
+                            // poll interval bounds how many dead adoptions
+                            // one episode tolerates.
                             let _ = self.stream.get_ref().shutdown(Shutdown::Both);
-                            if Instant::now() >= deadline {
+                            budget.charge(RECOVERY_POLL);
+                            if budget.exhausted() {
                                 return Err(self.budget_error());
                             }
                             pending = acceptor.register(self.token);
@@ -1149,7 +1281,8 @@ impl RemoteSource {
                     }
                 }
                 Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                    if Instant::now() >= deadline {
+                    budget.charge(RECOVERY_POLL);
+                    if budget.exhausted() {
                         return Err(self.budget_error());
                     }
                 }

@@ -581,7 +581,10 @@ pub struct ReconnectPolicy {
     /// decorrelating reconnect storms.
     pub jitter: f64,
     /// Total time one recovery episode may spend before the endpoint
-    /// gives up and lets the failure cascade (§3.4).
+    /// gives up and lets the failure cascade (§3.4). Charged in *nominal*
+    /// wait time — the backoff and poll durations the episode asks for,
+    /// not the wall-clock time they take — so how many attempts fit in a
+    /// budget does not depend on machine load.
     pub budget: Duration,
     /// Optional read/write timeout on transport operations. Required for
     /// stall detection: a stall longer than this surfaces as `TimedOut`

@@ -29,4 +29,4 @@ pub mod schedule;
 
 pub use graph::{ActorId, EdgeId, SdfError, SdfGraph};
 pub use run::{execute, SdfActor};
-pub use schedule::Schedule;
+pub use schedule::{minimal_capacities, Schedule};

@@ -3,6 +3,38 @@
 
 use crate::graph::{ActorId, SdfError, SdfGraph};
 
+/// Topological depth over the delay-free subgraph (edges carrying initial
+/// tokens are feedback and excluded); computed by bounded relaxation so
+/// cycles cannot loop forever. Drives the eager deepest-first firing
+/// preference that keeps computed buffer bounds tight.
+fn dataflow_depth(graph: &SdfGraph) -> Vec<usize> {
+    let n = graph.actor_count();
+    let mut d = vec![0usize; n];
+    for _ in 0..n {
+        let mut changed = false;
+        for e in &graph.edges {
+            if e.delays == 0 && e.from != e.to && d[e.to] < d[e.from] + 1 {
+                d[e.to] = d[e.from] + 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    d
+}
+
+/// The minimal safe capacity (in **tokens**) for every edge, in creation
+/// order: the per-edge peak occupancy of the eager deepest-first periodic
+/// schedule. Channels sized to these bounds provably sustain unbounded
+/// periodic execution without ever growing — [`Schedule::build_bounded`]
+/// always succeeds with them. Errors propagate from schedule construction
+/// (inconsistent rates, insufficient initial tokens).
+pub fn minimal_capacities(graph: &SdfGraph) -> Result<Vec<u64>, SdfError> {
+    Ok(Schedule::build(graph)?.edge_bounds)
+}
+
 /// A periodic admissible sequential schedule for one period of an SDF
 /// graph, plus the exact buffer bound for every edge.
 #[derive(Debug)]
@@ -46,25 +78,7 @@ impl Schedule {
                     .all(|(i, e)| e.to != a || tokens[i] >= e.cons)
         };
 
-        // Topological depth over the delay-free subgraph (edges carrying
-        // initial tokens are feedback and excluded); computed by bounded
-        // relaxation so cycles cannot loop forever.
-        let depth = {
-            let mut d = vec![0usize; n];
-            for _ in 0..n {
-                let mut changed = false;
-                for e in &graph.edges {
-                    if e.delays == 0 && e.from != e.to && d[e.to] < d[e.from] + 1 {
-                        d[e.to] = d[e.from] + 1;
-                        changed = true;
-                    }
-                }
-                if !changed {
-                    break;
-                }
-            }
-            d
-        };
+        let depth = dataflow_depth(graph);
         while firings.len() < total as usize {
             let choice = (0..n)
                 .filter(|&a| can_fire(a, &tokens, &remaining))
@@ -93,6 +107,82 @@ impl Schedule {
         // the defining property of the repetition vector.
         for (i, e) in graph.edges.iter().enumerate() {
             debug_assert_eq!(tokens[i], e.delays, "edge {i} not balanced");
+        }
+        Ok(Schedule {
+            firings,
+            repetitions: q,
+            edge_bounds: bounds,
+        })
+    }
+
+    /// Builds a schedule that respects per-edge capacity limits (in
+    /// **tokens**, one entry per edge in creation order): an actor is only
+    /// eligible when every output edge has room for its production burst.
+    /// Errors with [`SdfError::Deadlocked`] when the capacities wedge the
+    /// period — the static prediction of the runtime's artificial
+    /// deadlock — and [`SdfError::Malformed`] when `capacities` does not
+    /// match the edge count.
+    ///
+    /// The same eager deepest-first policy as [`Schedule::build`] drives
+    /// the simulation, so success proves the capacities sufficient for
+    /// unbounded periodic execution. Failure is a conservative verdict:
+    /// eager orders are not provably optimal under capacity constraints,
+    /// so a failing assignment is *suspect*, and the cure is the bound
+    /// reported by [`minimal_capacities`], which this builder always
+    /// accepts.
+    pub fn build_bounded(graph: &SdfGraph, capacities: &[u64]) -> Result<Schedule, SdfError> {
+        if capacities.len() != graph.edges.len() {
+            return Err(SdfError::Malformed(format!(
+                "expected {} capacities, got {}",
+                graph.edges.len(),
+                capacities.len()
+            )));
+        }
+        let q = graph.repetition_vector()?;
+        let n = graph.actor_count();
+        let mut remaining: Vec<u64> = q.clone();
+        let mut tokens: Vec<u64> = graph.edges.iter().map(|e| e.delays).collect();
+        let mut bounds: Vec<u64> = tokens.clone();
+        let total: u64 = q.iter().sum();
+        let mut firings = Vec::with_capacity(total as usize);
+
+        let can_fire = |a: usize, tokens: &[u64], remaining: &[u64]| -> bool {
+            remaining[a] > 0
+                && graph
+                    .edges
+                    .iter()
+                    .enumerate()
+                    .all(|(i, e)| e.to != a || tokens[i] >= e.cons)
+                && graph.edges.iter().enumerate().all(|(i, e)| {
+                    // Room for the production burst; a self-loop consumes
+                    // before it produces.
+                    let consumed = if e.to == a { e.cons } else { 0 };
+                    e.from != a || tokens[i] - consumed + e.prod <= capacities[i]
+                })
+        };
+        let depth = dataflow_depth(graph);
+        while firings.len() < total as usize {
+            let choice = (0..n)
+                .filter(|&a| can_fire(a, &tokens, &remaining))
+                .max_by_key(|&a| (depth[a], std::cmp::Reverse(a)));
+            if let Some(a) = choice {
+                for (i, e) in graph.edges.iter().enumerate() {
+                    if e.to == a {
+                        tokens[i] -= e.cons;
+                    }
+                }
+                for (i, e) in graph.edges.iter().enumerate() {
+                    if e.from == a {
+                        tokens[i] += e.prod;
+                        bounds[i] = bounds[i].max(tokens[i]);
+                    }
+                }
+                remaining[a] -= 1;
+                firings.push(ActorId(a));
+            } else {
+                let stuck = (0..n).filter(|&a| remaining[a] > 0).map(ActorId).collect();
+                return Err(SdfError::Deadlocked { stuck });
+            }
         }
         Ok(Schedule {
             firings,
@@ -301,6 +391,62 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn bounded_schedule_accepts_minimal_capacities() {
+        let mut g = SdfGraph::new();
+        let a = g.actor("a");
+        let b = g.actor("b");
+        g.edge(a, b, 2, 3);
+        let caps = minimal_capacities(&g).unwrap();
+        assert_eq!(caps, vec![4]);
+        let s = Schedule::build_bounded(&g, &caps).unwrap();
+        assert_eq!(s.period_length(), 5);
+        assert!(s.edge_bounds[0] <= caps[0]);
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn bounded_schedule_rejects_capacity_below_burst() {
+        // Producer bursts 3 tokens per firing: a 2-token channel can never
+        // accept a firing, the static analogue of an artificial deadlock.
+        let mut g = SdfGraph::new();
+        let a = g.actor("a");
+        let b = g.actor("b");
+        g.edge(a, b, 3, 1);
+        assert!(matches!(
+            Schedule::build_bounded(&g, &[2]),
+            Err(SdfError::Deadlocked { .. })
+        ));
+        // 3 tokens of room suffice (fire a, drain with three b firings).
+        let s = Schedule::build_bounded(&g, &[3]).unwrap();
+        assert_eq!(s.repetitions, vec![1, 3]);
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn bounded_schedule_handles_self_loop_room() {
+        // Self-loop 1/1 with one delay: each firing consumes before it
+        // produces, so a 1-token capacity is enough.
+        let mut g = SdfGraph::new();
+        let a = g.actor("a");
+        g.edge_with_delays(a, a, 1, 1, 1);
+        let s = Schedule::build_bounded(&g, &[1]).unwrap();
+        assert_eq!(s.firings, vec![a]);
+    }
+
+    #[test]
+    fn bounded_schedule_validates_capacity_count() {
+        let mut g = SdfGraph::new();
+        let a = g.actor("a");
+        let b = g.actor("b");
+        g.edge(a, b, 1, 1);
+        assert!(matches!(
+            Schedule::build_bounded(&g, &[]),
+            Err(SdfError::Malformed(_))
+        ));
+        let _ = (a, b);
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //! shape the fuzzer draws.
 
 use kpn::core::stdlib::{Collect, Duplicate, Modulo, Scale, Sequence};
-use kpn::core::{DataReader, DiagCode, Error, LintLevel, Network, NetworkConfig};
+use kpn::core::{
+    DataReader, DiagCode, Error, ExecMode, LintLevel, Network, NetworkConfig, SchedulePolicy,
+    SimScheduler,
+};
 use kpn::dist::{self, DistGraph};
 use kpn::net::chaos::{chaos_policy, ChaosCluster};
 use kpn::net::{ChanId, FaultProfile, GraphBuilder};
@@ -406,5 +409,57 @@ proptest! {
             other => prop_assert!(false, "expected lint error, got {other}"),
         }
         let _ = (left_out, right_out);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Capacity synthesis soundness over fuzzed *static* pipelines: every
+    /// stage of this family declares SDF rates, so the lint pass can
+    /// synthesize schedule-derived capacities for the whole graph. With
+    /// `synthesize_capacities` the fixed graph must pass the `Deny` gate
+    /// (lint-clean after fix), produce the reference output, and never
+    /// fall back to the monitor's runtime grow loop — on the thread,
+    /// pooled, and sim executors alike.
+    #[test]
+    fn synthesized_static_pipelines_never_grow(
+        scales in proptest::collection::vec(2i64..9, 0..5),
+        count in 1u64..60,
+        capacity in 1usize..24,
+    ) {
+        kpn::lint::install();
+        let modes: [&dyn Fn() -> ExecMode; 3] = [
+            &|| ExecMode::Thread,
+            &|| ExecMode::Pooled { workers: 2 },
+            &|| ExecMode::Sim(SimScheduler::new(SchedulePolicy::RandomWalk { seed: 11 })),
+        ];
+        let factor: i64 = scales.iter().product();
+        let expect: Vec<i64> = (1..=count as i64).map(|v| v * factor).collect();
+        for mode in modes {
+            let net = Network::with_config(NetworkConfig {
+                lint: LintLevel::Deny,
+                synthesize_capacities: true,
+                mode: mode(),
+                ..NetworkConfig::default()
+            });
+            let (w, r) = net.channel_with_capacity(capacity);
+            net.add(Sequence::new(1, count, w));
+            let mut cursor = r;
+            for k in &scales {
+                let (sw, sr) = net.channel_with_capacity(capacity);
+                net.add(Scale::new(*k, cursor, sw));
+                cursor = sr;
+            }
+            let out = Arc::new(Mutex::new(Vec::new()));
+            net.add(Collect::new(cursor, out.clone()));
+            net.run().unwrap();
+            prop_assert_eq!(&*out.lock().unwrap(), &expect);
+            prop_assert_eq!(
+                net.monitor().stats().capacity_grows,
+                0,
+                "synthesized static pipeline grew at runtime"
+            );
+        }
     }
 }

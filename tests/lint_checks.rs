@@ -8,8 +8,8 @@
 use kpn::core::graphs::{self, GraphOptions};
 use kpn::core::stdlib::{Collect, CollectF64, Constant, ConstantF64, Scale, Sequence};
 use kpn::core::{
-    DataWriter, DiagCode, Error, LintLevel, Network, NetworkConfig, Process, ProcessCtx,
-    ProcessTag,
+    DataWriter, DiagCode, Error, ExecMode, Fix, LintLevel, Network, NetworkConfig, Process,
+    ProcessCtx, ProcessTag, SchedulePolicy, SimScheduler,
 };
 use kpn::net::{ChannelSpec, GraphBuilder, GraphSpec, InputSpec, OutputSpec, ProcessSpec};
 use std::sync::{Arc, Mutex};
@@ -432,4 +432,97 @@ fn sequence_scale_graph_snapshot_is_fully_declared() {
     assert_eq!(snap.processes.len(), 3);
     assert_eq!(snap.channels.len(), 2);
     net.abort();
+}
+
+// --- Capacity synthesis on the paper graphs --------------------------------
+
+#[test]
+fn hamming_cap4_emits_setcapacity_fixes() {
+    // The acceptance case from the synthesis work: Figure 12's graph at
+    // capacity 4 must come with machine-applicable repairs, not just a
+    // verdict.
+    kpn::lint::install();
+    let net = Network::new();
+    let opts = GraphOptions {
+        channel_capacity: 4,
+        ..GraphOptions::default()
+    };
+    let _out = graphs::hamming(&net, 20, &opts);
+    let diags = net.lint_diagnostics();
+    let fixes: Vec<&Fix> = diags.iter().flat_map(|d| d.fixes.iter()).collect();
+    assert!(!fixes.is_empty(), "expected SetCapacity fixes in {diags:?}");
+    for Fix::SetCapacity { current, suggested, .. } in fixes {
+        assert!(suggested > current, "fix must grow the channel");
+    }
+    net.abort();
+}
+
+/// With `synthesize_capacities`, the capacity-4 Hamming graph passes the
+/// `Deny` gate (the fixes resolve every L003 before enforcement), runs to
+/// completion, and — the observable claim behind synthesis — never needs
+/// the monitor's runtime grow loop.
+fn hamming_cap4_synthesized_runs_without_growth(mode: ExecMode) {
+    kpn::lint::install();
+    let net = Network::with_config(NetworkConfig {
+        lint: LintLevel::Deny,
+        synthesize_capacities: true,
+        mode,
+        ..NetworkConfig::default()
+    });
+    let opts = GraphOptions {
+        channel_capacity: 4,
+        ..GraphOptions::default()
+    };
+    let out = graphs::hamming(&net, 20, &opts);
+    net.run().unwrap();
+    assert_eq!(*out.lock().unwrap(), graphs::hamming_reference(20));
+    let stats = net.monitor().stats();
+    assert_eq!(
+        stats.capacity_grows, 0,
+        "synthesized region fell back to runtime growth: {:?}",
+        stats.growth_log
+    );
+}
+
+#[test]
+fn hamming_cap4_synthesized_thread() {
+    hamming_cap4_synthesized_runs_without_growth(ExecMode::Thread);
+}
+
+#[test]
+fn hamming_cap4_synthesized_pooled() {
+    hamming_cap4_synthesized_runs_without_growth(ExecMode::Pooled { workers: 2 });
+}
+
+#[test]
+fn hamming_cap4_synthesized_sim() {
+    hamming_cap4_synthesized_runs_without_growth(ExecMode::Sim(SimScheduler::new(
+        SchedulePolicy::RandomWalk { seed: 7 },
+    )));
+}
+
+#[test]
+fn sieve_synthesis_is_a_noop_and_never_grows() {
+    // The sieve's Sift stage is data-dependent (no declared rates), so no
+    // SDF region forms and synthesis has nothing to suggest: enabling it
+    // must change nothing, and the default capacities already run the
+    // graph without monitor growth.
+    kpn::lint::install();
+    let net = Network::with_config(NetworkConfig {
+        lint: LintLevel::Deny,
+        synthesize_capacities: true,
+        ..NetworkConfig::default()
+    });
+    let out = graphs::primes_below(&net, 50, &GraphOptions::default());
+    let diags = net.lint_diagnostics();
+    assert!(
+        diags.iter().all(|d| d.fixes.is_empty()),
+        "sieve should synthesize no fixes: {diags:?}"
+    );
+    net.run().unwrap();
+    assert_eq!(
+        *out.lock().unwrap(),
+        vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47]
+    );
+    assert_eq!(net.monitor().stats().capacity_grows, 0);
 }
